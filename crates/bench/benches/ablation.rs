@@ -1,0 +1,502 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! This bench is `harness = false`: it is a quality harness, not a latency
+//! harness. Each section prints a table quantifying one design decision the
+//! paper made (or proposed as future work). Sweeps run in parallel with
+//! crossbeam scoped threads.
+
+use roomsense::experiments::{coefficient_sweep, static_capture};
+use roomsense::{
+    collect_dataset, LabelledDataset, OccupancyModel, PipelineConfig, Scenario,
+    MISSING_DISTANCE,
+};
+use roomsense_bench::REPRO_SEED as SEED;
+use roomsense_building::presets;
+use roomsense_energy::{account, gate_timeline, MotionIntervals, UplinkArchitecture, UsageTimeline};
+use roomsense_energy::PowerProfile;
+use roomsense_geom::Point;
+use roomsense_ml::{
+    train_test_split, trilaterate, Classifier, ConfusionMatrix, Kernel, KnnClassifier,
+    ProximityClassifier, StandardScaler, SvmParams,
+};
+use roomsense_net::{TransportEvent, TransportKind};
+use roomsense_radio::DeviceRxProfile;
+use roomsense_sim::{rng, SimDuration, SimTime};
+
+fn main() {
+    println!("roomsense ablation studies (seed {SEED})");
+    ablate_classifier();
+    ablate_coefficient();
+    ablate_loss_hold();
+    ablate_scan_period();
+    ablate_calibration();
+    ablate_accel_gate();
+    ablate_interference();
+    ablate_grid_search();
+    ablate_environment();
+    ablate_beacon_density();
+}
+
+fn section(title: &str) {
+    println!();
+    println!("---- {title} ----");
+}
+
+/// SVM-RBF vs SVM-linear vs kNN vs proximity vs trilateration, one split.
+fn ablate_classifier() {
+    section("ablate_classifier: classification technique (paper Section VI)");
+    let scenario = Scenario::from_plan(presets::paper_house(), SEED);
+    let labelled = collect_dataset(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(40),
+        3,
+        SEED,
+    );
+    let mut split_rng = rng::for_component(SEED, "ablate-classifier-split");
+    let (train, test) = train_test_split(&labelled.data, 0.3, &mut split_rng);
+    let train_labelled = LabelledDataset {
+        data: train.clone(),
+        beacon_order: labelled.beacon_order.clone(),
+    };
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    // SVM with RBF (the paper's choice) and linear (ablation).
+    for (name, kernel) in [
+        ("svm-rbf (paper)", Kernel::Rbf { gamma: 0.5 }),
+        ("svm-linear", Kernel::Linear),
+    ] {
+        let params = SvmParams {
+            kernel,
+            ..SvmParams::default()
+        };
+        let model =
+            OccupancyModel::fit(&train_labelled, &params).expect("dataset is multi-class");
+        rows.push((name.to_string(), model.evaluate(&test).accuracy()));
+    }
+
+    // kNN on standardised features.
+    let scaler = StandardScaler::fit(&train);
+    let knn = KnnClassifier::fit(&scaler.transform_dataset(&train), 5).expect("non-empty");
+    let mut cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        cm.record(*label, knn.predict(&scaler.transform(row)));
+    }
+    rows.push(("knn (k=5)".to_string(), cm.accuracy()));
+
+    // Proximity (the previous iOS work's technique).
+    let proximity = ProximityClassifier::new(
+        scenario.beacon_room_labels(),
+        scenario.outside_label(),
+        MISSING_DISTANCE,
+    );
+    let mut cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        cm.record(*label, proximity.predict(row));
+    }
+    rows.push(("proximity (prev. work)".to_string(), cm.accuracy()));
+
+    // Trilateration (the technique the paper discarded): estimate a
+    // position from the distances and look the room up in the plan.
+    let anchors: Vec<(f64, f64)> = scenario
+        .plan()
+        .beacon_sites()
+        .iter()
+        .map(|s| (s.position.x, s.position.y))
+        .collect();
+    let mut cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        let distances: Vec<f64> = row
+            .iter()
+            .map(|d| if *d >= MISSING_DISTANCE { f64::NAN } else { *d })
+            .collect();
+        let predicted = trilaterate(&anchors, &distances)
+            .ok()
+            .and_then(|(x, y)| scenario.plan().room_at(Point::new(x, y)))
+            .map_or(scenario.outside_label(), |r| r.index() as usize);
+        cm.record(*label, predicted);
+    }
+    rows.push(("trilateration (discarded)".to_string(), cm.accuracy()));
+
+    println!("  technique                   accuracy");
+    for (name, acc) in rows {
+        println!("  {name:<27} {:>6.1}%", acc * 100.0);
+    }
+}
+
+/// The EWMA coefficient sweep behind the choice of 0.65.
+fn ablate_coefficient() {
+    section("ablate_coeff: EWMA coefficient (paper settles on 0.65)");
+    let coefficients = [0.0, 0.2, 0.4, 0.65, 0.8, 0.95];
+    println!("  coeff  static std (m)  crossover cycle");
+    for point in coefficient_sweep(&coefficients, 5, SEED) {
+        println!(
+            "  {:>5.2}  {:>14.3}  {:>8}",
+            point.coefficient,
+            point.stability_std_m,
+            point
+                .crossover_cycle
+                .map_or("never".to_string(), |c| c.to_string())
+        );
+    }
+}
+
+/// Hold-one-cycle loss policy vs dropping immediately: track availability
+/// under a buggy Android stack.
+fn ablate_loss_hold() {
+    section("ablate_loss_hold: two-consecutive-loss hold (paper Section V)");
+    use roomsense_signal::LossPolicy;
+    println!("  policy            track availability (stall 15%)");
+    let results: Vec<(String, f64)> = {
+        let policies = [
+            ("hold-one (paper)", LossPolicy::HoldOneCycle),
+            ("drop-immediately", LossPolicy::DropImmediately),
+        ];
+        let mut out = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = policies
+                .iter()
+                .map(|(name, policy)| {
+                    scope.spawn(move |_| {
+                        let mut available = 0usize;
+                        let mut total = 0usize;
+                        for trial in 0..10u64 {
+                            let config = PipelineConfig {
+                                scanner: roomsense::ScannerKind::Android {
+                                    stall_probability: 0.15,
+                                },
+                                ..PipelineConfig::paper_android().with_loss_policy(*policy)
+                            };
+                            let capture = static_capture(
+                                &config,
+                                2.0,
+                                SimDuration::from_secs(240),
+                                SEED ^ trial,
+                            );
+                            // Availability: smoothed estimates per scheduled cycle.
+                            total += 120;
+                            available += capture.smoothed.len();
+                        }
+                        (name.to_string(), available as f64 / total as f64)
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("worker does not panic"));
+            }
+        })
+        .expect("scope does not panic");
+        out
+    };
+    for (name, availability) in results {
+        println!("  {name:<17} {:>6.1}%", availability * 100.0);
+    }
+}
+
+/// Scan period vs estimate variance and latency (Fig 4 vs Fig 6 trade).
+fn ablate_scan_period() {
+    section("ablate_scan_period: scan period (paper contrasts 2 s and 5 s)");
+    println!("  period  raw std (m)  rmse (m)  estimates/min  (mean of 8 trials)");
+    for period in [1u64, 2, 3, 5, 8, 10] {
+        let config =
+            PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(period));
+        let mut stds = Vec::new();
+        let mut rmses = Vec::new();
+        let mut rates = Vec::new();
+        for trial in 0..8u64 {
+            let capture =
+                static_capture(&config, 2.0, SimDuration::from_secs(300), SEED ^ trial);
+            stds.push(capture.raw_std());
+            rmses.push(capture.raw_rmse());
+            rates.push(capture.raw.len() as f64 / 5.0);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        println!(
+            "  {period:>4}s   {:>10.3}  {:>8.3}  {:>10.1}",
+            mean(&stds),
+            mean(&rmses),
+            mean(&rates)
+        );
+    }
+}
+
+/// Per-device calibration (the paper's Fig 11 mitigation proposal): the RX
+/// offset corrupts absolute distance estimates; removing it restores them.
+/// Classification is also evaluated cross-device (train on the S3 Mini,
+/// deploy on a Nexus 5).
+fn ablate_calibration() {
+    section("ablate_calibration: per-device RSSI calibration (paper Section VIII)");
+    let scenario = Scenario::from_plan(presets::paper_house(), SEED);
+    let train_cfg = PipelineConfig::paper_android();
+    let labelled = collect_dataset(&scenario, &train_cfg, SimDuration::from_secs(40), 3, SEED);
+    let model =
+        OccupancyModel::fit(&labelled, &SvmParams::default()).expect("multi-class dataset");
+    println!("  deployment device                ranging rmse @2m   accuracy");
+    for (name, device) in [
+        ("S3 Mini (training device)", DeviceRxProfile::galaxy_s3_mini()),
+        ("Nexus 5 uncalibrated", DeviceRxProfile::nexus_5()),
+        ("Nexus 5 calibrated", DeviceRxProfile::nexus_5().calibrated()),
+    ] {
+        let test_cfg = PipelineConfig::paper_android().with_device(device);
+        let capture = static_capture(&test_cfg, 2.0, SimDuration::from_secs(240), SEED ^ 0xcafe);
+        let test =
+            collect_dataset(&scenario, &test_cfg, SimDuration::from_secs(30), 1, SEED ^ 0xbeef);
+        let cm = model.evaluate(&test.data);
+        println!(
+            "  {name:<32} {:>10.2} m   {:>6.1}%",
+            capture.raw_rmse(),
+            cm.accuracy() * 100.0
+        );
+    }
+}
+
+/// Environment harshness: how shadowing severity affects the headline
+/// accuracies (radio sensitivity study).
+fn ablate_environment() {
+    section("ablate_environment: shadowing severity vs classification accuracy");
+    println!("  shadowing sigma   svm accuracy   proximity accuracy");
+    for sigma in [0.0f64, 2.0, 3.0, 5.0, 7.0] {
+        let scenario = Scenario::with_radio(
+            roomsense_building::presets::paper_house(),
+            SEED,
+            roomsense_radio::TransmitterProfile::default(),
+            SimDuration::from_millis(100),
+            sigma,
+        );
+        let labelled = collect_dataset(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            SimDuration::from_secs(40),
+            2,
+            SEED,
+        );
+        let mut split_rng = rng::for_component(SEED, "ablate-env-split");
+        let (train, test) = train_test_split(&labelled.data, 0.3, &mut split_rng);
+        let model = OccupancyModel::fit(
+            &LabelledDataset {
+                data: train,
+                beacon_order: labelled.beacon_order.clone(),
+            },
+            &SvmParams::default(),
+        )
+        .expect("multi-class dataset");
+        let svm_acc = model.evaluate(&test).accuracy();
+        let proximity = ProximityClassifier::new(
+            scenario.beacon_room_labels(),
+            scenario.outside_label(),
+            MISSING_DISTANCE,
+        );
+        let mut prox_cm = ConfusionMatrix::new(scenario.label_names().len());
+        for (row, label) in test.rows().iter().zip(test.labels()) {
+            prox_cm.record(*label, proximity.predict(row));
+        }
+        println!(
+            "  {sigma:>11.1} dB   {:>10.1}%   {:>16.1}%",
+            svm_acc * 100.0,
+            prox_cm.accuracy() * 100.0
+        );
+    }
+}
+
+/// Beacon density: how many antennas does the house actually need?
+/// (The paper's intro motivates low installation cost.)
+fn ablate_beacon_density() {
+    section("ablate_beacon_density: antennas removed from the paper house");
+    use roomsense_ibeacon::Minor;
+    println!("  beacons   svm accuracy   proximity accuracy");
+    // Remove beacons in a fixed order: bathroom, study, bedroom first.
+    let removal_order = [Minor::new(3), Minor::new(4), Minor::new(2)];
+    for removed in 0..=removal_order.len() {
+        let plan = roomsense_building::presets::paper_house()
+            .without_beacons(&removal_order[..removed]);
+        let beacons = plan.beacon_sites().len();
+        let scenario = Scenario::from_plan(plan, SEED);
+        let labelled = collect_dataset(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            SimDuration::from_secs(40),
+            3,
+            SEED,
+        );
+        let mut split_rng = rng::for_component(SEED, "ablate-density-split");
+        let (train, test) = train_test_split(&labelled.data, 0.3, &mut split_rng);
+        let model = OccupancyModel::fit(
+            &LabelledDataset {
+                data: train,
+                beacon_order: labelled.beacon_order.clone(),
+            },
+            &SvmParams::default(),
+        )
+        .expect("multi-class dataset");
+        let svm_acc = model.evaluate(&test).accuracy();
+        let proximity = ProximityClassifier::new(
+            scenario.beacon_room_labels(),
+            scenario.outside_label(),
+            MISSING_DISTANCE,
+        );
+        let mut prox_cm = ConfusionMatrix::new(scenario.label_names().len());
+        for (row, label) in test.rows().iter().zip(test.labels()) {
+            prox_cm.record(*label, proximity.predict(row));
+        }
+        println!(
+            "  {beacons:>7}   {:>10.1}%   {:>16.1}%",
+            svm_acc * 100.0,
+            prox_cm.accuracy() * 100.0
+        );
+    }
+}
+
+/// Hyper-parameter sensitivity: is the paper's borrowed SVM setup near the
+/// optimum for this building?
+fn ablate_grid_search() {
+    section("ablate_grid_search: SVM (C, gamma) sensitivity (paper borrows RedPin's setup)");
+    let scenario = Scenario::from_plan(presets::paper_house(), SEED);
+    let labelled = collect_dataset(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(40),
+        2,
+        SEED,
+    );
+    // Grid search runs on standardised features, like the production model.
+    let scaler = StandardScaler::fit(&labelled.data);
+    let scaled = scaler.transform_dataset(&labelled.data);
+    let mut grid_rng = rng::for_component(SEED, "ablate-grid");
+    let result = roomsense_ml::grid_search(
+        &scaled,
+        &[0.1, 1.0, 10.0, 100.0],
+        &[0.05, 0.5, 2.0],
+        4,
+        &mut grid_rng,
+    );
+    println!("  C        gamma    cv accuracy");
+    for point in &result.points {
+        println!(
+            "  {:<8} {:<8} {:>6.1}%",
+            point.c,
+            point.gamma,
+            point.mean_accuracy * 100.0
+        );
+    }
+    let best = result.best_point();
+    println!(
+        "  best: C={} gamma={} at {:.1}% (defaults C=10, gamma=0.5)",
+        best.c,
+        best.gamma,
+        best.mean_accuracy * 100.0
+    );
+}
+
+/// Co-channel interference: how much a microwave oven near the user hurts
+/// track availability and ranging (the paper's "presence of other signals").
+fn ablate_interference() {
+    section("ablate_interference: 2.4 GHz coexistence (paper Section V)");
+    use roomsense::run_pipeline;
+    use roomsense_building::mobility::StaticPosition;
+    println!("  environment              track availability   estimates/min");
+    for (name, interferer) in [
+        ("clean", None),
+        (
+            "busy wifi ap @2m",
+            Some(roomsense_radio::Interferer::busy_wifi_ap(Point::new(2.5, 1.5))),
+        ),
+        (
+            "microwave oven @2m",
+            Some(roomsense_radio::Interferer::microwave_oven(Point::new(2.5, 1.5))),
+        ),
+        (
+            "continuous jammer @2m",
+            Some(roomsense_radio::Interferer::new(
+                Point::new(2.5, 1.5),
+                6.0,
+                SimDuration::from_secs(1),
+                1.0,
+                0.95,
+            )),
+        ),
+    ] {
+        let mut scenario =
+            Scenario::from_plan(roomsense_building::presets::two_transmitter_corridor(), SEED);
+        if let Some(i) = interferer {
+            scenario.add_interferer(i);
+        }
+        let records = run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &StaticPosition::new(Point::new(2.5, 1.0)),
+            SimDuration::from_secs(240),
+            SEED,
+        );
+        let minor = roomsense_ibeacon::Minor::new(0);
+        let tracked = records
+            .iter()
+            .filter(|r| r.snapshots.iter().any(|s| s.identity.minor == minor))
+            .count();
+        let raw_count = records
+            .iter()
+            .flat_map(|r| r.observations.iter())
+            .filter(|o| o.identity.minor == minor)
+            .count();
+        println!(
+            "  {name:<24} {:>8.1}%           {:>8.1}",
+            100.0 * tracked as f64 / records.len() as f64,
+            raw_count as f64 / 4.0
+        );
+    }
+}
+
+/// Accelerometer-gated sensing (the paper's future work): energy saving
+/// for an occupant who moves 25 % of the day.
+fn ablate_accel_gate() {
+    section("ablate_accel_gate: accelerometer gating (paper future work)");
+    let profile = PowerProfile::galaxy_s3_mini();
+    let hours = 10u64;
+    let duration = SimDuration::from_secs(hours * 3600);
+    // One BT uplink per 2 s cycle all day.
+    let events: Vec<TransportEvent> = (0..hours * 1800)
+        .map(|i| TransportEvent {
+            kind: TransportKind::BluetoothRelay,
+            start: SimTime::from_secs(i * 2),
+            active: SimDuration::from_millis(450),
+            delivered: true,
+        })
+        .collect();
+    let timeline = UsageTimeline {
+        duration,
+        scan_active: duration,
+        transport_events: events,
+    };
+    // Moving 15 minutes out of every hour.
+    let motion = MotionIntervals::new(
+        (0..hours)
+            .map(|h| {
+                (
+                    SimTime::from_secs(h * 3600),
+                    SimTime::from_secs(h * 3600 + 900),
+                )
+            })
+            .collect(),
+    )
+    .expect("intervals are sorted and disjoint");
+    let full = account(&profile, &timeline, UplinkArchitecture::BluetoothRelay);
+    let gated = account(
+        &profile,
+        &gate_timeline(&timeline, &motion),
+        UplinkArchitecture::BluetoothRelay,
+    );
+    let full_mw = full.mean_power_mw(duration);
+    let gated_mw = gated.mean_power_mw(duration);
+    println!("  configuration     mean power   battery life");
+    for (name, mw) in [("always sensing", full_mw), ("accel-gated", gated_mw)] {
+        println!(
+            "  {name:<16} {:>8.0} mW   {:>6.1} h",
+            mw,
+            profile.battery_capacity_mwh / mw
+        );
+    }
+    println!(
+        "  gating saves {:.1}% (occupant moving 25% of the time)",
+        (1.0 - gated_mw / full_mw) * 100.0
+    );
+}

@@ -1,0 +1,93 @@
+//! Throughput of the signal-analysis filters and the track manager.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+use roomsense_signal::{
+    DistanceFilter, EwmaFilter, KalmanFilter, MedianFilter, Observation, TrackManager,
+};
+use roomsense_sim::{rng, SimTime};
+
+fn noisy_series(n: usize) -> Vec<Option<f64>> {
+    let mut r = rng::for_component(3, "bench-filter");
+    (0..n)
+        .map(|_| {
+            if r.gen::<f64>() < 0.1 {
+                None
+            } else {
+                Some(2.0 + r.gen::<f64>())
+            }
+        })
+        .collect()
+}
+
+fn bench_ewma(c: &mut Criterion) {
+    let series = noisy_series(1024);
+    c.bench_function("filter/ewma-1024", |b| {
+        b.iter(|| {
+            let mut f = EwmaFilter::paper();
+            for obs in &series {
+                black_box(f.update(*obs));
+            }
+        });
+    });
+}
+
+fn bench_kalman(c: &mut Criterion) {
+    let series = noisy_series(1024);
+    c.bench_function("filter/kalman-1024", |b| {
+        b.iter(|| {
+            let mut f = KalmanFilter::indoor_default();
+            for obs in &series {
+                black_box(f.update(*obs));
+            }
+        });
+    });
+}
+
+fn bench_median(c: &mut Criterion) {
+    let series = noisy_series(1024);
+    c.bench_function("filter/median5-1024", |b| {
+        b.iter(|| {
+            let mut f = MedianFilter::new(5);
+            for obs in &series {
+                black_box(f.update(*obs));
+            }
+        });
+    });
+}
+
+fn bench_track_manager(c: &mut Criterion) {
+    // Ten beacons in sight, one cycle update.
+    let identity = |minor: u16| BeaconIdentity {
+        uuid: ProximityUuid::example(),
+        major: Major::new(1),
+        minor: Minor::new(minor),
+    };
+    let observations: Vec<Observation> = (0..10)
+        .map(|i| Observation {
+            at: SimTime::from_secs(2),
+            identity: identity(i),
+            rssi_dbm: -60.0,
+            distance_m: 2.0 + f64::from(i),
+            sample_count: 1,
+        })
+        .collect();
+    c.bench_function("filter/track-manager-10-beacons-100-cycles", |b| {
+        b.iter(|| {
+            let mut tracks = TrackManager::new(EwmaFilter::paper());
+            for cycle in 0..100u64 {
+                black_box(tracks.update_cycle(SimTime::from_secs(2 * cycle), &observations));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ewma,
+    bench_kalman,
+    bench_median,
+    bench_track_manager
+);
+criterion_main!(benches);

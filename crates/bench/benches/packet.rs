@@ -1,0 +1,69 @@
+//! Throughput of the iBeacon protocol layer: encode, decode, region match.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use roomsense_ibeacon::{
+    BeaconIdentity, Major, MeasuredPower, Minor, Packet, ProximityUuid, Region,
+};
+
+fn sample_packet(minor: u16) -> Packet {
+    Packet::new(
+        ProximityUuid::example(),
+        Major::new(1),
+        Minor::new(minor),
+        MeasuredPower::new(-59),
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let packet = sample_packet(7);
+    c.bench_function("packet/encode", |b| {
+        b.iter(|| black_box(packet.encode()));
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = sample_packet(7).encode();
+    c.bench_function("packet/decode", |b| {
+        b.iter(|| Packet::decode(black_box(&bytes)).expect("valid payload"));
+    });
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    c.bench_function("packet/roundtrip", |b| {
+        let mut minor = 0u16;
+        b.iter(|| {
+            minor = minor.wrapping_add(1);
+            let packet = sample_packet(minor);
+            Packet::decode(&packet.encode()).expect("valid payload")
+        });
+    });
+}
+
+fn bench_region_match(c: &mut Criterion) {
+    let uuid = ProximityUuid::example();
+    let regions: Vec<Region> = (0..64)
+        .map(|i| Region::with_minor(uuid, Major::new(1), Minor::new(i)))
+        .collect();
+    let beacon = BeaconIdentity {
+        uuid,
+        major: Major::new(1),
+        minor: Minor::new(63),
+    };
+    c.bench_function("region/match-64", |b| {
+        b.iter(|| {
+            regions
+                .iter()
+                .filter(|r| r.matches(black_box(&beacon)))
+                .count()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_roundtrip,
+    bench_region_match
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end pipeline throughput: how much simulated time per wall second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roomsense::{run_pipeline, PipelineConfig, Scenario};
+use roomsense_building::mobility::{RandomWaypoint, StaticPosition};
+use roomsense_building::presets;
+use roomsense_geom::Point;
+use roomsense_sim::{rng, SimDuration, SimTime};
+
+fn bench_static_minute(c: &mut Criterion) {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 1);
+    let config = PipelineConfig::paper_android();
+    let position = StaticPosition::new(Point::new(2.0, 1.0));
+    c.bench_function("pipeline/static-60s-corridor", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_pipeline(&scenario, &config, &position, SimDuration::from_secs(60), seed)
+        });
+    });
+}
+
+fn bench_house_walk_minute(c: &mut Criterion) {
+    let scenario = Scenario::from_plan(presets::paper_house(), 1);
+    let config = PipelineConfig::paper_android();
+    let mut r = rng::for_component(1, "bench-pipeline-walk");
+    let walk = RandomWaypoint::generate(scenario.plan(), 10, 1.2, SimTime::ZERO, &mut r);
+    c.bench_function("pipeline/walk-60s-paper-house", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_pipeline(&scenario, &config, &walk, SimDuration::from_secs(60), seed)
+        });
+    });
+}
+
+fn bench_ios_minute(c: &mut Criterion) {
+    // iOS delivers every packet, so the pipeline handles ~30x the samples.
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 1);
+    let config = PipelineConfig::paper_ios();
+    let position = StaticPosition::new(Point::new(2.0, 1.0));
+    c.bench_function("pipeline/static-60s-ios", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_pipeline(&scenario, &config, &position, SimDuration::from_secs(60), seed)
+        });
+    });
+}
+
+fn bench_office_scale(c: &mut Criterion) {
+    // Ten beacons, larger floor: the commercial-building scale.
+    let scenario = Scenario::from_plan(presets::office_floor(), 1);
+    let config = PipelineConfig::paper_android();
+    let position = StaticPosition::new(Point::new(10.0, 5.0));
+    c.bench_function("pipeline/static-60s-office", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_pipeline(&scenario, &config, &position, SimDuration::from_secs(60), seed)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_static_minute,
+    bench_house_walk_minute,
+    bench_ios_minute,
+    bench_office_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Shared helpers for the roomsense benchmark and reproduction harness.
+//!
+//! The real content of this crate is its binaries and benches:
+//!
+//! * `src/bin/repro.rs` — regenerates every paper figure as text.
+//! * `benches/*.rs` — Criterion throughput benches plus the ablation
+//!   studies listed in `DESIGN.md`.
+
+/// The master seed every reproduction run uses (DATE 2015 started March 9).
+pub const REPRO_SEED: u64 = 20150309;

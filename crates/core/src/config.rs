@@ -1,0 +1,175 @@
+//! Pipeline configuration: everything tunable about the phone side.
+
+use roomsense_radio::DeviceRxProfile;
+use roomsense_signal::{AggregateMethod, LossPolicy, PAPER_COEFFICIENT};
+use roomsense_sim::SimDuration;
+use roomsense_stack::ScanConfig;
+use std::fmt;
+
+/// Which OS scanner model the phone runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScannerKind {
+    /// Android 4.x with the given whole-cycle stall probability.
+    Android {
+        /// Probability an entire scan cycle is lost to a stack bug.
+        stall_probability: f64,
+    },
+    /// Android 5.0+ (API 21) — the paper's Section IX future work: all
+    /// samples delivered, like iOS.
+    AndroidL,
+    /// iOS (all samples delivered).
+    Ios,
+}
+
+impl fmt::Display for ScannerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScannerKind::Android { stall_probability } => {
+                write!(f, "android (stall {:.0}%)", stall_probability * 100.0)
+            }
+            ScannerKind::AndroidL => f.write_str("android-l"),
+            ScannerKind::Ios => f.write_str("ios"),
+        }
+    }
+}
+
+/// The phone-side pipeline configuration.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense::PipelineConfig;
+/// use roomsense_sim::SimDuration;
+///
+/// let mut cfg = PipelineConfig::paper_android();
+/// assert_eq!(cfg.scan.scan_period, SimDuration::from_secs(2));
+/// cfg = cfg.with_scan_period(SimDuration::from_secs(5)); // the Fig 6 variant
+/// assert_eq!(cfg.scan.scan_period, SimDuration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Scan timing.
+    pub scan: ScanConfig,
+    /// OS scanner behaviour.
+    pub scanner: ScannerKind,
+    /// How per-cycle samples pool into one RSSI.
+    pub aggregation: AggregateMethod,
+    /// EWMA smoothing coefficient (paper: 0.65).
+    pub filter_coefficient: f64,
+    /// What to do on missed cycles (paper: hold one).
+    pub loss_policy: LossPolicy,
+    /// The phone's RX hardware profile.
+    pub device: DeviceRxProfile,
+}
+
+impl PipelineConfig {
+    /// The paper's production configuration: Galaxy S3 Mini, Android
+    /// scanner with 5 % stalls, 2 s scan period, EWMA(0.65), hold one
+    /// cycle.
+    pub fn paper_android() -> Self {
+        PipelineConfig {
+            scan: ScanConfig::default(),
+            scanner: ScannerKind::Android {
+                stall_probability: 0.05,
+            },
+            aggregation: AggregateMethod::MeanDbm,
+            filter_coefficient: PAPER_COEFFICIENT,
+            loss_policy: LossPolicy::HoldOneCycle,
+            device: DeviceRxProfile::galaxy_s3_mini(),
+        }
+    }
+
+    /// The previous work's iOS configuration (same filter, iOS sampling,
+    /// iPhone RX profile).
+    pub fn paper_ios() -> Self {
+        PipelineConfig {
+            scanner: ScannerKind::Ios,
+            device: DeviceRxProfile::iphone_5s(),
+            ..PipelineConfig::paper_android()
+        }
+    }
+
+    /// The paper's future-work configuration: the same S3-Mini-class
+    /// hardware on Android L, whose scan API "promises to correct some of
+    /// the bugs related to Bluetooth present in Android 4.4".
+    pub fn future_android_l() -> Self {
+        PipelineConfig {
+            scanner: ScannerKind::AndroidL,
+            ..PipelineConfig::paper_android()
+        }
+    }
+
+    /// Returns the config with a different scan period.
+    pub fn with_scan_period(mut self, period: SimDuration) -> Self {
+        self.scan = ScanConfig {
+            scan_period: period,
+        };
+        self
+    }
+
+    /// Returns the config with a different smoothing coefficient.
+    pub fn with_coefficient(mut self, coefficient: f64) -> Self {
+        self.filter_coefficient = coefficient;
+        self
+    }
+
+    /// Returns the config with a different device profile.
+    pub fn with_device(mut self, device: DeviceRxProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Returns the config with a different loss policy.
+    pub fn with_loss_policy(mut self, policy: LossPolicy) -> Self {
+        self.loss_policy = policy;
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::paper_android()
+    }
+}
+
+impl fmt::Display for PipelineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scanner, {} scan period, ewma({:.2}), {}",
+            self.scanner,
+            self.scan.scan_period,
+            self.filter_coefficient,
+            self.device.model
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_v() {
+        let cfg = PipelineConfig::paper_android();
+        assert_eq!(cfg.scan.scan_period, SimDuration::from_secs(2));
+        assert_eq!(cfg.filter_coefficient, 0.65);
+        assert_eq!(cfg.loss_policy, LossPolicy::HoldOneCycle);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = PipelineConfig::paper_android()
+            .with_scan_period(SimDuration::from_secs(5))
+            .with_coefficient(0.3)
+            .with_device(DeviceRxProfile::nexus_5());
+        assert_eq!(cfg.scan.scan_period, SimDuration::from_secs(5));
+        assert_eq!(cfg.filter_coefficient, 0.3);
+        assert!(cfg.device.model.contains("Nexus"));
+    }
+
+    #[test]
+    fn ios_config_uses_ios_scanner() {
+        assert_eq!(PipelineConfig::paper_ios().scanner, ScannerKind::Ios);
+    }
+}

@@ -1,0 +1,1061 @@
+//! Experiment runners: one function per paper figure/claim.
+//!
+//! Each runner is deterministic given its seed and returns plain data that
+//! the `repro` binary formats and `EXPERIMENTS.md` records. The mapping to
+//! paper artifacts:
+//!
+//! | Runner | Paper artifact |
+//! |---|---|
+//! | [`static_capture`] | Figs 4, 5, 6 (scan-period / filter traces) |
+//! | [`dynamic_walk`], [`coefficient_sweep`] | Figs 7–8 (coefficient tuning) |
+//! | [`classification_experiment`] | Fig 9 (SVM ~94 % vs proximity ~84 %) |
+//! | [`energy_experiment`] | Fig 10 (Wi-Fi vs BT battery traces) |
+//! | [`device_comparison`] | Fig 11 (Nexus 5 vs S3 Mini RSSI gap) |
+//! | [`sampling_comparison`] | Section V (5 vs ~300 samples in 10 s) |
+
+use crate::{
+    collect_dataset, features_from_snapshots, run_pipeline, LabelledDataset, OccupancyModel,
+    PipelineConfig, Scenario, MISSING_DISTANCE,
+};
+use roomsense_building::mobility::{StaticPosition, WaypointWalk};
+use roomsense_building::presets;
+use roomsense_energy::{
+    account, Battery, BatteryTracePoint, PowerProfile, UplinkArchitecture, UsageTimeline,
+};
+use roomsense_geom::{Point, Polyline};
+use roomsense_ibeacon::Minor;
+use roomsense_ml::{
+    k_fold, train_test_split, Classifier, ConfusionMatrix, KnnClassifier, ProximityClassifier,
+    StandardScaler, SvmParams,
+};
+use roomsense_net::{
+    BtRelayTransport, DeviceId, ObservationReport, SightedBeacon, Transport, WifiTransport,
+};
+use roomsense_radio::DeviceRxProfile;
+use roomsense_signal::metrics;
+use roomsense_sim::{rng, SimDuration, SimTime};
+
+/// One static capture: the phone fixed at a known distance from a single
+/// transmitter (the Figs 4/5/6 protocol).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticCaptureResult {
+    /// The true transmitter–receiver distance, metres.
+    pub true_distance_m: f64,
+    /// Raw per-cycle distance estimates `(t_seconds, metres)`; cycles where
+    /// the beacon was missed are absent.
+    pub raw: Vec<(f64, f64)>,
+    /// EWMA-smoothed estimates, same format.
+    pub smoothed: Vec<(f64, f64)>,
+}
+
+impl StaticCaptureResult {
+    /// Standard deviation of the raw estimates.
+    pub fn raw_std(&self) -> f64 {
+        let values: Vec<f64> = self.raw.iter().map(|(_, d)| *d).collect();
+        metrics::std_dev(&values).unwrap_or(0.0)
+    }
+
+    /// Standard deviation of the smoothed estimates.
+    pub fn smoothed_std(&self) -> f64 {
+        let values: Vec<f64> = self.smoothed.iter().map(|(_, d)| *d).collect();
+        metrics::std_dev(&values).unwrap_or(0.0)
+    }
+
+    /// RMSE of the raw estimates against the true distance.
+    pub fn raw_rmse(&self) -> f64 {
+        let values: Vec<f64> = self.raw.iter().map(|(_, d)| *d).collect();
+        metrics::rmse_against(&values, self.true_distance_m).unwrap_or(0.0)
+    }
+}
+
+/// Runs the Figs 4/5/6 static capture: `duration` at `distance_m` from one
+/// transmitter with the given scan period and filter coefficient.
+pub fn static_capture(
+    config: &PipelineConfig,
+    distance_m: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> StaticCaptureResult {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+    let west = scenario.advertisers()[0].position;
+    let position = Point::new(west.x + distance_m, west.y);
+    let records = run_pipeline(
+        &scenario,
+        config,
+        &StaticPosition::new(position),
+        duration,
+        seed,
+    );
+    let minor = Minor::new(0);
+    let mut raw = Vec::new();
+    let mut smoothed = Vec::new();
+    for record in &records {
+        let t = record.at.as_secs_f64();
+        if let Some(obs) = record
+            .observations
+            .iter()
+            .find(|o| o.identity.minor == minor)
+        {
+            raw.push((t, obs.distance_m));
+        }
+        if let Some(snap) = record.snapshots.iter().find(|s| s.identity.minor == minor) {
+            smoothed.push((t, snap.distance_m));
+        }
+    }
+    StaticCaptureResult {
+        true_distance_m: distance_m,
+        raw,
+        smoothed,
+    }
+}
+
+/// One dynamic test: walk between the two corridor transmitters at the
+/// paper's speed and watch the smoothed tracks cross over (Figs 7–8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicWalkResult {
+    /// Per cycle: `(t_seconds, west track, east track)`.
+    pub series: Vec<(f64, Option<f64>, Option<f64>)>,
+    /// The cycle index at which the east beacon first reads closer.
+    pub crossover_cycle: Option<usize>,
+    /// Walk speed used, m/s.
+    pub speed_mps: f64,
+}
+
+/// Runs the Section V dynamic test at the given filter coefficient.
+pub fn dynamic_walk(coefficient: f64, speed_mps: f64, seed: u64) -> DynamicWalkResult {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+    let west = scenario.advertisers()[0].position;
+    let east = scenario.advertisers()[1].position;
+    let path = Polyline::new(vec![
+        Point::new(west.x + 0.5, west.y),
+        Point::new(east.x - 0.5, east.y),
+    ])
+    .expect("two waypoints");
+    let walk = WaypointWalk::new(path, speed_mps, SimTime::ZERO);
+    let duration = walk.duration() + SimDuration::from_secs(4);
+    let config = PipelineConfig::paper_android().with_coefficient(coefficient);
+    let records = run_pipeline(&scenario, &config, &walk, duration, seed);
+    let series: Vec<(f64, Option<f64>, Option<f64>)> = records
+        .iter()
+        .map(|r| {
+            let find = |minor: u16| {
+                r.snapshots
+                    .iter()
+                    .find(|s| s.identity.minor == Minor::new(minor))
+                    .map(|s| s.distance_m)
+            };
+            (r.at.as_secs_f64(), find(0), find(1))
+        })
+        .collect();
+    let pairs: Vec<(Option<f64>, Option<f64>)> =
+        series.iter().map(|(_, a, b)| (*a, *b)).collect();
+    DynamicWalkResult {
+        crossover_cycle: metrics::crossover_index(&pairs),
+        series,
+        speed_mps,
+    }
+}
+
+/// One point of the coefficient sweep (Figs 7–8 tuning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoefficientSweepPoint {
+    /// The EWMA coefficient.
+    pub coefficient: f64,
+    /// Stability: std-dev of the smoothed static capture (lower = calmer).
+    pub stability_std_m: f64,
+    /// Responsiveness: crossover cycle in the dynamic walk (lower =
+    /// snappier); `None` when the filter never switched.
+    pub crossover_cycle: Option<usize>,
+}
+
+/// Sweeps the filter coefficient over static stability and dynamic
+/// responsiveness — the experiment behind the paper's choice of 0.65.
+///
+/// Results are averaged over `trials` independent seeds.
+pub fn coefficient_sweep(
+    coefficients: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<CoefficientSweepPoint> {
+    coefficients
+        .iter()
+        .map(|&coefficient| {
+            let mut stds = Vec::new();
+            let mut crossings = Vec::new();
+            for trial in 0..trials {
+                let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
+                let config =
+                    PipelineConfig::paper_android().with_coefficient(coefficient);
+                let capture = static_capture(
+                    &config,
+                    2.0,
+                    SimDuration::from_secs(120),
+                    trial_seed,
+                );
+                stds.push(capture.smoothed_std());
+                if let Some(c) = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle {
+                    crossings.push(c);
+                }
+            }
+            let stability_std_m = metrics::mean(&stds).unwrap_or(0.0);
+            let crossover_cycle = if crossings.is_empty() {
+                None
+            } else {
+                Some(crossings.iter().sum::<usize>() / crossings.len())
+            };
+            CoefficientSweepPoint {
+                coefficient,
+                stability_std_m,
+                crossover_cycle,
+            }
+        })
+        .collect()
+}
+
+/// The Fig 9 experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationResult {
+    /// The scene-analysis SVM (the paper's contribution).
+    pub svm: ConfusionMatrix,
+    /// The proximity baseline (the previous iOS work's technique).
+    pub proximity: ConfusionMatrix,
+    /// A kNN fingerprinting alternative (ablation).
+    pub knn: ConfusionMatrix,
+    /// Class names (rooms plus "outside").
+    pub label_names: Vec<String>,
+}
+
+impl ClassificationResult {
+    /// The headline accuracy pair `(svm, proximity)`.
+    pub fn headline(&self) -> (f64, f64) {
+        (self.svm.accuracy(), self.proximity.accuracy())
+    }
+}
+
+/// Runs the full Fig 9 protocol on the paper house: collect a labelled
+/// dataset with the operator walk, split train/test, train the SVM, and
+/// evaluate SVM vs proximity vs kNN on the same held-out rows.
+pub fn classification_experiment(seed: u64) -> ClassificationResult {
+    let scenario = Scenario::from_plan(presets::paper_house(), seed);
+    let labelled = collect_dataset(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(40),
+        3,
+        seed,
+    );
+    let mut split_rng = rng::for_component(seed, "classification-split");
+    let (train, test) = train_test_split(&labelled.data, 0.3, &mut split_rng);
+    let train_labelled = LabelledDataset {
+        data: train,
+        beacon_order: labelled.beacon_order.clone(),
+    };
+    let model = OccupancyModel::fit(&train_labelled, &SvmParams::default())
+        .expect("collection walk always yields a multi-class dataset");
+    let svm_cm = model.evaluate(&test);
+
+    let proximity = ProximityClassifier::new(
+        scenario.beacon_room_labels(),
+        scenario.outside_label(),
+        MISSING_DISTANCE,
+    );
+    let mut prox_cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        prox_cm.record(*label, proximity.predict(row));
+    }
+
+    // kNN works on standardised features like the SVM.
+    let scaler = StandardScaler::fit(&train_labelled.data);
+    let knn = KnnClassifier::fit(&scaler.transform_dataset(&train_labelled.data), 5)
+        .expect("train set is non-empty");
+    let mut knn_cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        knn_cm.record(*label, knn.predict(&scaler.transform(row)));
+    }
+
+    ClassificationResult {
+        svm: svm_cm,
+        proximity: prox_cm,
+        knn: knn_cm,
+        label_names: scenario.label_names(),
+    }
+}
+
+/// Cross-validated SVM accuracy on the collection dataset (a robustness
+/// check the repro binary reports alongside Fig 9).
+pub fn classification_cross_validation(seed: u64, folds: usize) -> Vec<f64> {
+    let scenario = Scenario::from_plan(presets::paper_house(), seed);
+    let labelled = collect_dataset(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(30),
+        2,
+        seed,
+    );
+    let mut fold_rng = rng::for_component(seed, "classification-cv");
+    k_fold(&labelled.data, folds, &mut fold_rng)
+        .into_iter()
+        .map(|(train, val)| {
+            let train_labelled = LabelledDataset {
+                data: train,
+                beacon_order: labelled.beacon_order.clone(),
+            };
+            let model = OccupancyModel::fit(&train_labelled, &SvmParams::default())
+                .expect("folds keep all classes with high probability");
+            model.evaluate(&val).accuracy()
+        })
+        .collect()
+}
+
+/// The Fig 10 experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyResult {
+    /// Battery trace under the Wi-Fi architecture.
+    pub wifi_trace: Vec<BatteryTracePoint>,
+    /// Battery trace under the Bluetooth architecture.
+    pub bt_trace: Vec<BatteryTracePoint>,
+    /// Mean power draw, Wi-Fi architecture (mW).
+    pub wifi_mean_mw: f64,
+    /// Mean power draw, Bluetooth architecture (mW).
+    pub bt_mean_mw: f64,
+    /// Projected battery life, Wi-Fi architecture (hours).
+    pub wifi_lifetime_h: f64,
+    /// Projected battery life, Bluetooth architecture (hours).
+    pub bt_lifetime_h: f64,
+}
+
+impl EnergyResult {
+    /// The energy saving of Bluetooth over Wi-Fi (the paper's ~15 %).
+    pub fn saving_fraction(&self) -> f64 {
+        1.0 - self.bt_mean_mw / self.wifi_mean_mw
+    }
+}
+
+/// Runs the Fig 10 protocol: the app ranges every scan cycle for
+/// `duration`, reporting each cycle over each uplink; average over `trials`
+/// runs (the paper averaged 10 measurements).
+pub fn energy_experiment(duration: SimDuration, trials: u64, seed: u64) -> EnergyResult {
+    let profile = PowerProfile::galaxy_s3_mini();
+    let scan_period = SimDuration::from_secs(2);
+    let cycles = duration.as_millis() / scan_period.as_millis();
+    let report = ObservationReport {
+        device: DeviceId::new(1),
+        at: SimTime::ZERO,
+        beacons: vec![SightedBeacon {
+            identity: roomsense_ibeacon::BeaconIdentity {
+                uuid: roomsense_ibeacon::ProximityUuid::example(),
+                major: roomsense_ibeacon::Major::new(1),
+                minor: Minor::new(0),
+            },
+            distance_m: 2.0,
+        }],
+    };
+
+    let mut wifi_energy_mj = 0.0;
+    let mut bt_energy_mj = 0.0;
+    let mut wifi_timeline_last = None;
+    let mut bt_timeline_last = None;
+    for trial in 0..trials {
+        let mut wifi = WifiTransport::default();
+        let mut bt = BtRelayTransport::default();
+        let mut r = rng::for_indexed(seed, "energy-trial", trial);
+        for c in 0..cycles {
+            let at = SimTime::ZERO + scan_period * c;
+            wifi.send(at, &report, &mut r);
+            bt.send(at, &report, &mut r);
+        }
+        let wifi_timeline = UsageTimeline {
+            duration,
+            scan_active: duration,
+            transport_events: wifi.events().to_vec(),
+        };
+        let bt_timeline = UsageTimeline {
+            duration,
+            scan_active: duration,
+            transport_events: bt.events().to_vec(),
+        };
+        wifi_energy_mj +=
+            account(&profile, &wifi_timeline, UplinkArchitecture::Wifi).total_mj();
+        bt_energy_mj += account(
+            &profile,
+            &bt_timeline,
+            UplinkArchitecture::BluetoothRelay,
+        )
+        .total_mj();
+        wifi_timeline_last = Some(wifi_timeline);
+        bt_timeline_last = Some(bt_timeline);
+    }
+    let secs = duration.as_secs_f64() * trials as f64;
+    let wifi_mean_mw = wifi_energy_mj / secs;
+    let bt_mean_mw = bt_energy_mj / secs;
+    let battery = Battery::for_profile(&profile);
+    let wifi_trace = Battery::for_profile(&profile).discharge_trace(
+        &profile,
+        &wifi_timeline_last.expect("at least one trial"),
+        UplinkArchitecture::Wifi,
+        24,
+    );
+    let bt_trace = Battery::for_profile(&profile).discharge_trace(
+        &profile,
+        &bt_timeline_last.expect("at least one trial"),
+        UplinkArchitecture::BluetoothRelay,
+        24,
+    );
+    EnergyResult {
+        wifi_trace,
+        bt_trace,
+        wifi_mean_mw,
+        bt_mean_mw,
+        wifi_lifetime_h: battery.lifetime_hours(wifi_mean_mw),
+        bt_lifetime_h: battery.lifetime_hours(bt_mean_mw),
+    }
+}
+
+/// One device's row in the Fig 11 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceComparisonRow {
+    /// Device model name.
+    pub model: String,
+    /// Mean reported RSSI at the test distance, dBm.
+    pub mean_rssi_dbm: f64,
+    /// Std-dev of the reported RSSI, dB.
+    pub std_rssi_db: f64,
+    /// Mean distance estimate that RSSI produces, metres.
+    pub mean_distance_m: f64,
+}
+
+/// Runs the Fig 11 protocol: park each device at the same distance from the
+/// same transmitter and compare what they report.
+pub fn device_comparison(
+    devices: &[DeviceRxProfile],
+    distance_m: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<DeviceComparisonRow> {
+    devices
+        .iter()
+        .map(|device| {
+            let config = PipelineConfig::paper_android().with_device(device.clone());
+            let capture = static_capture(&config, distance_m, duration, seed);
+            let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+            let _ = &scenario;
+            // Recover per-cycle RSSI by re-running at the observation level:
+            // static_capture already exposes distances; convert the mean
+            // distance back to an effective RSSI via the ranging model.
+            let distances: Vec<f64> = capture.raw.iter().map(|(_, d)| *d).collect();
+            let mean_distance_m = metrics::mean(&distances).unwrap_or(f64::NAN);
+            // rssi = P1m − 10·n·log10(d)
+            let tx = roomsense_radio::TransmitterProfile::default();
+            let rssis: Vec<f64> = distances
+                .iter()
+                .map(|d| tx.rssi_at_1m_dbm - 10.0 * tx.path_loss_exponent * d.max(0.01).log10())
+                .collect();
+            DeviceComparisonRow {
+                model: device.model.clone(),
+                mean_rssi_dbm: metrics::mean(&rssis).unwrap_or(f64::NAN),
+                std_rssi_db: metrics::std_dev(&rssis).unwrap_or(f64::NAN),
+                mean_distance_m,
+            }
+        })
+        .collect()
+}
+
+/// The Section V sampling-count comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingComparison {
+    /// Samples an Android 4.x device collects in the window.
+    pub android_samples: usize,
+    /// Samples an Android L (API 21) device collects — the paper's hoped-for
+    /// fix, implemented.
+    pub android_l_samples: usize,
+    /// Samples an iOS device collects in the window.
+    pub ios_samples: usize,
+}
+
+/// Counts samples over a 10-second window with a 30 Hz beacon and a 2 s
+/// scan period — the paper's "five versus three hundred" example.
+pub fn sampling_comparison(seed: u64) -> SamplingComparison {
+    let scenario = Scenario::with_radio(
+        presets::two_transmitter_corridor(),
+        seed,
+        roomsense_radio::TransmitterProfile::default(),
+        SimDuration::from_millis(33),
+        0.0,
+    );
+    let west = scenario.advertisers()[0].position;
+    let count = |config: &PipelineConfig| -> usize {
+        run_pipeline(
+            &scenario,
+            config,
+            &StaticPosition::new(Point::new(west.x + 2.0, west.y)),
+            SimDuration::from_secs(10),
+            seed,
+        )
+        .iter()
+        .flat_map(|r| r.observations.iter())
+        .filter(|o| o.identity.minor == Minor::new(0))
+        .map(|o| o.sample_count)
+        .sum()
+    };
+    // Ideal receivers isolate the structural OS difference, as the paper's
+    // argument does.
+    let android = PipelineConfig {
+        scanner: crate::ScannerKind::Android {
+            stall_probability: 0.0,
+        },
+        device: DeviceRxProfile::ideal(),
+        ..PipelineConfig::paper_android()
+    };
+    let android_l = PipelineConfig {
+        scanner: crate::ScannerKind::AndroidL,
+        device: DeviceRxProfile::ideal(),
+        ..PipelineConfig::paper_android()
+    };
+    let ios = PipelineConfig {
+        scanner: crate::ScannerKind::Ios,
+        device: DeviceRxProfile::ideal(),
+        ..PipelineConfig::paper_android()
+    };
+    SamplingComparison {
+        android_samples: count(&android),
+        android_l_samples: count(&android_l),
+        ios_samples: count(&ios),
+    }
+}
+
+/// The outcome of the Section IV-A TX-power calibration procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationOutcome {
+    /// One-metre RSSI samples collected.
+    pub sample_count: usize,
+    /// The calibrated measured-power field.
+    pub measured_power: roomsense_ibeacon::MeasuredPower,
+    /// The distance a subsequent one-metre verification capture estimates
+    /// with that field (should be close to 1 m).
+    pub verified_distance_m: f64,
+}
+
+/// Runs the paper's TX-power calibration loop against the simulated
+/// channel: "putting the device one meter away from the transmitter …
+/// changing the TX power field until the detected distance by the device is
+/// about one meter."
+///
+/// Collects one-metre RSSI samples through the full pipeline, feeds them to
+/// the [`Calibrator`](roomsense_ibeacon::Calibrator), then verifies the
+/// resulting field with a fresh capture.
+pub fn run_tx_power_calibration(seed: u64) -> CalibrationOutcome {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+    let west = scenario.advertisers()[0].position;
+    let config = PipelineConfig::paper_android();
+    // Collection pass: stand at one metre, gather per-cycle RSSIs.
+    let records = run_pipeline(
+        &scenario,
+        &config,
+        &StaticPosition::new(Point::new(west.x + 1.0, west.y)),
+        SimDuration::from_secs(120),
+        seed,
+    );
+    let mut calibrator = roomsense_ibeacon::Calibrator::new(10);
+    for record in &records {
+        for obs in &record.observations {
+            if obs.identity.minor == Minor::new(0) {
+                calibrator
+                    .add_sample(obs.rssi_dbm)
+                    .expect("pipeline RSSIs are finite");
+            }
+        }
+    }
+    let measured_power = calibrator
+        .measured_power()
+        .expect("120 s of capture yields enough samples");
+    // Verification pass: new seed stream, apply the calibrated field.
+    let verify = run_pipeline(
+        &scenario,
+        &config,
+        &StaticPosition::new(Point::new(west.x + 1.0, west.y)),
+        SimDuration::from_secs(120),
+        seed ^ 0x5af3,
+    );
+    let ranging = scenario.ranging_config();
+    let distances: Vec<f64> = verify
+        .iter()
+        .flat_map(|r| r.observations.iter())
+        .filter(|o| o.identity.minor == Minor::new(0))
+        .map(|o| roomsense_ibeacon::estimate_distance_log(o.rssi_dbm, measured_power, &ranging))
+        .collect();
+    CalibrationOutcome {
+        sample_count: calibrator.sample_count(),
+        measured_power,
+        verified_distance_m: metrics::mean(&distances).unwrap_or(f64::NAN),
+    }
+}
+
+/// Classification accuracy at commercial-building scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingResult {
+    /// SVM accuracy on the office floor (9 rooms, 10 beacons).
+    pub office_svm: f64,
+    /// Proximity accuracy on the office floor.
+    pub office_proximity: f64,
+    /// Rooms and beacons, for the report.
+    pub rooms: usize,
+    /// Beacons installed.
+    pub beacons: usize,
+}
+
+/// Runs the Fig 9 protocol on the larger office floor — the commercial
+/// setting the paper's introduction motivates ("buildings are the major
+/// consumers of energy").
+pub fn scaling_experiment(seed: u64) -> ScalingResult {
+    let scenario = Scenario::from_plan(presets::office_floor(), seed);
+    let labelled = collect_dataset(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(40),
+        3,
+        seed,
+    );
+    let mut split_rng = rng::for_component(seed, "scaling-split");
+    let (train, test) = train_test_split(&labelled.data, 0.3, &mut split_rng);
+    let model = OccupancyModel::fit(
+        &LabelledDataset {
+            data: train,
+            beacon_order: labelled.beacon_order.clone(),
+        },
+        &SvmParams::default(),
+    )
+    .expect("office collection walk yields a multi-class dataset");
+    let svm_cm = model.evaluate(&test);
+    let proximity = ProximityClassifier::new(
+        scenario.beacon_room_labels(),
+        scenario.outside_label(),
+        MISSING_DISTANCE,
+    );
+    let mut prox_cm = ConfusionMatrix::new(scenario.label_names().len());
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        prox_cm.record(*label, proximity.predict(row));
+    }
+    ScalingResult {
+        office_svm: svm_cm.accuracy(),
+        office_proximity: prox_cm.accuracy(),
+        rooms: scenario.plan().rooms().len(),
+        beacons: scenario.plan().beacon_sites().len(),
+    }
+}
+
+/// Floor-aware classification quality in a stacked building.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiFloorResult {
+    /// Fraction of test rows assigned to the correct floor.
+    pub floor_accuracy: f64,
+    /// Fraction of test rows assigned to the exact (floor, room) label.
+    pub room_accuracy: f64,
+    /// Floors in the building.
+    pub floors: usize,
+    /// Beacons across all floors.
+    pub beacons: usize,
+}
+
+/// Trains one building-wide SVM over a two-storey stack of the paper house
+/// and scores floor and room identification — the multi-floor use of the
+/// iBeacon major field (Section III).
+pub fn multifloor_experiment(seed: u64) -> MultiFloorResult {
+    use roomsense_ml::{Classifier, StandardScaler, SvmClassifier};
+    let building = crate::MultiFloorScenario::new(
+        vec![presets::paper_house(), presets::paper_house()],
+        seed,
+    );
+    let data = building.collect_dataset(
+        &PipelineConfig::paper_android(),
+        SimDuration::from_secs(30),
+        2,
+        seed,
+    );
+    let mut split_rng = rng::for_component(seed, "multifloor-split");
+    let (train, test) = train_test_split(&data, 0.3, &mut split_rng);
+    let scaler = StandardScaler::fit(&train);
+    let svm = SvmClassifier::fit(&scaler.transform_dataset(&train), &SvmParams::default())
+        .expect("building dataset is multi-class");
+    // Label → floor: five rooms per floor, outside maps to usize::MAX.
+    let rooms_per_floor = building.floors()[0].plan().rooms().len();
+    let floor_of = |label: usize| {
+        if label >= building.outside_label() {
+            usize::MAX
+        } else {
+            label / rooms_per_floor
+        }
+    };
+    let mut room_hits = 0usize;
+    let mut floor_hits = 0usize;
+    for (row, label) in test.rows().iter().zip(test.labels()) {
+        let predicted = svm.predict(&scaler.transform(row));
+        if predicted == *label {
+            room_hits += 1;
+        }
+        if floor_of(predicted) == floor_of(*label) {
+            floor_hits += 1;
+        }
+    }
+    MultiFloorResult {
+        floor_accuracy: floor_hits as f64 / test.len().max(1) as f64,
+        room_accuracy: room_hits as f64 / test.len().max(1) as f64,
+        floors: building.floor_count(),
+        beacons: building.beacon_order().len(),
+    }
+}
+
+/// System-level tracking quality: how often the BMS occupancy table agrees
+/// with ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingResult {
+    /// Fraction of (sample, device) pairs where the server's room for the
+    /// device matched the true room.
+    pub device_agreement: f64,
+    /// Fraction of samples where the entire occupancy table matched truth
+    /// exactly.
+    pub table_agreement: f64,
+    /// Number of truth samples compared.
+    pub samples: usize,
+}
+
+/// Runs a three-occupant day in the paper house and scores the server's
+/// occupancy table against the ground-truth trace — the system-level number
+/// a BMS operator actually cares about.
+pub fn tracking_experiment(seed: u64) -> TrackingResult {
+    use roomsense_building::mobility::{MobilityModel, RoomSchedule};
+    use roomsense_building::{trace, RoomId};
+    use roomsense_net::BmsServer;
+
+    let scenario = Scenario::from_plan(presets::paper_house(), seed);
+    let config = PipelineConfig::paper_android();
+    let labelled = collect_dataset(&scenario, &config, SimDuration::from_secs(40), 3, seed);
+    let model = OccupancyModel::fit(&labelled, &SvmParams::default())
+        .expect("collection walk yields a multi-class dataset");
+    let outside = scenario.outside_label();
+    let server = BmsServer::new(Box::new(model));
+
+    // Three occupants with different itineraries.
+    let itineraries: [&[(RoomId, SimDuration)]; 3] = [
+        &[
+            (RoomId::new(0), SimDuration::from_secs(120)),
+            (RoomId::new(1), SimDuration::from_secs(120)),
+        ],
+        &[
+            (RoomId::new(4), SimDuration::from_secs(180)),
+            (RoomId::new(3), SimDuration::from_secs(60)),
+        ],
+        &[
+            (RoomId::new(2), SimDuration::from_secs(240)),
+        ],
+    ];
+    let walks: Vec<RoomSchedule> = itineraries
+        .iter()
+        .enumerate()
+        .map(|(i, visits)| {
+            let mut r = rng::for_indexed(seed, "tracking-walk", i as u64);
+            RoomSchedule::generate(scenario.plan(), visits, 1.2, SimTime::ZERO, &mut r)
+        })
+        .collect();
+    let occupants: Vec<&dyn MobilityModel> = walks.iter().map(|w| w as _).collect();
+    let duration = SimDuration::from_secs(240);
+
+    // Stream everything into the server over Wi-Fi.
+    let events = crate::run_fleet(&scenario, &config, &occupants, duration, seed);
+    let mut transport = WifiTransport::default();
+    let mut transport_rng = rng::for_component(seed, "tracking-uplink");
+    for event in events.iter().filter(|e| !e.record.snapshots.is_empty()) {
+        let report = report_from_snapshots(event.device, event.at, &event.record.snapshots);
+        if transport
+            .send(event.at, &report, &mut transport_rng)
+            .is_delivered()
+        {
+            server.post_observation(report);
+        }
+    }
+
+    // Score against truth.
+    let truth = trace::ground_truth(
+        scenario.plan(),
+        &occupants,
+        duration,
+        SimDuration::from_secs(2),
+    );
+    let mut device_hits = 0usize;
+    let mut device_total = 0usize;
+    let mut table_hits = 0usize;
+    for sample in truth.samples() {
+        let mut whole_sample_ok = true;
+        for (index, true_room) in sample.rooms.iter().enumerate() {
+            let device = DeviceId::new(index as u32);
+            let believed = server
+                .assignment_history(device)
+                .iter()
+                .take_while(|(t, _)| *t <= sample.at)
+                .last()
+                .map(|(_, room)| *room);
+            let truth_label = true_room.map_or(outside, |r| r.index() as usize);
+            device_total += 1;
+            // Before the first report the server knows nothing; count it
+            // as a miss unless the device is truly outside.
+            let hit = believed.map_or(truth_label == outside, |b| b == truth_label);
+            if hit {
+                device_hits += 1;
+            } else {
+                whole_sample_ok = false;
+            }
+        }
+        if whole_sample_ok {
+            table_hits += 1;
+        }
+    }
+    TrackingResult {
+        device_agreement: device_hits as f64 / device_total.max(1) as f64,
+        table_agreement: table_hits as f64 / truth.samples().len().max(1) as f64,
+        samples: truth.samples().len(),
+    }
+}
+
+/// Builds an observation report from a cycle's snapshots — the message the
+/// phone would POST to the BMS.
+pub fn report_from_snapshots(
+    device: DeviceId,
+    at: SimTime,
+    snapshots: &[roomsense_signal::TrackSnapshot],
+) -> ObservationReport {
+    ObservationReport {
+        device,
+        at,
+        beacons: snapshots
+            .iter()
+            .map(|s| SightedBeacon {
+                identity: s.identity,
+                distance_m: s.distance_m,
+            })
+            .collect(),
+    }
+}
+
+/// Convenience: feature vector of a cycle under a scenario's layout.
+pub fn cycle_features(scenario: &Scenario, record: &crate::CycleRecord) -> Vec<f64> {
+    features_from_snapshots(&record.snapshots, &scenario.beacon_order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_scan_period_reduces_raw_variance() {
+        // The Fig 4 vs Fig 6 contrast.
+        let two = static_capture(
+            &PipelineConfig::paper_android(),
+            2.0,
+            SimDuration::from_secs(240),
+            7,
+        );
+        let five = static_capture(
+            &PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(5)),
+            2.0,
+            SimDuration::from_secs(240),
+            7,
+        );
+        assert!(
+            five.raw_std() < two.raw_std(),
+            "5s std {} should be below 2s std {}",
+            five.raw_std(),
+            two.raw_std()
+        );
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        // The Fig 4 vs Fig 5 contrast.
+        let capture = static_capture(
+            &PipelineConfig::paper_android(),
+            2.0,
+            SimDuration::from_secs(240),
+            8,
+        );
+        assert!(
+            capture.smoothed_std() < capture.raw_std(),
+            "smoothed {} raw {}",
+            capture.smoothed_std(),
+            capture.raw_std()
+        );
+    }
+
+    #[test]
+    fn dynamic_walk_crosses_over() {
+        let result = dynamic_walk(0.65, 1.2, 9);
+        let crossover = result.crossover_cycle.expect("must switch beacons");
+        // The walk takes ~9 s = ~5 cycles to midpoint; crossover should be
+        // in a plausible band, not instant and not at the very end.
+        assert!(
+            (1..result.series.len() - 1).contains(&crossover),
+            "crossover {crossover} of {}",
+            result.series.len()
+        );
+    }
+
+    #[test]
+    fn higher_coefficient_is_stabler_but_slower() {
+        let sweep = coefficient_sweep(&[0.1, 0.9], 3, 10);
+        let low = &sweep[0];
+        let high = &sweep[1];
+        assert!(
+            high.stability_std_m < low.stability_std_m,
+            "high coeff should be calmer: {} vs {}",
+            high.stability_std_m,
+            low.stability_std_m
+        );
+        if let (Some(lo), Some(hi)) = (low.crossover_cycle, high.crossover_cycle) {
+            assert!(hi >= lo, "high coeff should not switch faster: {hi} < {lo}");
+        }
+    }
+
+    #[test]
+    fn sampling_comparison_matches_section_v() {
+        let s = sampling_comparison(4);
+        assert_eq!(s.android_samples, 5);
+        assert!(
+            (250..=320).contains(&s.ios_samples),
+            "ios {}",
+            s.ios_samples
+        );
+        // The future-work stack closes the gap entirely.
+        assert_eq!(s.android_l_samples, s.ios_samples);
+    }
+
+    #[test]
+    fn energy_experiment_reproduces_headlines() {
+        let result = energy_experiment(SimDuration::from_secs(1800), 2, 5);
+        let saving = result.saving_fraction();
+        assert!(
+            (0.08..=0.22).contains(&saving),
+            "saving {saving} not near the paper's 15%"
+        );
+        assert!(
+            (8.0..=13.0).contains(&result.bt_lifetime_h),
+            "bt lifetime {} not near 10 h",
+            result.bt_lifetime_h
+        );
+        assert!(result.wifi_lifetime_h < result.bt_lifetime_h);
+        // Traces start full and fall.
+        assert_eq!(result.wifi_trace[0].percent, 100.0);
+        assert!(result.wifi_trace.last().expect("non-empty").percent < 100.0);
+    }
+
+    #[test]
+    fn zero_duration_capture_is_empty() {
+        let capture = static_capture(
+            &PipelineConfig::paper_android(),
+            2.0,
+            SimDuration::ZERO,
+            1,
+        );
+        assert!(capture.raw.is_empty());
+        assert!(capture.smoothed.is_empty());
+        assert_eq!(capture.raw_std(), 0.0);
+        assert_eq!(capture.raw_rmse(), 0.0);
+    }
+
+    #[test]
+    fn empty_coefficient_sweep_is_empty() {
+        assert!(coefficient_sweep(&[], 3, 1).is_empty());
+    }
+
+    #[test]
+    fn slow_walk_crosses_later_than_fast_walk() {
+        let slow = dynamic_walk(0.65, 0.6, 11);
+        let fast = dynamic_walk(0.65, 1.5, 11);
+        // The slow walk takes more cycles to reach the midpoint.
+        let slow_cross = slow.crossover_cycle.expect("slow walk switches");
+        let fast_cross = fast.crossover_cycle.expect("fast walk switches");
+        assert!(
+            slow_cross > fast_cross,
+            "slow {slow_cross} vs fast {fast_cross}"
+        );
+    }
+
+    #[test]
+    fn two_storey_building_identifies_the_floor() {
+        let result = multifloor_experiment(17);
+        assert_eq!(result.floors, 2);
+        assert_eq!(result.beacons, 10);
+        assert!(
+            result.floor_accuracy > 0.95,
+            "floor accuracy {:.3}",
+            result.floor_accuracy
+        );
+        assert!(
+            result.room_accuracy > 0.75,
+            "room accuracy {:.3}",
+            result.room_accuracy
+        );
+        assert!(result.room_accuracy <= result.floor_accuracy);
+    }
+
+    #[test]
+    fn office_floor_scales_with_svm_still_ahead() {
+        let result = scaling_experiment(16);
+        assert_eq!(result.rooms, 9);
+        assert_eq!(result.beacons, 10);
+        assert!(result.office_svm > 0.80, "office svm {:.3}", result.office_svm);
+        assert!(
+            result.office_svm > result.office_proximity,
+            "svm {:.3} vs proximity {:.3}",
+            result.office_svm,
+            result.office_proximity
+        );
+    }
+
+    #[test]
+    fn tracking_experiment_agrees_with_truth_most_of_the_time() {
+        let result = tracking_experiment(15);
+        assert!(result.samples >= 100);
+        assert!(
+            result.device_agreement > 0.75,
+            "device agreement {:.3}",
+            result.device_agreement
+        );
+        assert!(result.table_agreement > 0.4, "table agreement {:.3}", result.table_agreement);
+        assert!(result.table_agreement <= result.device_agreement);
+    }
+
+    #[test]
+    fn calibration_procedure_converges_to_one_metre() {
+        let outcome = run_tx_power_calibration(12);
+        assert!(outcome.sample_count >= 10);
+        // The transmitter is a -59 dBm@1m class device; the calibrated
+        // field lands near it.
+        let dbm = outcome.measured_power.dbm();
+        assert!((-66..=-53).contains(&dbm), "calibrated {dbm}");
+        assert!(
+            (0.7..=1.4).contains(&outcome.verified_distance_m),
+            "verified {:.2} m",
+            outcome.verified_distance_m
+        );
+    }
+
+    #[test]
+    fn device_comparison_shows_the_gap() {
+        let rows = device_comparison(
+            &[
+                DeviceRxProfile::galaxy_s3_mini(),
+                DeviceRxProfile::nexus_5(),
+            ],
+            2.0,
+            SimDuration::from_secs(120),
+            6,
+        );
+        assert_eq!(rows.len(), 2);
+        // The Nexus 5 reads hotter, so its distance estimate is shorter.
+        assert!(
+            rows[1].mean_rssi_dbm > rows[0].mean_rssi_dbm + 3.0,
+            "nexus {} s3 {}",
+            rows[1].mean_rssi_dbm,
+            rows[0].mean_rssi_dbm
+        );
+        assert!(rows[1].mean_distance_m < rows[0].mean_distance_m);
+    }
+}

@@ -1,0 +1,240 @@
+//! The end-to-end phone pipeline: radio → scanner → aggregation → tracks.
+
+use crate::{PipelineConfig, Scenario, ScannerKind};
+use roomsense_building::mobility::MobilityModel;
+use roomsense_building::RoomId;
+use roomsense_geom::Point;
+use roomsense_signal::{
+    aggregate_cycle, EwmaFilter, Observation, TrackManager, TrackSnapshot,
+};
+use roomsense_sim::{rng, SimDuration, SimTime};
+use roomsense_stack::{run_scan, simulate_receptions, AndroidLScanner, AndroidScanner, IosScanner};
+use std::fmt;
+
+/// The output of one scan cycle with ground truth attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRecord {
+    /// Cycle end time (when the app processes the batch).
+    pub at: SimTime,
+    /// Raw per-beacon observations this cycle (before smoothing).
+    pub observations: Vec<Observation>,
+    /// Smoothed per-beacon tracks after this cycle.
+    pub snapshots: Vec<TrackSnapshot>,
+    /// Where the occupant actually was at cycle end.
+    pub true_position: Point,
+    /// Which room that is (`None` = outside every room).
+    pub true_room: Option<RoomId>,
+}
+
+impl fmt::Display for CycleRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} raw, {} tracked, truth {:?}",
+            self.at,
+            self.observations.len(),
+            self.snapshots.len(),
+            self.true_room
+        )
+    }
+}
+
+/// Runs one phone through a scenario for `duration`, following `mobility`.
+///
+/// `seed` names the stochastic streams (advertising jitter, fading, scanner
+/// stalls) so runs are exactly reproducible; different seeds give
+/// independent trials.
+///
+/// This is the paper's Fig 2 client path end to end: the returned records
+/// carry both the raw Android observations (Fig 4/6 material) and the
+/// EWMA-smoothed tracks (Fig 5/7/8 material), with ground truth for
+/// classification experiments (Fig 9).
+pub fn run_pipeline<M: MobilityModel + ?Sized>(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &M,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<CycleRecord> {
+    let from = SimTime::ZERO;
+    let until = from + duration;
+    let mut radio_rng = rng::for_indexed(seed, "pipeline-radio", scenario.seed());
+    let receptions = simulate_receptions(
+        scenario.channel(),
+        scenario.advertisers(),
+        &config.device,
+        |t| mobility.position_at(t),
+        from,
+        until,
+        &mut radio_rng,
+    );
+    let mut scan_rng = rng::for_indexed(seed, "pipeline-scan", scenario.seed());
+    let cycles = match config.scanner {
+        ScannerKind::Android { stall_probability } => run_scan(
+            &receptions,
+            &AndroidScanner::new(stall_probability),
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+        ScannerKind::AndroidL => run_scan(
+            &receptions,
+            &AndroidLScanner::low_latency(),
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+        ScannerKind::Ios => run_scan(
+            &receptions,
+            &IosScanner,
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+    };
+    let ranging = scenario.ranging_config();
+    let mut tracks = TrackManager::new(EwmaFilter::new(
+        config.filter_coefficient,
+        config.loss_policy,
+    ));
+    let mut records = Vec::with_capacity(cycles.len());
+    for cycle in &cycles {
+        let observations = aggregate_cycle(cycle, config.aggregation, &ranging);
+        let snapshots = tracks.update_cycle(cycle.end, &observations);
+        let true_position = mobility.position_at(cycle.end);
+        records.push(CycleRecord {
+            at: cycle.end,
+            observations,
+            snapshots,
+            true_position,
+            true_room: scenario.plan().room_at(true_position),
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_building::mobility::{StaticPosition, WaypointWalk};
+    use roomsense_building::presets;
+    use roomsense_geom::Polyline;
+    use roomsense_ibeacon::Minor;
+
+    fn corridor_scenario() -> Scenario {
+        Scenario::from_plan(presets::two_transmitter_corridor(), 42)
+    }
+
+    #[test]
+    fn cycle_count_matches_duration() {
+        let records = run_pipeline(
+            &corridor_scenario(),
+            &PipelineConfig::paper_android(),
+            &StaticPosition::new(Point::new(2.5, 1.0)),
+            SimDuration::from_secs(20),
+            1,
+        );
+        assert_eq!(records.len(), 10);
+    }
+
+    #[test]
+    fn static_near_west_beacon_tracks_it_closer() {
+        let scenario = corridor_scenario();
+        let records = run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &StaticPosition::new(Point::new(1.5, 1.0)), // 1 m from west beacon
+            SimDuration::from_secs(120),
+            2,
+        );
+        let west = Minor::new(0);
+        let east = Minor::new(1);
+        let mut west_ds = Vec::new();
+        let mut east_ds = Vec::new();
+        for r in &records {
+            for s in &r.snapshots {
+                if s.identity.minor == west {
+                    west_ds.push(s.distance_m);
+                } else if s.identity.minor == east {
+                    east_ds.push(s.distance_m);
+                }
+            }
+        }
+        assert!(!west_ds.is_empty(), "west beacon must be tracked");
+        let west_mean: f64 = west_ds.iter().sum::<f64>() / west_ds.len() as f64;
+        if !east_ds.is_empty() {
+            let east_mean: f64 = east_ds.iter().sum::<f64>() / east_ds.len() as f64;
+            assert!(west_mean < east_mean, "west {west_mean} east {east_mean}");
+        }
+        assert!(west_mean < 4.0, "west mean {west_mean} too far");
+    }
+
+    #[test]
+    fn ground_truth_follows_the_walk() {
+        let scenario = corridor_scenario();
+        let path = Polyline::new(vec![Point::new(1.0, 1.0), Point::new(11.0, 1.0)])
+            .expect("valid path");
+        let walk = WaypointWalk::new(path, 1.0, SimTime::ZERO);
+        let records = run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &walk,
+            SimDuration::from_secs(10),
+            3,
+        );
+        assert_eq!(records[0].true_room, Some(RoomId::new(0))); // west end
+        assert_eq!(
+            records.last().expect("non-empty").true_room,
+            Some(RoomId::new(1))
+        ); // east end
+    }
+
+    #[test]
+    fn same_seed_same_records() {
+        let scenario = corridor_scenario();
+        let run = || {
+            run_pipeline(
+                &scenario,
+                &PipelineConfig::paper_android(),
+                &StaticPosition::new(Point::new(2.0, 1.0)),
+                SimDuration::from_secs(30),
+                9,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = corridor_scenario();
+        let run = |seed| {
+            run_pipeline(
+                &scenario,
+                &PipelineConfig::paper_android(),
+                &StaticPosition::new(Point::new(2.0, 1.0)),
+                SimDuration::from_secs(30),
+                seed,
+            )
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn ios_sees_more_samples_per_cycle_than_android() {
+        let scenario = corridor_scenario();
+        let position = StaticPosition::new(Point::new(1.5, 1.0));
+        let total_samples = |cfg: &PipelineConfig| -> usize {
+            run_pipeline(&scenario, cfg, &position, SimDuration::from_secs(30), 5)
+                .iter()
+                .flat_map(|r| r.observations.iter())
+                .map(|o| o.sample_count)
+                .sum()
+        };
+        let android = total_samples(&PipelineConfig::paper_android());
+        let ios = total_samples(&PipelineConfig::paper_ios());
+        assert!(ios > android * 5, "ios {ios} android {android}");
+    }
+}

@@ -1,0 +1,339 @@
+//! The energy ledger: pricing a usage timeline into per-component energy.
+
+use crate::{PowerProfile, UplinkArchitecture};
+use roomsense_net::{TransportEvent, TransportKind};
+use roomsense_sim::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The power-consuming components we account separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentKind {
+    /// Device floor (always on).
+    Baseline,
+    /// The app's background service CPU.
+    CpuService,
+    /// The BLE scanner.
+    BleScan,
+    /// Wi-Fi adapter associated/idle.
+    WifiIdle,
+    /// Wi-Fi transmitting.
+    WifiActive,
+    /// Wi-Fi post-transfer tail.
+    WifiTail,
+    /// Bluetooth relay connections.
+    BtConnection,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Baseline => "baseline",
+            ComponentKind::CpuService => "cpu-service",
+            ComponentKind::BleScan => "ble-scan",
+            ComponentKind::WifiIdle => "wifi-idle",
+            ComponentKind::WifiActive => "wifi-active",
+            ComponentKind::WifiTail => "wifi-tail",
+            ComponentKind::BtConnection => "bt-connection",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the device did over a run — the input to [`account`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UsageTimeline {
+    /// Total wall-clock duration of the run.
+    pub duration: SimDuration,
+    /// Total time the BLE scanner was actively scanning (≤ `duration`).
+    pub scan_active: SimDuration,
+    /// Every uplink radio burst.
+    pub transport_events: Vec<TransportEvent>,
+}
+
+impl UsageTimeline {
+    /// A timeline whose scanner runs at a duty cycle: `window` of scanning
+    /// out of every `period` (Android L's opportunistic/balanced scan
+    /// modes). `window > period` saturates at continuous scanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_scan_duty(
+        duration: SimDuration,
+        window: SimDuration,
+        period: SimDuration,
+        transport_events: Vec<roomsense_net::TransportEvent>,
+    ) -> Self {
+        assert!(!period.is_zero(), "scan duty period must be non-zero");
+        let duty = (window.as_millis() as f64 / period.as_millis() as f64).min(1.0);
+        UsageTimeline {
+            duration,
+            scan_active: SimDuration::from_secs_f64(duration.as_secs_f64() * duty),
+            transport_events,
+        }
+    }
+}
+
+/// Energy totals per component, in millijoules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyLedger {
+    totals_mj: BTreeMap<ComponentKind, f64>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Adds `power_mw` drawn for `duration` to a component.
+    pub fn charge(&mut self, component: ComponentKind, power_mw: f64, duration: SimDuration) {
+        *self.totals_mj.entry(component).or_insert(0.0) +=
+            power_mw * duration.as_secs_f64();
+    }
+
+    /// Energy charged to one component, in millijoules.
+    pub fn energy_mj(&self, component: ComponentKind) -> f64 {
+        self.totals_mj.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across components, in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.totals_mj.values().sum()
+    }
+
+    /// Total energy in milliwatt-hours (the unit batteries are rated in).
+    pub fn total_mwh(&self) -> f64 {
+        self.total_mj() / 3600.0
+    }
+
+    /// Average power over `duration`, in milliwatts.
+    pub fn mean_power_mw(&self, duration: SimDuration) -> f64 {
+        if duration.is_zero() {
+            return 0.0;
+        }
+        self.total_mj() / duration.as_secs_f64()
+    }
+
+    /// Per-component breakdown, largest first.
+    pub fn breakdown(&self) -> Vec<(ComponentKind, f64)> {
+        let mut items: Vec<(ComponentKind, f64)> =
+            self.totals_mj.iter().map(|(k, v)| (*k, *v)).collect();
+        items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite energies"));
+        items
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "energy ledger ({:.1} mWh total):", self.total_mwh())?;
+        for (component, mj) in self.breakdown() {
+            writeln!(f, "  {component:<14} {:.1} mWh", mj / 3600.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prices a usage timeline under one uplink architecture.
+///
+/// Continuous components (baseline, CPU, scan, Wi-Fi idle) are charged for
+/// their dwell; each transport event is charged for its active burst, and
+/// Wi-Fi events additionally for the post-transfer tail. The Wi-Fi idle
+/// charge applies only to the Wi-Fi architecture — the Bluetooth
+/// architecture keeps the adapter off, which is exactly where the paper's
+/// 15 % saving comes from.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_energy::{account, PowerProfile, UplinkArchitecture, UsageTimeline};
+/// use roomsense_sim::SimDuration;
+///
+/// let idle_hour = UsageTimeline {
+///     duration: SimDuration::from_secs(3600),
+///     scan_active: SimDuration::from_secs(3600),
+///     transport_events: vec![],
+/// };
+/// let ledger = account(&PowerProfile::galaxy_s3_mini(), &idle_hour,
+///                      UplinkArchitecture::BluetoothRelay);
+/// // baseline + cpu + scan = 480 mW for one hour = 480 mWh
+/// assert!((ledger.total_mwh() - 480.0).abs() < 1.0);
+/// ```
+pub fn account(
+    profile: &PowerProfile,
+    timeline: &UsageTimeline,
+    architecture: UplinkArchitecture,
+) -> EnergyLedger {
+    let mut ledger = EnergyLedger::new();
+    ledger.charge(ComponentKind::Baseline, profile.baseline_mw, timeline.duration);
+    ledger.charge(
+        ComponentKind::CpuService,
+        profile.cpu_service_mw,
+        timeline.duration,
+    );
+    ledger.charge(ComponentKind::BleScan, profile.ble_scan_mw, timeline.scan_active);
+    if architecture == UplinkArchitecture::Wifi {
+        ledger.charge(ComponentKind::WifiIdle, profile.wifi_idle_mw, timeline.duration);
+    }
+    for event in &timeline.transport_events {
+        match event.kind {
+            TransportKind::Wifi => {
+                ledger.charge(ComponentKind::WifiActive, profile.wifi_active_mw, event.active);
+                ledger.charge(
+                    ComponentKind::WifiTail,
+                    profile.wifi_tail_mw,
+                    profile.wifi_tail_duration,
+                );
+            }
+            TransportKind::BluetoothRelay => {
+                ledger.charge(
+                    ComponentKind::BtConnection,
+                    profile.bt_connection_mw,
+                    event.active,
+                );
+            }
+        }
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_sim::SimTime;
+
+    fn event(kind: TransportKind, at_secs: u64, active_ms: u64) -> TransportEvent {
+        TransportEvent {
+            kind,
+            start: SimTime::from_secs(at_secs),
+            active: SimDuration::from_millis(active_ms),
+            delivered: true,
+        }
+    }
+
+    fn hour_timeline(events: Vec<TransportEvent>) -> UsageTimeline {
+        UsageTimeline {
+            duration: SimDuration::from_secs(3600),
+            scan_active: SimDuration::from_secs(3600),
+            transport_events: events,
+        }
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(ComponentKind::BleScan, 100.0, SimDuration::from_secs(10));
+        ledger.charge(ComponentKind::BleScan, 100.0, SimDuration::from_secs(5));
+        assert!((ledger.energy_mj(ComponentKind::BleScan) - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_architecture_pays_idle_and_tail() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let events = vec![event(TransportKind::Wifi, 10, 80)];
+        let ledger = account(&profile, &hour_timeline(events), UplinkArchitecture::Wifi);
+        assert!(ledger.energy_mj(ComponentKind::WifiIdle) > 0.0);
+        assert!(ledger.energy_mj(ComponentKind::WifiActive) > 0.0);
+        assert!(ledger.energy_mj(ComponentKind::WifiTail) > 0.0);
+        assert_eq!(ledger.energy_mj(ComponentKind::BtConnection), 0.0);
+    }
+
+    #[test]
+    fn bt_architecture_never_touches_wifi() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let events = vec![event(TransportKind::BluetoothRelay, 10, 400)];
+        let ledger = account(
+            &profile,
+            &hour_timeline(events),
+            UplinkArchitecture::BluetoothRelay,
+        );
+        assert_eq!(ledger.energy_mj(ComponentKind::WifiIdle), 0.0);
+        assert_eq!(ledger.energy_mj(ComponentKind::WifiActive), 0.0);
+        assert!(ledger.energy_mj(ComponentKind::BtConnection) > 0.0);
+    }
+
+    #[test]
+    fn paper_fifteen_percent_saving_shape() {
+        // One report per 2 s scan cycle for an hour, both architectures.
+        let profile = PowerProfile::galaxy_s3_mini();
+        let wifi_events: Vec<TransportEvent> = (0..1800)
+            .map(|i| event(TransportKind::Wifi, i * 2, 65))
+            .collect();
+        let bt_events: Vec<TransportEvent> = (0..1800)
+            .map(|i| event(TransportKind::BluetoothRelay, i * 2, 500))
+            .collect();
+        let wifi = account(&profile, &hour_timeline(wifi_events), UplinkArchitecture::Wifi);
+        let bt = account(
+            &profile,
+            &hour_timeline(bt_events),
+            UplinkArchitecture::BluetoothRelay,
+        );
+        let saving = 1.0 - bt.total_mj() / wifi.total_mj();
+        assert!(
+            (0.10..=0.20).contains(&saving),
+            "saving {saving} outside the paper's ~15% band"
+        );
+        // And the 10-hour headline: bt architecture mean power vs battery.
+        let mean_mw = bt.mean_power_mw(SimDuration::from_secs(3600));
+        let lifetime_h = profile.battery_capacity_mwh / mean_mw;
+        assert!(
+            (9.0..=12.5).contains(&lifetime_h),
+            "lifetime {lifetime_h} h not around 10 h"
+        );
+    }
+
+    #[test]
+    fn mean_power_of_zero_duration_is_zero() {
+        let ledger = EnergyLedger::new();
+        assert_eq!(ledger.mean_power_mw(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sorted_descending() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let ledger = account(
+            &profile,
+            &hour_timeline(vec![]),
+            UplinkArchitecture::BluetoothRelay,
+        );
+        let breakdown = ledger.breakdown();
+        for pair in breakdown.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn duty_cycle_constructor_scales_scan_time() {
+        let t = UsageTimeline::with_scan_duty(
+            SimDuration::from_secs(1000),
+            SimDuration::from_millis(512),
+            SimDuration::from_millis(5120),
+            vec![],
+        );
+        assert_eq!(t.scan_active, SimDuration::from_secs(100));
+        // Window longer than period saturates.
+        let full = UsageTimeline::with_scan_duty(
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(9),
+            SimDuration::from_secs(3),
+            vec![],
+        );
+        assert_eq!(full.scan_active, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn scan_duty_cycle_scales_scan_energy() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let full = hour_timeline(vec![]);
+        let half = UsageTimeline {
+            scan_active: SimDuration::from_secs(1800),
+            ..full.clone()
+        };
+        let l_full = account(&profile, &full, UplinkArchitecture::BluetoothRelay);
+        let l_half = account(&profile, &half, UplinkArchitecture::BluetoothRelay);
+        let scan_full = l_full.energy_mj(ComponentKind::BleScan);
+        let scan_half = l_half.energy_mj(ComponentKind::BleScan);
+        assert!((scan_half * 2.0 - scan_full).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,357 @@
+//! Simple polygons: room outlines of arbitrary shape.
+
+use crate::{Point, Rect, Segment, EPSILON};
+use std::fmt;
+
+/// A simple (non-self-intersecting) polygon given by its vertices in order.
+///
+/// Rooms in the building model are polygons; point-in-polygon answers "which
+/// room is this occupant in?".
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_geom::{Point, Polygon};
+///
+/// let l_shape = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(4.0, 2.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(2.0, 4.0),
+///     Point::new(0.0, 4.0),
+/// ]).expect("valid polygon");
+/// assert!(l_shape.contains(Point::new(1.0, 3.0)));
+/// assert!(!l_shape.contains(Point::new(3.0, 3.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+/// Error building a [`Polygon`] from a vertex list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices,
+    /// The vertex list traces a polygon with (numerically) zero area.
+    ZeroArea,
+}
+
+impl fmt::Display for BuildPolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPolygonError::TooFewVertices => {
+                write!(f, "polygon needs at least three vertices")
+            }
+            BuildPolygonError::ZeroArea => write!(f, "polygon has zero area"),
+        }
+    }
+}
+
+impl std::error::Error for BuildPolygonError {}
+
+impl Polygon {
+    /// Builds a polygon from vertices in either winding order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPolygonError::TooFewVertices`] for fewer than three
+    /// vertices and [`BuildPolygonError::ZeroArea`] for degenerate outlines.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, BuildPolygonError> {
+        if vertices.len() < 3 {
+            return Err(BuildPolygonError::TooFewVertices);
+        }
+        let poly = Polygon { vertices };
+        if poly.area() <= EPSILON * EPSILON {
+            return Err(BuildPolygonError::ZeroArea);
+        }
+        Ok(poly)
+    }
+
+    /// Builds the rectangle with opposite corners `a` and `b` as a polygon.
+    pub fn rectangle(a: Point, b: Point) -> Self {
+        let r = Rect::new(a, b);
+        Polygon {
+            vertices: vec![
+                r.min(),
+                Point::new(r.max().x, r.min().y),
+                r.max(),
+                Point::new(r.min().x, r.max().y),
+            ],
+        }
+    }
+
+    /// The vertices in order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The edges, each connecting consecutive vertices (closing edge last).
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Unsigned area in square metres (shoelace formula).
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc / 2.0
+    }
+
+    /// The centroid (area-weighted centre) of the polygon.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let a = self.signed_area();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Whether the point lies inside the polygon or on its boundary.
+    ///
+    /// Uses the even-odd (ray casting) rule with a boundary pre-check so edge
+    /// and vertex points are reported as contained.
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary counts as inside.
+        if self.edges().any(|e| e.distance_to_point(p) <= EPSILON) {
+            return true;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// The axis-aligned bounding box.
+    pub fn bounding_box(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices[1..] {
+            min = Point::new(min.x.min(v.x), min.y.min(v.y));
+            max = Point::new(max.x.max(v.x), max.y.max(v.y));
+        }
+        Rect::new(min, max)
+    }
+
+    /// Number of polygon edges the segment crosses.
+    ///
+    /// The radio model uses this to count walls between two antennas.
+    pub fn crossings(&self, path: &Segment) -> usize {
+        self.edges().filter(|e| e.intersects(path)).count()
+    }
+
+    /// Perimeter length in metres.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Point::ORIGIN, Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn too_few_vertices_rejected() {
+        assert_eq!(
+            Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]),
+            Err(BuildPolygonError::TooFewVertices)
+        );
+    }
+
+    #[test]
+    fn zero_area_rejected() {
+        let collinear = vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        assert_eq!(Polygon::new(collinear), Err(BuildPolygonError::ZeroArea));
+    }
+
+    #[test]
+    fn square_area_and_centroid() {
+        let p = unit_square();
+        assert!((p.area() - 1.0).abs() < 1e-12);
+        let c = p.centroid();
+        assert!(c.distance_to(Point::new(0.5, 0.5)) < 1e-12);
+    }
+
+    #[test]
+    fn centroid_independent_of_winding() {
+        let ccw = unit_square();
+        let mut verts: Vec<Point> = ccw.vertices().to_vec();
+        verts.reverse();
+        let cw = Polygon::new(verts).expect("valid");
+        assert!(ccw.centroid().distance_to(cw.centroid()) < 1e-12);
+        assert!((ccw.area() - cw.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_interior_exterior_boundary() {
+        let p = unit_square();
+        assert!(p.contains(Point::new(0.5, 0.5)));
+        assert!(!p.contains(Point::new(1.5, 0.5)));
+        assert!(p.contains(Point::new(0.0, 0.5))); // edge
+        assert!(p.contains(Point::new(1.0, 1.0))); // vertex
+    }
+
+    #[test]
+    fn l_shape_concavity() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .expect("valid");
+        assert!(l.contains(Point::new(3.0, 1.0)));
+        assert!(!l.contains(Point::new(3.0, 3.0))); // in the notch
+        assert!((l.area() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossings_counts_walls() {
+        let p = unit_square();
+        // Path through the square: crosses two edges.
+        let through = Segment::new(Point::new(-1.0, 0.5), Point::new(2.0, 0.5));
+        assert_eq!(p.crossings(&through), 2);
+        // Path entirely inside: no crossings.
+        let inside = Segment::new(Point::new(0.2, 0.5), Point::new(0.8, 0.5));
+        assert_eq!(p.crossings(&inside), 0);
+        // Path from inside out: one crossing.
+        let out = Segment::new(Point::new(0.5, 0.5), Point::new(2.0, 0.5));
+        assert_eq!(p.crossings(&out), 1);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_vertices() {
+        let l = Polygon::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(2.0, -1.0),
+            Point::new(3.0, 4.0),
+        ])
+        .expect("valid");
+        let bb = l.bounding_box();
+        for v in l.vertices() {
+            assert!(bb.contains(*v));
+        }
+    }
+
+    #[test]
+    fn perimeter_of_square() {
+        assert!((unit_square().perimeter() - 4.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strategy: a random non-degenerate axis-aligned rectangle.
+        fn rect_polygon() -> impl Strategy<Value = Polygon> {
+            (
+                -50.0f64..50.0,
+                -50.0f64..50.0,
+                0.5f64..30.0,
+                0.5f64..30.0,
+            )
+                .prop_map(|(x, y, w, h)| {
+                    Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h))
+                })
+        }
+
+        proptest! {
+            /// The centroid of any rectangle lies inside it.
+            #[test]
+            fn centroid_is_contained(poly in rect_polygon()) {
+                prop_assert!(poly.contains(poly.centroid()));
+            }
+
+            /// Area equals width x height for rectangles, and the bounding
+            /// box is the rectangle itself.
+            #[test]
+            fn rectangle_area_and_bbox(
+                x in -50.0f64..50.0, y in -50.0f64..50.0,
+                w in 0.5f64..30.0, h in 0.5f64..30.0,
+            ) {
+                let poly = Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h));
+                prop_assert!((poly.area() - w * h).abs() < 1e-6);
+                let bb = poly.bounding_box();
+                prop_assert!((bb.area() - w * h).abs() < 1e-6);
+            }
+
+            /// Points outside the bounding box are never contained.
+            #[test]
+            fn outside_bbox_means_outside(
+                poly in rect_polygon(),
+                px in -200.0f64..200.0, py in -200.0f64..200.0,
+            ) {
+                let p = Point::new(px, py);
+                if !poly.bounding_box().contains(p) {
+                    prop_assert!(!poly.contains(p));
+                }
+            }
+
+            /// A segment fully inside a convex room crosses no walls; a
+            /// segment from deep inside to far outside crosses at least one.
+            #[test]
+            fn crossing_parity(poly in rect_polygon()) {
+                let c = poly.centroid();
+                let inside = Segment::new(
+                    Point::new(c.x - 0.1, c.y),
+                    Point::new(c.x + 0.1, c.y),
+                );
+                prop_assert_eq!(poly.crossings(&inside), 0);
+                let out = Segment::new(c, Point::new(c.x + 1000.0, c.y + 777.0));
+                prop_assert!(poly.crossings(&out) >= 1);
+            }
+        }
+    }
+}

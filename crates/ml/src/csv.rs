@@ -1,0 +1,269 @@
+//! CSV import/export for datasets.
+//!
+//! The paper's server "stores them in the database"; a real deployment also
+//! wants to export collected fingerprints for offline analysis and re-import
+//! them after a retrain. The format is plain CSV: a header naming the
+//! feature columns plus a final `label` column holding the class *name*.
+
+use crate::{BuildDatasetError, Dataset};
+use std::fmt;
+
+/// Error parsing a dataset from CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseCsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// The header lacked the trailing `label` column.
+    MissingLabelColumn,
+    /// A data row had the wrong number of fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected (features + label).
+        expected: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A feature failed to parse as a float.
+    BadFeature {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A row used a label name not present in the header metadata.
+    UnknownLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending label name.
+        name: String,
+    },
+    /// The resulting rows violated dataset invariants.
+    Dataset(BuildDatasetError),
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCsvError::MissingHeader => write!(f, "csv has no header line"),
+            ParseCsvError::MissingLabelColumn => {
+                write!(f, "csv header must end with a 'label' column")
+            }
+            ParseCsvError::WrongFieldCount {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
+            ParseCsvError::BadFeature { line, text } => {
+                write!(f, "line {line}: {text:?} is not a number")
+            }
+            ParseCsvError::UnknownLabel { line, name } => {
+                write!(f, "line {line}: unknown label {name:?}")
+            }
+            ParseCsvError::Dataset(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+impl From<BuildDatasetError> for ParseCsvError {
+    fn from(e: BuildDatasetError) -> Self {
+        ParseCsvError::Dataset(e)
+    }
+}
+
+impl Dataset {
+    /// Serialises the dataset to CSV: `f0,f1,…,label` with class names in
+    /// the label column. Classes with no rows still round-trip via the
+    /// header comment line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use roomsense_ml::Dataset;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut d = Dataset::new(2, vec!["kitchen".into(), "study".into()])?;
+    /// d.push(vec![1.0, 6.0], 0)?;
+    /// let csv = d.to_csv();
+    /// let back = Dataset::from_csv(&csv)?;
+    /// assert_eq!(back, d);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        // Class roster comment so empty classes survive the round trip.
+        out.push_str("# classes: ");
+        out.push_str(&self.label_names().join(","));
+        out.push('\n');
+        for i in 0..self.dimension() {
+            out.push_str(&format!("f{i},"));
+        }
+        out.push_str("label\n");
+        for (row, label) in self.rows().iter().zip(self.labels()) {
+            for v in row {
+                // RFC-style shortest float that round-trips.
+                out.push_str(&format!("{v},"));
+            }
+            out.push_str(&self.label_names()[*label]);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a dataset from the CSV produced by [`to_csv`](Self::to_csv).
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseCsvError`].
+    pub fn from_csv(text: &str) -> Result<Self, ParseCsvError> {
+        let mut lines = text.lines().enumerate().peekable();
+        // Optional class roster comment.
+        let mut roster: Option<Vec<String>> = None;
+        if let Some((_, line)) = lines.peek() {
+            if let Some(rest) = line.strip_prefix("# classes: ") {
+                roster = Some(rest.split(',').map(str::to_string).collect());
+                lines.next();
+            }
+        }
+        let (_, header) = lines.next().ok_or(ParseCsvError::MissingHeader)?;
+        let columns: Vec<&str> = header.split(',').collect();
+        if columns.last() != Some(&"label") {
+            return Err(ParseCsvError::MissingLabelColumn);
+        }
+        let dimension = columns.len() - 1;
+
+        // First pass: gather rows and label names in first-seen order (or
+        // use the roster when present).
+        let mut label_names: Vec<String> = roster.unwrap_or_default();
+        let roster_fixed = !label_names.is_empty();
+        let mut parsed: Vec<(Vec<f64>, String, usize)> = Vec::new();
+        for (idx, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != dimension + 1 {
+                return Err(ParseCsvError::WrongFieldCount {
+                    line: idx + 1,
+                    expected: dimension + 1,
+                    found: fields.len(),
+                });
+            }
+            let mut row = Vec::with_capacity(dimension);
+            for text in &fields[..dimension] {
+                row.push(text.parse::<f64>().map_err(|_| ParseCsvError::BadFeature {
+                    line: idx + 1,
+                    text: (*text).to_string(),
+                })?);
+            }
+            let name = fields[dimension].to_string();
+            if !label_names.contains(&name) {
+                if roster_fixed {
+                    return Err(ParseCsvError::UnknownLabel {
+                        line: idx + 1,
+                        name,
+                    });
+                }
+                label_names.push(name.clone());
+            }
+            parsed.push((row, name, idx + 1));
+        }
+        if label_names.is_empty() {
+            label_names.push("unlabelled".to_string());
+        }
+        let mut dataset = Dataset::new(dimension, label_names)?;
+        for (row, name, _line) in parsed {
+            let label = dataset
+                .label_names()
+                .iter()
+                .position(|n| *n == name)
+                .expect("name registered above");
+            dataset.push(row, label)?;
+        }
+        Ok(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2, vec!["a".into(), "b".into(), "ghost".into()]).expect("valid");
+        d.push(vec![1.5, -2.25], 0).expect("row");
+        d.push(vec![0.001, 1e6], 1).expect("row");
+        d.push(vec![3.0, 4.0], 0).expect("row");
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = toy();
+        let back = Dataset::from_csv(&d.to_csv()).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn empty_class_survives_via_roster() {
+        let d = toy();
+        let back = Dataset::from_csv(&d.to_csv()).expect("parses");
+        assert_eq!(back.label_names(), d.label_names());
+        assert_eq!(back.class_histogram(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn rosterless_csv_learns_labels_in_order() {
+        let csv = "f0,label\n1.0,red\n2.0,blue\n3.0,red\n";
+        let d = Dataset::from_csv(csv).expect("parses");
+        assert_eq!(d.label_names(), &["red".to_string(), "blue".to_string()]);
+        assert_eq!(d.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn missing_label_column_rejected() {
+        assert_eq!(
+            Dataset::from_csv("f0,f1\n1.0,2.0\n"),
+            Err(ParseCsvError::MissingLabelColumn)
+        );
+    }
+
+    #[test]
+    fn bad_feature_reports_line() {
+        let err = Dataset::from_csv("f0,label\nxyz,red\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseCsvError::BadFeature {
+                line: 2,
+                text: "xyz".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_field_count_reports_line() {
+        let err = Dataset::from_csv("f0,f1,label\n1.0,red\n").unwrap_err();
+        assert!(matches!(err, ParseCsvError::WrongFieldCount { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_label_with_roster_rejected() {
+        let csv = "# classes: a,b\nf0,label\n1.0,c\n";
+        let err = Dataset::from_csv(csv).unwrap_err();
+        assert!(matches!(err, ParseCsvError::UnknownLabel { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(Dataset::from_csv(""), Err(ParseCsvError::MissingHeader));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let csv = "f0,label\n1.0,red\n\n2.0,red\n";
+        let d = Dataset::from_csv(csv).expect("parses");
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,469 @@
+//! Support vector machines trained with Sequential Minimal Optimization.
+//!
+//! The paper's classifier: a soft-margin SVM with the RBF kernel
+//! (Section VI, "Our implementation used Support Vector Machines with the
+//! Radial Basis Function kernel"). Multi-class classification uses the
+//! standard one-vs-one decomposition with majority voting, the same scheme
+//! scikit-learn (the authors' toolkit) uses.
+
+use crate::{Classifier, Dataset, Kernel};
+use std::fmt;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmParams {
+    /// Soft-margin penalty `C > 0`.
+    pub c: f64,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// SMO stops after this many consecutive passes without an update.
+    pub max_passes: usize,
+    /// Hard cap on total SMO passes (guards pathological data).
+    pub max_iterations: usize,
+}
+
+impl Default for SvmParams {
+    /// `C = 10`, RBF(γ = 0.5) — solid defaults for standardised distance
+    /// features.
+    fn default() -> Self {
+        SvmParams {
+            c: 10.0,
+            kernel: Kernel::default(),
+            tolerance: 1e-3,
+            max_passes: 5,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Error training an SVM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainSvmError {
+    /// The training set was empty.
+    EmptyDataset,
+    /// Fewer than two classes actually appear in the training rows.
+    SingleClass,
+}
+
+impl fmt::Display for TrainSvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainSvmError::EmptyDataset => write!(f, "training set is empty"),
+            TrainSvmError::SingleClass => {
+                write!(f, "training set contains fewer than two classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainSvmError {}
+
+/// A trained binary SVM: `f(x) = Σᵢ αᵢ yᵢ K(xᵢ, x) + b`, class = sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySvm {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    /// `αᵢ · yᵢ` for each support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+}
+
+impl BinarySvm {
+    /// Trains on rows with labels `+1` / `-1` using simplified SMO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `targets` differ in length, or a target is not
+    /// ±1.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], params: &SvmParams) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        assert!(
+            targets.iter().all(|t| *t == 1.0 || *t == -1.0),
+            "targets must be +1 or -1"
+        );
+        let n = rows.len();
+        // Precompute the kernel matrix; pair problems are small (hundreds of
+        // rows) so O(n²) memory is the right trade.
+        let mut gram = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = params.kernel.compute(&rows[i], &rows[j]);
+                gram[i * n + j] = k;
+                gram[j * n + i] = k;
+            }
+        }
+        let k = |i: usize, j: usize| gram[i * n + j];
+
+        let mut alphas = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+            let mut acc = b;
+            for j in 0..n {
+                if alphas[j] != 0.0 {
+                    acc += alphas[j] * targets[j] * k(j, i);
+                }
+            }
+            acc
+        };
+
+        let mut passes = 0usize;
+        let mut iterations = 0usize;
+        // Deterministic second-index choice: a fixed stride derived from the
+        // problem size (no RNG keeps training reproducible bit-for-bit).
+        let stride = (n / 2).max(1) | 1;
+        while passes < params.max_passes && iterations < params.max_iterations {
+            let mut changed = 0usize;
+            for i in 0..n {
+                let e_i = f(&alphas, b, i) - targets[i];
+                let violates = (targets[i] * e_i < -params.tolerance && alphas[i] < params.c)
+                    || (targets[i] * e_i > params.tolerance && alphas[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Pick j != i deterministically.
+                let j = (i + stride + iterations) % n;
+                let j = if j == i { (j + 1) % n } else { j };
+                if j == i {
+                    continue; // n == 1: nothing to pair with
+                }
+                let e_j = f(&alphas, b, j) - targets[j];
+                let (alpha_i_old, alpha_j_old) = (alphas[i], alphas[j]);
+                let (lo, hi) = if targets[i] == targets[j] {
+                    (
+                        (alpha_i_old + alpha_j_old - params.c).max(0.0),
+                        (alpha_i_old + alpha_j_old).min(params.c),
+                    )
+                } else {
+                    (
+                        (alpha_j_old - alpha_i_old).max(0.0),
+                        (params.c + alpha_j_old - alpha_i_old).min(params.c),
+                    )
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut alpha_j = alpha_j_old - targets[j] * (e_i - e_j) / eta;
+                alpha_j = alpha_j.clamp(lo, hi);
+                if (alpha_j - alpha_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let alpha_i = alpha_i_old + targets[i] * targets[j] * (alpha_j_old - alpha_j);
+                alphas[i] = alpha_i;
+                alphas[j] = alpha_j;
+                let b1 = b
+                    - e_i
+                    - targets[i] * (alpha_i - alpha_i_old) * k(i, i)
+                    - targets[j] * (alpha_j - alpha_j_old) * k(i, j);
+                let b2 = b
+                    - e_j
+                    - targets[i] * (alpha_i - alpha_i_old) * k(i, j)
+                    - targets[j] * (alpha_j - alpha_j_old) * k(j, j);
+                b = if alpha_i > 0.0 && alpha_i < params.c {
+                    b1
+                } else if alpha_j > 0.0 && alpha_j < params.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+            iterations += 1;
+        }
+
+        // Keep only support vectors.
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-9 {
+                support_vectors.push(rows[i].clone());
+                coefficients.push(alphas[i] * targets[i]);
+            }
+        }
+        BinarySvm {
+            kernel: params.kernel,
+            support_vectors,
+            coefficients,
+            bias: b,
+        }
+    }
+
+    /// The signed decision value; positive predicts class `+1`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for (sv, coeff) in self.support_vectors.iter().zip(&self.coefficients) {
+            acc += coeff * self.kernel.compute(sv, x);
+        }
+        acc
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+/// A one-vs-one multiclass SVM.
+///
+/// Trains one [`BinarySvm`] per class pair and predicts by majority vote,
+/// breaking ties by summed decision margins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmClassifier {
+    class_count: usize,
+    /// `(class_a, class_b, machine)` with `class_a < class_b`; positive
+    /// decisions vote for `class_a`.
+    machines: Vec<(usize, usize, BinarySvm)>,
+}
+
+impl SvmClassifier {
+    /// Trains on a labelled dataset.
+    ///
+    /// Pairs in which one class has no rows are skipped; prediction still
+    /// works over the remaining machines.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainSvmError::EmptyDataset`] and [`TrainSvmError::SingleClass`].
+    pub fn fit(data: &Dataset, params: &SvmParams) -> Result<Self, TrainSvmError> {
+        if data.is_empty() {
+            return Err(TrainSvmError::EmptyDataset);
+        }
+        let histogram = data.class_histogram();
+        let present: Vec<usize> = (0..data.class_count())
+            .filter(|c| histogram[*c] > 0)
+            .collect();
+        if present.len() < 2 {
+            return Err(TrainSvmError::SingleClass);
+        }
+        let mut machines = Vec::new();
+        for (pi, &a) in present.iter().enumerate() {
+            for &b in &present[pi + 1..] {
+                let mut rows = Vec::new();
+                let mut targets = Vec::new();
+                for (row, label) in data.rows().iter().zip(data.labels()) {
+                    if *label == a {
+                        rows.push(row.clone());
+                        targets.push(1.0);
+                    } else if *label == b {
+                        rows.push(row.clone());
+                        targets.push(-1.0);
+                    }
+                }
+                machines.push((a, b, BinarySvm::fit(&rows, &targets, params)));
+            }
+        }
+        Ok(SvmClassifier {
+            class_count: data.class_count(),
+            machines,
+        })
+    }
+
+    /// Number of pairwise machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+impl Classifier for SvmClassifier {
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.class_count];
+        let mut margins = vec![0.0f64; self.class_count];
+        for (a, b, svm) in &self.machines {
+            let d = svm.decision(features);
+            if d >= 0.0 {
+                votes[*a] += 1;
+            } else {
+                votes[*b] += 1;
+            }
+            margins[*a] += d;
+            margins[*b] -= d;
+        }
+        let best_votes = *votes.iter().max().expect("at least one machine");
+        (0..self.class_count)
+            .filter(|c| votes[*c] == best_votes)
+            .max_by(|x, y| {
+                margins[*x]
+                    .partial_cmp(&margins[*y])
+                    .expect("finite margins")
+            })
+            .expect("at least one class has max votes")
+    }
+
+    fn name(&self) -> &'static str {
+        "svm"
+    }
+}
+
+impl fmt::Display for SvmClassifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "one-vs-one svm: {} machines over {} classes",
+            self.machines.len(),
+            self.class_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_free_dataset() -> Dataset {
+        // Two linearly separable blobs.
+        let mut d = Dataset::new(2, vec!["neg".into(), "pos".into()]).expect("valid");
+        for i in 0..20 {
+            let t = f64::from(i) * 0.05;
+            d.push(vec![-2.0 - t, -2.0 + t], 0).expect("row");
+            d.push(vec![2.0 + t, 2.0 - t], 1).expect("row");
+        }
+        d
+    }
+
+    fn ring_dataset() -> Dataset {
+        // Class 0: inner cluster; class 1: ring around it. Only separable
+        // with a nonlinear kernel.
+        let mut d = Dataset::new(2, vec!["inner".into(), "ring".into()]).expect("valid");
+        for i in 0..24 {
+            let angle = f64::from(i) * std::f64::consts::TAU / 24.0;
+            d.push(vec![0.3 * angle.cos(), 0.3 * angle.sin()], 0)
+                .expect("row");
+            d.push(vec![2.0 * angle.cos(), 2.0 * angle.sin()], 1)
+                .expect("row");
+        }
+        d
+    }
+
+    #[test]
+    fn separable_blobs_classified_perfectly() {
+        let d = xor_free_dataset();
+        let svm = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        for (row, label) in d.rows().iter().zip(d.labels()) {
+            assert_eq!(svm.predict(row), *label);
+        }
+    }
+
+    #[test]
+    fn rbf_solves_the_ring() {
+        let d = ring_dataset();
+        let params = SvmParams {
+            kernel: Kernel::Rbf { gamma: 1.0 },
+            ..SvmParams::default()
+        };
+        let svm = SvmClassifier::fit(&d, &params).expect("trains");
+        let correct = d
+            .rows()
+            .iter()
+            .zip(d.labels())
+            .filter(|(row, label)| svm.predict(row) == **label)
+            .count();
+        assert_eq!(correct, d.len(), "rbf should nail the ring");
+    }
+
+    #[test]
+    fn linear_kernel_fails_the_ring() {
+        let d = ring_dataset();
+        let params = SvmParams {
+            kernel: Kernel::Linear,
+            ..SvmParams::default()
+        };
+        let svm = SvmClassifier::fit(&d, &params).expect("trains");
+        let correct = d
+            .rows()
+            .iter()
+            .zip(d.labels())
+            .filter(|(row, label)| svm.predict(row) == **label)
+            .count();
+        // A linear boundary cannot enclose the inner cluster.
+        assert!(correct < d.len(), "linear kernel cannot be perfect here");
+    }
+
+    #[test]
+    fn three_class_one_vs_one() {
+        let mut d =
+            Dataset::new(2, vec!["a".into(), "b".into(), "c".into()]).expect("valid");
+        for i in 0..15 {
+            let t = f64::from(i) * 0.02;
+            d.push(vec![0.0 + t, 0.0], 0).expect("row");
+            d.push(vec![4.0 + t, 0.0], 1).expect("row");
+            d.push(vec![2.0 + t, 4.0], 2).expect("row");
+        }
+        let svm = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        assert_eq!(svm.machine_count(), 3);
+        assert_eq!(svm.predict(&[0.1, 0.1]), 0);
+        assert_eq!(svm.predict(&[4.1, 0.1]), 1);
+        assert_eq!(svm.predict(&[2.1, 4.1]), 2);
+    }
+
+    #[test]
+    fn missing_class_is_skipped_not_fatal() {
+        let mut d =
+            Dataset::new(1, vec!["a".into(), "b".into(), "ghost".into()]).expect("valid");
+        for i in 0..10 {
+            d.push(vec![f64::from(i)], 0).expect("row");
+            d.push(vec![f64::from(i) + 100.0], 1).expect("row");
+        }
+        let svm = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        assert_eq!(svm.machine_count(), 1);
+        assert_eq!(svm.predict(&[1.0]), 0);
+        assert_eq!(svm.predict(&[101.0]), 1);
+    }
+
+    #[test]
+    fn empty_and_single_class_rejected() {
+        let d = Dataset::new(1, vec!["a".into(), "b".into()]).expect("valid");
+        assert_eq!(
+            SvmClassifier::fit(&d, &SvmParams::default()),
+            Err(TrainSvmError::EmptyDataset)
+        );
+        let mut d2 = Dataset::new(1, vec!["a".into(), "b".into()]).expect("valid");
+        d2.push(vec![1.0], 0).expect("row");
+        assert_eq!(
+            SvmClassifier::fit(&d2, &SvmParams::default()),
+            Err(TrainSvmError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = ring_dataset();
+        let a = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        let b = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_sign_matches_prediction() {
+        let d = xor_free_dataset();
+        let rows = d.rows();
+        let targets: Vec<f64> = d
+            .labels()
+            .iter()
+            .map(|l| if *l == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let bin = BinarySvm::fit(rows, &targets, &SvmParams::default());
+        assert!(bin.support_vector_count() > 0);
+        assert!(bin.decision(&[-2.0, -2.0]) > 0.0);
+        assert!(bin.decision(&[2.0, 2.0]) < 0.0);
+    }
+
+    #[test]
+    fn soft_margin_tolerates_label_noise() {
+        let mut d = xor_free_dataset();
+        // One mislabelled point must not destroy the classifier.
+        d.push(vec![-2.0, -2.0], 1).expect("row");
+        let svm = SvmClassifier::fit(&d, &SvmParams::default()).expect("trains");
+        assert_eq!(svm.predict(&[-2.5, -1.5]), 0);
+        assert_eq!(svm.predict(&[2.5, 1.5]), 1);
+    }
+}

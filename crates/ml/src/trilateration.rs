@@ -1,0 +1,179 @@
+//! Trilateration — the triangulation technique the paper *discards*.
+//!
+//! Section VI: "Triangulation has been discarded because it requires very
+//! stable and accurate input data … due to the signal fluctuation we decided
+//! to not use this technique." Implementing it lets the `ablate_classifier`
+//! bench demonstrate that decision quantitatively.
+
+use std::fmt;
+
+/// Error from [`trilaterate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrilaterateError {
+    /// Fewer than three usable (anchor, distance) pairs were supplied.
+    NotEnoughAnchors,
+    /// The solver failed to converge (degenerate anchor geometry or wild
+    /// distances).
+    DidNotConverge,
+}
+
+impl fmt::Display for TrilaterateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrilaterateError::NotEnoughAnchors => {
+                write!(f, "trilateration needs at least three anchors")
+            }
+            TrilaterateError::DidNotConverge => write!(f, "trilateration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for TrilaterateError {}
+
+/// Estimates a 2-D position from anchor positions and measured distances by
+/// Gauss–Newton least squares.
+///
+/// `anchors[i]` is `(x, y)` of beacon `i`; `distances[i]` the measured
+/// distance to it (non-finite or non-positive entries are skipped).
+///
+/// # Errors
+///
+/// [`TrilaterateError::NotEnoughAnchors`] with fewer than three usable
+/// pairs; [`TrilaterateError::DidNotConverge`] when the iteration stalls on
+/// degenerate geometry.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_ml::trilaterate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+/// // True position (3, 4):
+/// let d = [5.0, 8.0622577, 6.7082039];
+/// let (x, y) = trilaterate(&anchors, &d)?;
+/// assert!((x - 3.0).abs() < 1e-3 && (y - 4.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trilaterate(
+    anchors: &[(f64, f64)],
+    distances: &[f64],
+) -> Result<(f64, f64), TrilaterateError> {
+    assert_eq!(
+        anchors.len(),
+        distances.len(),
+        "anchors/distances length mismatch"
+    );
+    let usable: Vec<((f64, f64), f64)> = anchors
+        .iter()
+        .copied()
+        .zip(distances.iter().copied())
+        .filter(|(_, d)| d.is_finite() && *d > 0.0)
+        .collect();
+    if usable.len() < 3 {
+        return Err(TrilaterateError::NotEnoughAnchors);
+    }
+    // Start from the centroid of the anchors.
+    let n = usable.len() as f64;
+    let mut x = usable.iter().map(|((ax, _), _)| ax).sum::<f64>() / n;
+    let mut y = usable.iter().map(|((_, ay), _)| ay).sum::<f64>() / n;
+
+    for _ in 0..100 {
+        // Residuals r_i = |p - a_i| - d_i; Jacobian rows (∂r/∂x, ∂r/∂y).
+        let mut jtj = [0.0f64; 3]; // [xx, xy, yy]
+        let mut jtr = [0.0f64; 2];
+        for ((ax, ay), d) in &usable {
+            let dx = x - ax;
+            let dy = y - ay;
+            let range = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let r = range - d;
+            let jx = dx / range;
+            let jy = dy / range;
+            jtj[0] += jx * jx;
+            jtj[1] += jx * jy;
+            jtj[2] += jy * jy;
+            jtr[0] += jx * r;
+            jtr[1] += jy * r;
+        }
+        // Levenberg damping keeps degenerate geometry from exploding.
+        let lambda = 1e-9;
+        let det = (jtj[0] + lambda) * (jtj[2] + lambda) - jtj[1] * jtj[1];
+        if det.abs() < 1e-12 {
+            return Err(TrilaterateError::DidNotConverge);
+        }
+        let step_x = ((jtj[2] + lambda) * jtr[0] - jtj[1] * jtr[1]) / det;
+        let step_y = ((jtj[0] + lambda) * jtr[1] - jtj[1] * jtr[0]) / det;
+        x -= step_x;
+        y -= step_y;
+        if step_x.abs() < 1e-10 && step_y.abs() < 1e-10 {
+            return Ok((x, y));
+        }
+    }
+    Ok((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_distances(anchors: &[(f64, f64)], p: (f64, f64)) -> Vec<f64> {
+        anchors
+            .iter()
+            .map(|(ax, ay)| ((p.0 - ax).powi(2) + (p.1 - ay).powi(2)).sqrt())
+            .collect()
+    }
+
+    #[test]
+    fn exact_distances_recover_position() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let truth = (6.3, 2.7);
+        let d = exact_distances(&anchors, truth);
+        let (x, y) = trilaterate(&anchors, &d).expect("solves");
+        assert!((x - truth.0).abs() < 1e-6);
+        assert!((y - truth.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_distances_recover_approximately() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let truth = (4.0, 4.0);
+        let mut d = exact_distances(&anchors, truth);
+        d[0] += 0.5;
+        d[1] -= 0.4;
+        d[2] += 0.3;
+        let (x, y) = trilaterate(&anchors, &d).expect("solves");
+        assert!((x - truth.0).abs() < 1.0, "x {x}");
+        assert!((y - truth.1).abs() < 1.0, "y {y}");
+    }
+
+    #[test]
+    fn missing_distances_are_skipped() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let truth = (5.0, 5.0);
+        let mut d = exact_distances(&anchors, truth);
+        d[3] = f64::NAN; // lost beacon
+        let (x, y) = trilaterate(&anchors, &d).expect("still three usable");
+        assert!((x - 5.0).abs() < 1e-6 && (y - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_anchors_rejected() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0)];
+        assert_eq!(
+            trilaterate(&anchors, &[5.0, 5.0]),
+            Err(TrilaterateError::NotEnoughAnchors)
+        );
+    }
+
+    #[test]
+    fn wildly_wrong_distances_still_return_something_finite() {
+        // The paper's point: with fluctuating input the answer is garbage —
+        // but the solver must fail gracefully, not blow up.
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let d = [30.0, 1.0, 30.0];
+        if let Ok((x, y)) = trilaterate(&anchors, &d) {
+            assert!(x.is_finite() && y.is_finite());
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The Building Management System server.
+//!
+//! Paper Section IV-B: "The server has to collect all information sent by
+//! the user smart [devices] and to insert them in a database the association
+//! between the device and the room where it is located. These information
+//! are then used by a classification algorithm in order to get the occupancy
+//! information."
+//!
+//! The real server was Flask + Tornado on a Raspberry Pi; here it is an
+//! in-memory store behind a [`parking_lot`] mutex (the simulated benches
+//! post from several worker threads), with the classifier injected as an
+//! [`OccupancyEstimator`] so this crate does not depend on the ML crate.
+
+use crate::{DeviceId, ObservationReport};
+use parking_lot::Mutex;
+use roomsense_sim::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A room label as the server knows it (dense index; the floor plan gives it
+/// meaning).
+pub type RoomLabel = usize;
+
+/// Something that can turn an observation report into a room label.
+///
+/// The production implementation wraps the trained SVM; tests use closures.
+pub trait OccupancyEstimator: Send + Sync {
+    /// Classifies a report into a room, or `None` when the report is
+    /// unusable (no beacons).
+    fn classify(&self, report: &ObservationReport) -> Option<RoomLabel>;
+}
+
+impl<F> OccupancyEstimator for F
+where
+    F: Fn(&ObservationReport) -> Option<RoomLabel> + Send + Sync,
+{
+    fn classify(&self, report: &ObservationReport) -> Option<RoomLabel> {
+        self(report)
+    }
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Reports accepted into the database.
+    pub reports_stored: u64,
+    /// Reports the estimator could not classify.
+    pub reports_unclassified: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    /// Full observation log, in arrival order.
+    log: Vec<ObservationReport>,
+    /// Latest classified room per device.
+    device_rooms: BTreeMap<DeviceId, (SimTime, RoomLabel)>,
+    /// Every classification, per device, in arrival order — the raw
+    /// material for movement analytics.
+    assignments: BTreeMap<DeviceId, Vec<(SimTime, RoomLabel)>>,
+    stats: ServerStats,
+}
+
+/// The BMS server: observation database + occupancy table.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{BmsServer, DeviceId, ObservationReport};
+/// use roomsense_sim::SimTime;
+///
+/// // A trivial estimator: everyone is in room 0.
+/// let server = BmsServer::new(Box::new(|_: &ObservationReport| Some(0)));
+/// let report = ObservationReport {
+///     device: DeviceId::new(7),
+///     at: SimTime::from_secs(2),
+///     beacons: vec![],
+/// };
+/// server.post_observation(report);
+/// assert_eq!(server.occupancy().get(&0).copied(), Some(1));
+/// ```
+pub struct BmsServer {
+    estimator: Box<dyn OccupancyEstimator>,
+    state: Mutex<ServerState>,
+}
+
+impl BmsServer {
+    /// Creates a server around an estimator.
+    pub fn new(estimator: Box<dyn OccupancyEstimator>) -> Self {
+        BmsServer {
+            estimator,
+            state: Mutex::new(ServerState::default()),
+        }
+    }
+
+    /// The REST endpoint: stores a report and updates the device's room.
+    ///
+    /// Returns the room the device was classified into, if any.
+    pub fn post_observation(&self, report: ObservationReport) -> Option<RoomLabel> {
+        let room = self.estimator.classify(&report);
+        let mut state = self.state.lock();
+        state.stats.reports_stored += 1;
+        match room {
+            Some(label) => {
+                let entry = state.device_rooms.entry(report.device).or_insert((report.at, label));
+                // Only move forward in time (out-of-order arrivals happen
+                // with retrying transports).
+                if report.at >= entry.0 {
+                    *entry = (report.at, label);
+                }
+                state
+                    .assignments
+                    .entry(report.device)
+                    .or_default()
+                    .push((report.at, label));
+            }
+            None => state.stats.reports_unclassified += 1,
+        }
+        state.log.push(report);
+        room
+    }
+
+    /// The occupancy table: how many devices are currently in each room.
+    pub fn occupancy(&self) -> BTreeMap<RoomLabel, usize> {
+        let state = self.state.lock();
+        let mut table = BTreeMap::new();
+        for (_, (_, room)) in state.device_rooms.iter() {
+            *table.entry(*room).or_insert(0) += 1;
+        }
+        table
+    }
+
+    /// The room one device was last classified into.
+    pub fn room_of(&self, device: DeviceId) -> Option<RoomLabel> {
+        self.state.lock().device_rooms.get(&device).map(|(_, r)| *r)
+    }
+
+    /// The occupancy table as it stood at time `at`, reconstructed from the
+    /// assignment history (each device counts in the last room it was
+    /// classified into at or before `at`).
+    pub fn occupancy_at(&self, at: SimTime) -> BTreeMap<RoomLabel, usize> {
+        let state = self.state.lock();
+        let mut table = BTreeMap::new();
+        for history in state.assignments.values() {
+            let last = history
+                .iter()
+                .take_while(|(t, _)| *t <= at)
+                .last()
+                .map(|(_, room)| *room);
+            if let Some(room) = last {
+                *table.entry(room).or_insert(0) += 1;
+            }
+        }
+        table
+    }
+
+    /// All reports whose timestamps fall in `[from, to)`, in arrival order
+    /// — the database's time-range query.
+    pub fn reports_between(&self, from: SimTime, to: SimTime) -> Vec<ObservationReport> {
+        self.state
+            .lock()
+            .log
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of stored reports.
+    pub fn report_count(&self) -> usize {
+        self.state.lock().log.len()
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.state.lock().stats
+    }
+
+    /// The classified `(time, room)` history of one device, in arrival
+    /// order — feed it to
+    /// [`MovementAnalytics`](crate::MovementAnalytics::from_history) for
+    /// the paper's tracking use-case.
+    pub fn assignment_history(&self, device: DeviceId) -> Vec<(SimTime, RoomLabel)> {
+        self.state
+            .lock()
+            .assignments
+            .get(&device)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All reports from one device, in arrival order.
+    pub fn reports_for(&self, device: DeviceId) -> Vec<ObservationReport> {
+        self.state
+            .lock()
+            .log
+            .iter()
+            .filter(|r| r.device == device)
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Debug for BmsServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("BmsServer")
+            .field("reports", &state.log.len())
+            .field("devices", &state.device_rooms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SightedBeacon;
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+
+    fn report(device: u32, at_secs: u64, minor: u16) -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(device),
+            at: SimTime::from_secs(at_secs),
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(minor),
+                },
+                distance_m: 1.0,
+            }],
+        }
+    }
+
+    /// Estimator: room = minor of the first beacon.
+    fn minor_estimator() -> Box<dyn OccupancyEstimator> {
+        Box::new(|r: &ObservationReport| {
+            r.beacons.first().map(|b| b.identity.minor.value() as usize)
+        })
+    }
+
+    #[test]
+    fn occupancy_counts_latest_room_per_device() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 1, 0));
+        server.post_observation(report(2, 1, 0));
+        server.post_observation(report(1, 2, 3)); // device 1 moves
+        let occ = server.occupancy();
+        assert_eq!(occ.get(&0).copied(), Some(1));
+        assert_eq!(occ.get(&3).copied(), Some(1));
+    }
+
+    #[test]
+    fn out_of_order_reports_do_not_regress() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 10, 4));
+        server.post_observation(report(1, 5, 0)); // stale
+        assert_eq!(server.room_of(DeviceId::new(1)), Some(4));
+    }
+
+    #[test]
+    fn unclassifiable_reports_are_counted() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(ObservationReport {
+            device: DeviceId::new(1),
+            at: SimTime::from_secs(1),
+            beacons: vec![],
+        });
+        let stats = server.stats();
+        assert_eq!(stats.reports_stored, 1);
+        assert_eq!(stats.reports_unclassified, 1);
+        assert!(server.occupancy().is_empty());
+    }
+
+    #[test]
+    fn log_keeps_everything() {
+        let server = BmsServer::new(minor_estimator());
+        for i in 0..5 {
+            server.post_observation(report(1, i, 0));
+        }
+        server.post_observation(report(2, 9, 1));
+        assert_eq!(server.report_count(), 6);
+        assert_eq!(server.reports_for(DeviceId::new(1)).len(), 5);
+    }
+
+    #[test]
+    fn occupancy_at_reconstructs_the_past() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 10, 0));
+        server.post_observation(report(1, 30, 2));
+        server.post_observation(report(2, 20, 0));
+        // Before anything: empty.
+        assert!(server.occupancy_at(SimTime::from_secs(5)).is_empty());
+        // At t=25: both devices in room 0.
+        assert_eq!(server.occupancy_at(SimTime::from_secs(25)).get(&0), Some(&2));
+        // At t=40: device 1 moved to room 2.
+        let table = server.occupancy_at(SimTime::from_secs(40));
+        assert_eq!(table.get(&0), Some(&1));
+        assert_eq!(table.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn reports_between_is_half_open() {
+        let server = BmsServer::new(minor_estimator());
+        for t in [10u64, 20, 30] {
+            server.post_observation(report(1, t, 0));
+        }
+        let range = server.reports_between(SimTime::from_secs(10), SimTime::from_secs(30));
+        assert_eq!(range.len(), 2);
+        assert!(server
+            .reports_between(SimTime::from_secs(31), SimTime::from_secs(99))
+            .is_empty());
+    }
+
+    #[test]
+    fn assignment_history_feeds_analytics() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 0, 0));
+        server.post_observation(report(1, 10, 0));
+        server.post_observation(report(1, 20, 2));
+        let history = server.assignment_history(DeviceId::new(1));
+        assert_eq!(history.len(), 3);
+        let analytics = crate::MovementAnalytics::from_history(&history);
+        assert_eq!(analytics.transition_count(), 1);
+        assert_eq!(analytics.dwell(0), roomsense_sim::SimDuration::from_secs(20));
+        // Unknown devices have empty histories.
+        assert!(server.assignment_history(DeviceId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn concurrent_posts_are_safe() {
+        use std::sync::Arc;
+        let server = Arc::new(BmsServer::new(minor_estimator()));
+        let mut handles = Vec::new();
+        for worker in 0..8u32 {
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    server.post_observation(report(worker, i, (worker % 3) as u16));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker does not panic");
+        }
+        assert_eq!(server.report_count(), 800);
+        let total: usize = server.occupancy().values().sum();
+        assert_eq!(total, 8);
+    }
+}

@@ -1,0 +1,253 @@
+//! Demand-response HVAC/lighting control from occupancy.
+//!
+//! The paper's motivation: "it is possible to avoid energy wastes using the
+//! HVAC system only when needed" and "turn on and off the lights according
+//! to the actual needs". The controller conditions each room only while
+//! occupied (plus a hold-off so brief absences don't cycle the plant), and
+//! reports how much conditioning time demand-response saved against an
+//! always-on baseline.
+
+use crate::RoomLabel;
+use roomsense_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether a room's HVAC/lighting is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HvacState {
+    /// Conditioning the room.
+    On,
+    /// Idle.
+    Off,
+}
+
+impl fmt::Display for HvacState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvacState::On => f.write_str("on"),
+            HvacState::Off => f.write_str("off"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RoomPlant {
+    state: HvacState,
+    last_occupied: Option<SimTime>,
+    on_since: Option<SimTime>,
+    total_on: SimDuration,
+}
+
+impl Default for RoomPlant {
+    fn default() -> Self {
+        RoomPlant {
+            state: HvacState::Off,
+            last_occupied: None,
+            on_since: None,
+            total_on: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Savings summary produced by [`DemandResponseController::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandResponseReport {
+    /// Total conditioning time an always-on plant would have used
+    /// (rooms × elapsed time).
+    pub baseline: SimDuration,
+    /// Conditioning time actually used.
+    pub actual: SimDuration,
+}
+
+impl DemandResponseReport {
+    /// The saved fraction in `[0, 1]`.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.baseline.is_zero() {
+            return 0.0;
+        }
+        1.0 - self.actual.as_secs_f64() / self.baseline.as_secs_f64()
+    }
+}
+
+impl fmt::Display for DemandResponseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hvac on {} of {} baseline ({:.0}% saved)",
+            self.actual,
+            self.baseline,
+            self.savings_fraction() * 100.0
+        )
+    }
+}
+
+/// Turns per-room occupancy into per-room plant state.
+///
+/// Call [`update`](Self::update) with the server's occupancy table whenever
+/// it changes (or periodically); call [`report`](Self::report) at the end of
+/// the run.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{DemandResponseController, HvacState};
+/// use roomsense_sim::{SimDuration, SimTime};
+/// use std::collections::BTreeMap;
+///
+/// let mut dr = DemandResponseController::new(3, SimDuration::from_secs(300));
+/// let mut occupancy = BTreeMap::new();
+/// occupancy.insert(1usize, 2usize); // two people in room 1
+/// dr.update(SimTime::ZERO, &occupancy);
+/// assert_eq!(dr.state_of(1), HvacState::On);
+/// assert_eq!(dr.state_of(0), HvacState::Off);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DemandResponseController {
+    rooms: Vec<RoomPlant>,
+    hold_off: SimDuration,
+    started: Option<SimTime>,
+    last_update: Option<SimTime>,
+}
+
+impl DemandResponseController {
+    /// Creates a controller for `room_count` rooms; a room stays conditioned
+    /// for `hold_off` after its last occupant leaves.
+    pub fn new(room_count: usize, hold_off: SimDuration) -> Self {
+        DemandResponseController {
+            rooms: vec![RoomPlant::default(); room_count],
+            hold_off,
+            started: None,
+            last_update: None,
+        }
+    }
+
+    /// Number of controlled rooms.
+    pub fn room_count(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// Current plant state of a room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the room label is out of range.
+    pub fn state_of(&self, room: RoomLabel) -> HvacState {
+        self.rooms[room].state
+    }
+
+    /// Applies a new occupancy snapshot at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update, or a label is out of
+    /// range.
+    pub fn update(&mut self, now: SimTime, occupancy: &BTreeMap<RoomLabel, usize>) {
+        if let Some(last) = self.last_update {
+            assert!(now >= last, "updates must move forward in time");
+        }
+        self.started.get_or_insert(now);
+        self.last_update = Some(now);
+        for (room, plant) in self.rooms.iter_mut().enumerate() {
+            let occupied = occupancy.get(&room).copied().unwrap_or(0) > 0;
+            if occupied {
+                plant.last_occupied = Some(now);
+            }
+            let should_be_on = match plant.last_occupied {
+                Some(t) => now.saturating_since(t) <= self.hold_off,
+                None => false,
+            };
+            match (plant.state, should_be_on) {
+                (HvacState::Off, true) => {
+                    plant.state = HvacState::On;
+                    plant.on_since = Some(now);
+                }
+                (HvacState::On, false) => {
+                    plant.state = HvacState::Off;
+                    if let Some(since) = plant.on_since.take() {
+                        plant.total_on += now.saturating_since(since);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Produces the savings report as of time `now` (closing any running
+    /// plant intervals for accounting without turning them off).
+    pub fn report(&self, now: SimTime) -> DemandResponseReport {
+        let started = self.started.unwrap_or(now);
+        let elapsed = now.saturating_since(started);
+        let baseline = SimDuration::from_millis(elapsed.as_millis() * self.rooms.len() as u64);
+        let mut actual = SimDuration::ZERO;
+        for plant in &self.rooms {
+            actual += plant.total_on;
+            if let Some(since) = plant.on_since {
+                actual += now.saturating_since(since);
+            }
+        }
+        DemandResponseReport { baseline, actual }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(rooms: &[usize]) -> BTreeMap<RoomLabel, usize> {
+        rooms.iter().map(|r| (*r, 1usize)).collect()
+    }
+
+    #[test]
+    fn occupied_room_turns_on() {
+        let mut dr = DemandResponseController::new(2, SimDuration::from_secs(60));
+        dr.update(SimTime::ZERO, &occ(&[0]));
+        assert_eq!(dr.state_of(0), HvacState::On);
+        assert_eq!(dr.state_of(1), HvacState::Off);
+    }
+
+    #[test]
+    fn hold_off_bridges_short_absences() {
+        let mut dr = DemandResponseController::new(1, SimDuration::from_secs(60));
+        dr.update(SimTime::ZERO, &occ(&[0]));
+        dr.update(SimTime::from_secs(30), &occ(&[])); // left briefly
+        assert_eq!(dr.state_of(0), HvacState::On); // still within hold-off
+        dr.update(SimTime::from_secs(61), &occ(&[]));
+        assert_eq!(dr.state_of(0), HvacState::Off);
+    }
+
+    #[test]
+    fn savings_match_duty_cycle() {
+        let mut dr = DemandResponseController::new(2, SimDuration::ZERO);
+        // Room 0 occupied for the first half of a 100 s run; room 1 never.
+        dr.update(SimTime::ZERO, &occ(&[0]));
+        dr.update(SimTime::from_secs(50), &occ(&[]));
+        dr.update(SimTime::from_secs(100), &occ(&[]));
+        let report = dr.report(SimTime::from_secs(100));
+        assert_eq!(report.baseline, SimDuration::from_secs(200));
+        assert_eq!(report.actual, SimDuration::from_secs(50));
+        assert!((report.savings_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_interval_counts_in_report() {
+        let mut dr = DemandResponseController::new(1, SimDuration::from_secs(600));
+        dr.update(SimTime::ZERO, &occ(&[0]));
+        let report = dr.report(SimTime::from_secs(40));
+        assert_eq!(report.actual, SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn empty_run_reports_zero_savings() {
+        let dr = DemandResponseController::new(3, SimDuration::from_secs(60));
+        let report = dr.report(SimTime::from_secs(10));
+        assert_eq!(report.savings_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in time")]
+    fn backwards_update_panics() {
+        let mut dr = DemandResponseController::new(1, SimDuration::ZERO);
+        dr.update(SimTime::from_secs(10), &occ(&[]));
+        dr.update(SimTime::from_secs(5), &occ(&[]));
+    }
+}

@@ -1,0 +1,36 @@
+//! The communication layer and the Building Management System.
+//!
+//! Paper Section IV/VII: each ranging cycle the phone reports the beacons it
+//! sees (and their distances) to the building server, over one of two
+//! channels:
+//!
+//! * [`WifiTransport`] — "more reliable and stable but forces to keep on the
+//!   wireless adapter that has a high power consumption": an HTTP POST to
+//!   the Flask/Tornado server.
+//! * [`BtRelayTransport`] — "more energy \[efficient\], but less stable":
+//!   a Bluetooth connection to the room's beacon transmitter, which relays
+//!   to the server over its wired side.
+//!
+//! Every send produces a [`TransportEvent`] (start, air time, success) that
+//! the energy model prices. The [`BmsServer`] stores observation reports,
+//! runs a pluggable [`OccupancyEstimator`], maintains the per-room occupancy
+//! table, and drives a [`DemandResponseController`] — the HVAC/lighting
+//! use-case the paper's introduction motivates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analytics;
+mod bms;
+mod demand;
+mod message;
+mod transport;
+
+pub use analytics::{DebouncedRoom, MovementAnalytics, RoomTransition};
+pub use bms::{BmsServer, OccupancyEstimator, RoomLabel, ServerStats};
+pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
+pub use message::{DeviceId, ObservationReport, SightedBeacon};
+pub use transport::{
+    BtRelayTransport, Retrying, SendOutcome, Transport, TransportEvent, TransportKind,
+    WifiTransport,
+};

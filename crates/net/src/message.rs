@@ -1,0 +1,106 @@
+//! The observation report: what a phone tells the BMS.
+
+use roomsense_ibeacon::BeaconIdentity;
+use roomsense_sim::SimTime;
+use std::fmt;
+
+/// Identifies one occupant device (phone) to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(u32);
+
+impl DeviceId {
+    /// Creates a device id.
+    pub const fn new(value: u32) -> Self {
+        DeviceId(value)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// One beacon sighting inside a report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SightedBeacon {
+    /// Which beacon was seen.
+    pub identity: BeaconIdentity,
+    /// Smoothed distance estimate, in metres.
+    pub distance_m: f64,
+}
+
+/// The message a phone sends the server after each ranging cycle: "the list
+/// of all the beacons detected at a certain instant and their respective
+/// distances" (paper Section VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationReport {
+    /// Reporting device.
+    pub device: DeviceId,
+    /// When the ranging cycle ended.
+    pub at: SimTime,
+    /// The sighted beacons.
+    pub beacons: Vec<SightedBeacon>,
+}
+
+impl ObservationReport {
+    /// Serialized size in bytes, for transport air-time modelling: a fixed
+    /// header (device id + timestamp) plus per-beacon identity and distance.
+    pub fn wire_size_bytes(&self) -> usize {
+        const HEADER: usize = 4 + 8;
+        const PER_BEACON: usize = 16 + 2 + 2 + 8; // uuid + major + minor + f64
+        HEADER + self.beacons.len() * PER_BEACON
+    }
+}
+
+impl fmt::Display for ObservationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {}: {} beacons",
+            self.device,
+            self.at,
+            self.beacons.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_ibeacon::{Major, Minor, ProximityUuid};
+
+    fn report(n: usize) -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(1),
+            at: SimTime::from_secs(2),
+            beacons: (0..n)
+                .map(|i| SightedBeacon {
+                    identity: BeaconIdentity {
+                        uuid: ProximityUuid::example(),
+                        major: Major::new(1),
+                        minor: Minor::new(i as u16),
+                    },
+                    distance_m: 2.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn wire_size_grows_with_beacons() {
+        assert_eq!(report(0).wire_size_bytes(), 12);
+        assert_eq!(report(2).wire_size_bytes(), 12 + 2 * 28);
+    }
+
+    #[test]
+    fn display_mentions_device_and_count() {
+        let text = report(3).to_string();
+        assert!(text.contains("device#1") && text.contains("3 beacons"));
+    }
+}

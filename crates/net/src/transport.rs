@@ -1,0 +1,499 @@
+//! The two uplink channels and their reliability/latency/energy footprints.
+
+use crate::ObservationReport;
+use rand::Rng;
+use roomsense_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Which physical channel carried (or tried to carry) a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// HTTP over the phone's Wi-Fi adapter.
+    Wifi,
+    /// Bluetooth connection to the room's beacon transmitter, relayed.
+    BluetoothRelay,
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportKind::Wifi => f.write_str("wifi"),
+            TransportKind::BluetoothRelay => f.write_str("bt-relay"),
+        }
+    }
+}
+
+/// The result of one send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The report reached the server at the given time.
+    Delivered {
+        /// Arrival time at the server.
+        at: SimTime,
+    },
+    /// The attempt failed (radio error, relay connection refused).
+    Failed,
+}
+
+impl SendOutcome {
+    /// True when the report arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, SendOutcome::Delivered { .. })
+    }
+}
+
+/// One radio activity burst caused by a send attempt — the unit the energy
+/// model prices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportEvent {
+    /// Which radio was active.
+    pub kind: TransportKind,
+    /// When the burst started.
+    pub start: SimTime,
+    /// How long the radio was actively transmitting/connecting.
+    pub active: SimDuration,
+    /// Whether the report got through.
+    pub delivered: bool,
+}
+
+/// A channel that can carry observation reports to the server.
+pub trait Transport {
+    /// Attempts to send a report at time `at`. Returns the outcome and logs
+    /// a [`TransportEvent`] retrievable via [`events`](Self::events).
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome;
+
+    /// The activity log (in send order).
+    fn events(&self) -> &[TransportEvent];
+
+    /// The channel this transport uses.
+    fn kind(&self) -> TransportKind;
+
+    /// Delivered / attempted, or 1.0 when nothing was attempted.
+    fn delivery_rate(&self) -> f64 {
+        let events = self.events();
+        if events.is_empty() {
+            return 1.0;
+        }
+        events.iter().filter(|e| e.delivered).count() as f64 / events.len() as f64
+    }
+}
+
+/// The Wi-Fi HTTP uplink: fast and near-perfectly reliable, but the energy
+/// model will charge for keeping the Wi-Fi adapter associated all day plus
+/// a tail after every transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WifiTransport {
+    success_probability: f64,
+    base_latency: SimDuration,
+    events: Vec<TransportEvent>,
+}
+
+impl WifiTransport {
+    /// Creates a Wi-Fi transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(success_probability: f64, base_latency: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&success_probability),
+            "probability must be in [0, 1] (got {success_probability})"
+        );
+        WifiTransport {
+            success_probability,
+            base_latency,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Default for WifiTransport {
+    /// 99.5 % delivery, ~50 ms base latency — a healthy home WLAN.
+    fn default() -> Self {
+        WifiTransport::new(0.995, SimDuration::from_millis(50))
+    }
+}
+
+impl Transport for WifiTransport {
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        // Air time: base latency + ~1 ms per 100 bytes of payload + jitter.
+        let payload_ms = (report.wire_size_bytes() as u64) / 100;
+        let jitter_ms = rng.gen_range(0..30);
+        let active = self.base_latency + SimDuration::from_millis(payload_ms + jitter_ms);
+        let delivered = rng.gen::<f64>() < self.success_probability;
+        self.events.push(TransportEvent {
+            kind: TransportKind::Wifi,
+            start: at,
+            active,
+            delivered,
+        });
+        if delivered {
+            SendOutcome::Delivered { at: at + active }
+        } else {
+            SendOutcome::Failed
+        }
+    }
+
+    fn events(&self) -> &[TransportEvent] {
+        &self.events
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Wifi
+    }
+}
+
+impl fmt::Display for WifiTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wifi transport (p={:.3}, {} sends)",
+            self.success_probability,
+            self.events.len()
+        )
+    }
+}
+
+/// The Bluetooth relay uplink: the phone opens a GATT connection to the
+/// room's (mains-powered) beacon transmitter, which forwards the report.
+/// Cheaper for the phone radio but slower to connect and "less stable than
+/// the Wi-Fi solution due to bugs in the BLE Android API".
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtRelayTransport {
+    success_probability: f64,
+    connect_latency: SimDuration,
+    events: Vec<TransportEvent>,
+}
+
+impl BtRelayTransport {
+    /// Creates a Bluetooth relay transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(success_probability: f64, connect_latency: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&success_probability),
+            "probability must be in [0, 1] (got {success_probability})"
+        );
+        BtRelayTransport {
+            success_probability,
+            connect_latency,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Default for BtRelayTransport {
+    /// 90 % first-try delivery, ~400 ms connection setup — Android 4.x BLE.
+    fn default() -> Self {
+        BtRelayTransport::new(0.90, SimDuration::from_millis(400))
+    }
+}
+
+impl Transport for BtRelayTransport {
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        // Connection setup dominates; payload is tiny at BLE rates
+        // (~4 ms per 100 bytes) plus connection jitter.
+        let payload_ms = (report.wire_size_bytes() as u64) * 4 / 100;
+        let jitter_ms = rng.gen_range(0..200);
+        let active = self.connect_latency + SimDuration::from_millis(payload_ms + jitter_ms);
+        let delivered = rng.gen::<f64>() < self.success_probability;
+        // A failed attempt still burns (most of) the connect time.
+        self.events.push(TransportEvent {
+            kind: TransportKind::BluetoothRelay,
+            start: at,
+            active,
+            delivered,
+        });
+        if delivered {
+            SendOutcome::Delivered { at: at + active }
+        } else {
+            SendOutcome::Failed
+        }
+    }
+
+    fn events(&self) -> &[TransportEvent] {
+        &self.events
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::BluetoothRelay
+    }
+}
+
+impl fmt::Display for BtRelayTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bt-relay transport (p={:.2}, {} sends)",
+            self.success_probability,
+            self.events.len()
+        )
+    }
+}
+
+/// A decorator that retries failed sends immediately, up to a limit.
+///
+/// The paper observes the Bluetooth channel is "less stable than the Wi-Fi
+/// solution due to bugs in the BLE Android API"; the pragmatic fix is to
+/// retry. Each attempt burns its own radio burst (logged in the inner
+/// transport's events), so the energy model automatically prices the
+/// reliability gain.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{BtRelayTransport, Retrying, Transport};
+///
+/// let transport = Retrying::new(BtRelayTransport::default(), 2);
+/// assert_eq!(transport.max_retries(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrying<T> {
+    inner: T,
+    max_retries: u32,
+}
+
+impl<T: Transport> Retrying<T> {
+    /// Wraps `inner`, retrying each failed send up to `max_retries` extra
+    /// times.
+    pub fn new(inner: T, max_retries: u32) -> Self {
+        Retrying { inner, max_retries }
+    }
+
+    /// The retry budget per send.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the inner transport (and its event log).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for Retrying<T> {
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let mut attempt_at = at;
+        for _ in 0..=self.max_retries {
+            match self.inner.send(attempt_at, report, rng) {
+                SendOutcome::Delivered { at } => return SendOutcome::Delivered { at },
+                SendOutcome::Failed => {
+                    // The retry starts after the failed attempt's burst.
+                    let burst = self
+                        .inner
+                        .events()
+                        .last()
+                        .map(|e| e.active)
+                        .unwrap_or(SimDuration::ZERO);
+                    attempt_at += burst;
+                }
+            }
+        }
+        SendOutcome::Failed
+    }
+
+    fn events(&self) -> &[TransportEvent] {
+        self.inner.events()
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+}
+
+impl<T: Transport + fmt::Display> fmt::Display for Retrying<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with {} retries", self.inner, self.max_retries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, SightedBeacon};
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+    use roomsense_sim::rng;
+
+    fn report() -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(1),
+            at: SimTime::from_secs(2),
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(0),
+                },
+                distance_m: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn wifi_is_more_reliable_than_bt() {
+        let mut wifi = WifiTransport::default();
+        let mut bt = BtRelayTransport::default();
+        let mut r = rng::for_component(1, "transport");
+        for i in 0..2000 {
+            let at = SimTime::from_secs(i);
+            wifi.send(at, &report(), &mut r);
+            bt.send(at, &report(), &mut r);
+        }
+        assert!(wifi.delivery_rate() > 0.98, "wifi {}", wifi.delivery_rate());
+        assert!(
+            bt.delivery_rate() < wifi.delivery_rate(),
+            "bt {} wifi {}",
+            bt.delivery_rate(),
+            wifi.delivery_rate()
+        );
+        assert!((bt.delivery_rate() - 0.90).abs() < 0.03);
+    }
+
+    #[test]
+    fn bt_bursts_are_longer_than_wifi() {
+        let mut wifi = WifiTransport::default();
+        let mut bt = BtRelayTransport::default();
+        let mut r = rng::for_component(2, "latency");
+        for i in 0..500 {
+            let at = SimTime::from_secs(i);
+            wifi.send(at, &report(), &mut r);
+            bt.send(at, &report(), &mut r);
+        }
+        let mean = |events: &[TransportEvent]| {
+            events.iter().map(|e| e.active.as_millis()).sum::<u64>() as f64
+                / events.len() as f64
+        };
+        assert!(mean(bt.events()) > 2.0 * mean(wifi.events()));
+    }
+
+    #[test]
+    fn delivery_time_is_after_send_time() {
+        let mut wifi = WifiTransport::default();
+        let mut r = rng::for_component(3, "time");
+        let at = SimTime::from_secs(10);
+        // Retry until a delivered outcome (p ≈ 0.995).
+        for _ in 0..100 {
+            if let SendOutcome::Delivered { at: arrival } = wifi.send(at, &report(), &mut r) {
+                assert!(arrival > at);
+                return;
+            }
+        }
+        panic!("wifi never delivered in 100 tries");
+    }
+
+    #[test]
+    fn failed_sends_still_log_energy_events() {
+        let mut never = BtRelayTransport::new(0.0, SimDuration::from_millis(400));
+        let mut r = rng::for_component(4, "fail");
+        let outcome = never.send(SimTime::ZERO, &report(), &mut r);
+        assert_eq!(outcome, SendOutcome::Failed);
+        assert_eq!(never.events().len(), 1);
+        assert!(!never.events()[0].delivered);
+        assert!(never.events()[0].active >= SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn empty_transport_reports_full_delivery() {
+        let wifi = WifiTransport::default();
+        assert_eq!(wifi.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn kinds_are_reported() {
+        assert_eq!(WifiTransport::default().kind(), TransportKind::Wifi);
+        assert_eq!(
+            BtRelayTransport::default().kind(),
+            TransportKind::BluetoothRelay
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = WifiTransport::new(1.5, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn retrying_lifts_bt_delivery_rate() {
+        let mut bare = BtRelayTransport::default();
+        let mut retried = Retrying::new(BtRelayTransport::default(), 2);
+        let mut r1 = rng::for_component(7, "retry-a");
+        let mut r2 = rng::for_component(7, "retry-b");
+        let n = 2000;
+        let mut bare_ok = 0usize;
+        let mut retried_ok = 0usize;
+        for i in 0..n {
+            let at = SimTime::from_secs(i * 2);
+            if bare.send(at, &report(), &mut r1).is_delivered() {
+                bare_ok += 1;
+            }
+            if retried.send(at, &report(), &mut r2).is_delivered() {
+                retried_ok += 1;
+            }
+        }
+        let bare_rate = bare_ok as f64 / n as f64;
+        let retried_rate = retried_ok as f64 / n as f64;
+        // p=0.9 single try vs 1-(0.1)^3 ≈ 0.999 with two retries.
+        assert!(bare_rate < 0.94, "bare {bare_rate}");
+        assert!(retried_rate > 0.99, "retried {retried_rate}");
+        // And the energy ledger sees the extra bursts.
+        assert!(retried.events().len() > n as usize);
+    }
+
+    #[test]
+    fn retrying_reports_every_attempt_in_events() {
+        let mut never = Retrying::new(
+            BtRelayTransport::new(0.0, SimDuration::from_millis(400)),
+            3,
+        );
+        let mut r = rng::for_component(8, "retry-never");
+        let outcome = never.send(SimTime::ZERO, &report(), &mut r);
+        assert_eq!(outcome, SendOutcome::Failed);
+        assert_eq!(never.events().len(), 4); // original + 3 retries
+        // Attempts are spaced by the previous burst, not simultaneous.
+        let starts: Vec<u64> = never.events().iter().map(|e| e.start.as_millis()).collect();
+        assert!(starts.windows(2).all(|w| w[1] > w[0]), "starts {starts:?}");
+    }
+
+    #[test]
+    fn retrying_zero_budget_behaves_like_inner() {
+        let mut wrapped = Retrying::new(WifiTransport::default(), 0);
+        let mut bare = WifiTransport::default();
+        let mut r1 = rng::for_component(9, "retry-zero");
+        let mut r2 = rng::for_component(9, "retry-zero");
+        for i in 0..200 {
+            let at = SimTime::from_secs(i);
+            let a = wrapped.send(at, &report(), &mut r1);
+            let b = bare.send(at, &report(), &mut r2);
+            assert_eq!(a.is_delivered(), b.is_delivered());
+        }
+        assert_eq!(wrapped.events().len(), bare.events().len());
+    }
+}

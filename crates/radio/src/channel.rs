@@ -1,0 +1,412 @@
+//! The end-to-end channel: what RSSI does a receiver record for one
+//! transmitted advertisement?
+
+use crate::fading::{standard_normal, RicianFading};
+use crate::pathloss::LogDistanceModel;
+use crate::{AdvChannel, DeviceRxProfile, Environment};
+use rand::Rng;
+use roomsense_geom::Point;
+use roomsense_sim::SimTime;
+use std::fmt;
+
+/// RF characteristics of a transmitter (the beacon side of the link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmitterProfile {
+    /// Mean RSSI an ideal receiver sees at 1 m line-of-sight, in dBm.
+    /// This is the physical truth the measured-power field should be
+    /// calibrated to.
+    pub rssi_at_1m_dbm: f64,
+    /// Path-loss exponent of the deployment environment.
+    pub path_loss_exponent: f64,
+    /// Rice factor of the fading when the path is line-of-sight.
+    pub los_rice_factor: f64,
+}
+
+impl Default for TransmitterProfile {
+    /// A 0 dBm-class USB dongle (paper: Inateck BTA-CSR4B5): −59 dBm at one
+    /// metre, indoor exponent 2.2, moderate line-of-sight fading.
+    fn default() -> Self {
+        TransmitterProfile {
+            rssi_at_1m_dbm: -59.0,
+            path_loss_exponent: 2.2,
+            los_rice_factor: 6.0,
+        }
+    }
+}
+
+impl TransmitterProfile {
+    /// The log-distance model this transmitter follows.
+    pub fn pathloss_model(&self) -> LogDistanceModel {
+        LogDistanceModel::new(self.rssi_at_1m_dbm, self.path_loss_exponent)
+    }
+}
+
+impl fmt::Display for TransmitterProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tx {:.0} dBm@1m, n={:.1}, K={:.0}",
+            self.rssi_at_1m_dbm, self.path_loss_exponent, self.los_rice_factor
+        )
+    }
+}
+
+/// The complete simulated radio channel.
+///
+/// Combines, in dB:
+/// `rssi = P1m − 10·n·log10(d) − walls(tx,rx) − shadow(rx) + fading + channel_offset + device_offset + noise`.
+/// A sample is *lost* (returns `None`) when the result falls below the
+/// device's sensitivity or the device's stack drops it.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_geom::Point;
+/// use roomsense_radio::{Channel, DeviceRxProfile, Environment, TransmitterProfile};
+/// use roomsense_sim::rng;
+///
+/// let channel = Channel::new(Environment::free_space(), 7);
+/// let mut r = rng::for_component(7, "doc");
+/// let rssi = channel
+///     .sample_rssi(&TransmitterProfile::default(), Point::new(0.0, 0.0),
+///                  &DeviceRxProfile::ideal(), Point::new(1.0, 0.0), &mut r)
+///     .expect("1 m LOS link never drops for an ideal receiver");
+/// // Within fading range of the calibrated -59 dBm:
+/// assert!(rssi > -75.0 && rssi < -45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    environment: Environment,
+    #[allow(dead_code)] // reserved for future per-channel fields
+    seed: u64,
+}
+
+impl Channel {
+    /// Creates a channel over `environment`. The seed only labels the
+    /// channel; randomness comes from the RNG passed to each call so callers
+    /// control determinism.
+    pub fn new(environment: Environment, seed: u64) -> Self {
+        Channel { environment, seed }
+    }
+
+    /// The propagation environment.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// Mutable access to the environment (e.g. to add an
+    /// [`Interferer`](crate::Interferer) after construction).
+    pub fn environment_mut(&mut self) -> &mut Environment {
+        &mut self.environment
+    }
+
+    /// The mean (fading-free, noise-free) RSSI of a link, in dBm — the
+    /// deterministic part of the channel. Useful for calibration and for
+    /// analytical expectations in tests.
+    pub fn mean_rssi_dbm(
+        &self,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+    ) -> f64 {
+        let distance = tx_pos.distance_to(rx_pos);
+        tx.pathloss_model().mean_rssi_dbm(distance)
+            - self.environment.obstruction_loss_db(tx_pos, rx_pos)
+            - self.environment.shadowing_loss_db(rx_pos)
+            + rx.gain_offset_db
+    }
+
+    /// Samples the RSSI one advertisement produces at the receiver, or
+    /// `None` when the packet is not received (below sensitivity, or the
+    /// stack dropped it).
+    pub fn sample_rssi<R: Rng + ?Sized>(
+        &self,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.sample_rssi_on(tx, tx_pos, rx, rx_pos, AdvChannel::Ch38, rng)
+    }
+
+    /// Samples the RSSI on a specific advertising channel (at simulation
+    /// time zero; use [`sample_rssi_on_at`](Self::sample_rssi_on_at) when
+    /// time-varying interference matters).
+    pub fn sample_rssi_on<R: Rng + ?Sized>(
+        &self,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        adv_channel: AdvChannel,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.sample_rssi_on_at(SimTime::ZERO, tx, tx_pos, rx, rx_pos, adv_channel, rng)
+    }
+
+    /// Samples the RSSI of one advertisement at simulation time `at`,
+    /// including duty-cycled interference sources
+    /// ([`Interferer`](crate::Interferer)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_rssi_on_at<R: Rng + ?Sized>(
+        &self,
+        at: SimTime,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        adv_channel: AdvChannel,
+        rng: &mut R,
+    ) -> Option<f64> {
+        // Interference collisions destroy the packet outright.
+        let collision = self.environment.collision_probability(at, rx_pos);
+        if collision > 0.0 && rng.gen::<f64>() < collision {
+            return None;
+        }
+        // Stack-level sample loss happens regardless of signal quality.
+        if rx.sample_loss_probability > 0.0 && rng.gen::<f64>() < rx.sample_loss_probability {
+            return None;
+        }
+        let mean = self.mean_rssi_dbm(tx, tx_pos, rx, rx_pos);
+        // Line-of-sight links fade gently (Rician); obstructed links lose
+        // their dominant path and fade hard (Rayleigh).
+        let fading = if self.environment.walls_crossed(tx_pos, rx_pos) == 0 {
+            RicianFading::new(tx.los_rice_factor)
+        } else {
+            RicianFading::rayleigh()
+        };
+        let rssi = mean
+            + fading.sample_db(rng)
+            + adv_channel.gain_offset_db()
+            + rx.noise_sigma_db * standard_normal(rng);
+        if rssi < rx.sensitivity_dbm {
+            None
+        } else {
+            Some(rssi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_geom::Segment;
+    use roomsense_radio_test_helpers::*;
+    use roomsense_sim::rng;
+
+    /// Shared helpers for channel tests.
+    mod roomsense_radio_test_helpers {
+        use super::*;
+
+        pub fn collect_samples(
+            channel: &Channel,
+            rx: &DeviceRxProfile,
+            distance: f64,
+            n: usize,
+            seed: u64,
+        ) -> Vec<f64> {
+            let tx = TransmitterProfile::default();
+            let mut r = rng::for_component(seed, "channel-test");
+            (0..n)
+                .filter_map(|_| {
+                    channel.sample_rssi(
+                        &tx,
+                        Point::new(0.0, 0.0),
+                        rx,
+                        Point::new(distance, 0.0),
+                        &mut r,
+                    )
+                })
+                .collect()
+        }
+
+        pub fn mean(xs: &[f64]) -> f64 {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    #[test]
+    fn mean_rssi_matches_pathloss_in_free_space() {
+        let channel = Channel::new(Environment::free_space(), 1);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::ideal();
+        let mean = channel.mean_rssi_dbm(&tx, Point::new(0.0, 0.0), &rx, Point::new(1.0, 0.0));
+        assert!((mean - -59.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_model_mean() {
+        let channel = Channel::new(Environment::free_space(), 2);
+        let rx = DeviceRxProfile::ideal();
+        let samples = collect_samples(&channel, &rx, 2.0, 20_000, 2);
+        let expected = TransmitterProfile::default()
+            .pathloss_model()
+            .mean_rssi_dbm(2.0);
+        // Fading has unit mean *linear* power, so the dB mean sits slightly
+        // below the model mean (Jensen); allow 2 dB.
+        assert!((mean(&samples) - expected).abs() < 2.0);
+    }
+
+    #[test]
+    fn farther_is_weaker() {
+        let channel = Channel::new(Environment::free_space(), 3);
+        let rx = DeviceRxProfile::ideal();
+        let near = mean(&collect_samples(&channel, &rx, 1.0, 5_000, 3));
+        let far = mean(&collect_samples(&channel, &rx, 8.0, 5_000, 3));
+        assert!(near > far + 10.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn wall_attenuates_and_switches_to_rayleigh() {
+        let mut env = Environment::free_space();
+        env.add_wall(crate::Wall::new(
+            Segment::new(Point::new(1.0, -5.0), Point::new(1.0, 5.0)),
+            crate::WallMaterial::Concrete,
+        ));
+        let walled = Channel::new(env, 4);
+        let open = Channel::new(Environment::free_space(), 4);
+        let rx = DeviceRxProfile::ideal();
+        let blocked = mean(&collect_samples(&walled, &rx, 2.0, 10_000, 4));
+        let clear = mean(&collect_samples(&open, &rx, 2.0, 10_000, 4));
+        // 12 dB of concrete plus the Rayleigh-vs-Rician mean shift.
+        assert!(clear - blocked > 9.0, "clear {clear} blocked {blocked}");
+    }
+
+    #[test]
+    fn nexus5_reads_hotter_than_s3_mini() {
+        // The Fig 11 effect.
+        let channel = Channel::new(Environment::free_space(), 5);
+        let n5 = mean(&collect_samples(&channel, &DeviceRxProfile::nexus_5(), 2.0, 10_000, 5));
+        let s3 = mean(&collect_samples(
+            &channel,
+            &DeviceRxProfile::galaxy_s3_mini(),
+            2.0,
+            10_000,
+            5,
+        ));
+        assert!((n5 - s3 - 6.0).abs() < 1.0, "n5 {n5} s3 {s3}");
+    }
+
+    #[test]
+    fn sample_loss_rate_matches_profile() {
+        let channel = Channel::new(Environment::free_space(), 6);
+        let rx = DeviceRxProfile::new("lossy", 0.0, 0.0, 0.25, -120.0);
+        let n = 20_000;
+        let received = collect_samples(&channel, &rx, 1.0, n, 6).len();
+        let rate = received as f64 / n as f64;
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn below_sensitivity_is_dropped() {
+        let channel = Channel::new(Environment::free_space(), 7);
+        let deaf = DeviceRxProfile::new("deaf", 0.0, 0.0, 0.0, -30.0);
+        let samples = collect_samples(&channel, &deaf, 10.0, 1_000, 7);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn active_interferer_erases_packets() {
+        use crate::Interferer;
+        use roomsense_sim::SimDuration;
+        let mut env = Environment::free_space();
+        // Always-on interferer killing 100% of nearby packets.
+        env.add_interferer(Interferer::new(
+            Point::new(1.0, 0.0),
+            5.0,
+            SimDuration::from_secs(1),
+            1.0,
+            1.0,
+        ));
+        let channel = Channel::new(env, 9);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(9, "interference");
+        for _ in 0..100 {
+            let sample = channel.sample_rssi_on_at(
+                SimTime::from_millis(100),
+                &tx,
+                Point::new(0.0, 0.0),
+                &rx,
+                Point::new(1.0, 0.0),
+                AdvChannel::Ch38,
+                &mut r,
+            );
+            assert!(sample.is_none(), "packet survived a certain collision");
+        }
+        // A receiver outside the interferer's range is untouched.
+        let far = channel.sample_rssi_on_at(
+            SimTime::from_millis(100),
+            &tx,
+            Point::new(0.0, 0.0),
+            &rx,
+            Point::new(10.0, 0.0),
+            AdvChannel::Ch38,
+            &mut r,
+        );
+        assert!(far.is_some());
+    }
+
+    #[test]
+    fn duty_cycled_interferer_halves_throughput() {
+        use crate::Interferer;
+        use roomsense_sim::SimDuration;
+        let mut env = Environment::free_space();
+        env.add_interferer(Interferer::new(
+            Point::new(1.0, 0.0),
+            5.0,
+            SimDuration::from_millis(100),
+            0.5,
+            1.0,
+        ));
+        let channel = Channel::new(env, 10);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(10, "duty");
+        let received = (0..1000)
+            .filter(|i| {
+                channel
+                    .sample_rssi_on_at(
+                        SimTime::from_millis(i * 7), // sweeps phases
+                        &tx,
+                        Point::new(0.0, 0.0),
+                        &rx,
+                        Point::new(1.0, 0.0),
+                        AdvChannel::Ch38,
+                        &mut r,
+                    )
+                    .is_some()
+            })
+            .count();
+        let rate = received as f64 / 1000.0;
+        assert!((rate - 0.5).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn channel_offsets_are_small_but_distinct() {
+        let channel = Channel::new(Environment::free_space(), 8);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::ideal();
+        let mut means = Vec::new();
+        for adv in AdvChannel::ALL {
+            let mut r = rng::for_component(8, "chan-offset");
+            let xs: Vec<f64> = (0..20_000)
+                .filter_map(|_| {
+                    channel.sample_rssi_on(
+                        &tx,
+                        Point::new(0.0, 0.0),
+                        &rx,
+                        Point::new(1.0, 0.0),
+                        adv,
+                        &mut r,
+                    )
+                })
+                .collect();
+            means.push(mean(&xs));
+        }
+        assert!(means[0] > means[2], "ch37 {} ch39 {}", means[0], means[2]);
+        assert!((means[0] - means[2]).abs() < 2.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! From one scan cycle's samples to per-beacon distance observations.
+//!
+//! A scan cycle (paper footnote 1) exists precisely to pool samples before
+//! estimating a distance: on iOS there are hundreds to pool, on Android
+//! often just one. This module does the pooling and the RSSI → distance
+//! conversion.
+
+use roomsense_ibeacon::{estimate_distance_log, BeaconIdentity, RangingConfig};
+use roomsense_sim::SimTime;
+use roomsense_stack::ScanCycleReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How multiple RSSI samples of one beacon within a cycle are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregateMethod {
+    /// Arithmetic mean of the dBm values (what the Radius Networks library
+    /// the paper used does).
+    #[default]
+    MeanDbm,
+    /// Median of the dBm values — more robust when iOS-style sample counts
+    /// are available.
+    MedianDbm,
+}
+
+/// One per-beacon observation produced from a scan cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Cycle end time (when the app receives the batch).
+    pub at: SimTime,
+    /// Which beacon.
+    pub identity: BeaconIdentity,
+    /// Pooled RSSI in dBm.
+    pub rssi_dbm: f64,
+    /// Distance estimate in metres.
+    pub distance_m: f64,
+    /// How many raw samples went into the pool (1 on Android, possibly
+    /// hundreds on iOS).
+    pub sample_count: usize,
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {:.1} dBm -> {:.2} m ({} samples)",
+            self.at, self.identity, self.rssi_dbm, self.distance_m, self.sample_count
+        )
+    }
+}
+
+/// Pools one cycle's samples per beacon and estimates distances.
+///
+/// Returns observations sorted by beacon identity (deterministic order).
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_ibeacon::RangingConfig;
+/// use roomsense_signal::{aggregate_cycle, AggregateMethod};
+/// use roomsense_stack::ScanCycleReport;
+/// use roomsense_sim::SimTime;
+///
+/// let empty = ScanCycleReport {
+///     start: SimTime::ZERO,
+///     end: SimTime::from_secs(2),
+///     samples: vec![],
+/// };
+/// let obs = aggregate_cycle(&empty, AggregateMethod::MeanDbm, &RangingConfig::default());
+/// assert!(obs.is_empty());
+/// ```
+pub fn aggregate_cycle(
+    cycle: &ScanCycleReport,
+    method: AggregateMethod,
+    ranging: &RangingConfig,
+) -> Vec<Observation> {
+    let mut pools: BTreeMap<BeaconIdentity, (Vec<f64>, roomsense_ibeacon::MeasuredPower)> =
+        BTreeMap::new();
+    for sample in &cycle.samples {
+        pools
+            .entry(sample.identity)
+            .or_insert_with(|| (Vec::new(), sample.measured_power))
+            .0
+            .push(sample.rssi_dbm);
+    }
+    pools
+        .into_iter()
+        .map(|(identity, (mut rssis, power))| {
+            let pooled = match method {
+                AggregateMethod::MeanDbm => rssis.iter().sum::<f64>() / rssis.len() as f64,
+                AggregateMethod::MedianDbm => {
+                    rssis.sort_by(|a, b| a.partial_cmp(b).expect("finite rssi"));
+                    let mid = rssis.len() / 2;
+                    if rssis.len() % 2 == 0 {
+                        (rssis[mid - 1] + rssis[mid]) / 2.0
+                    } else {
+                        rssis[mid]
+                    }
+                }
+            };
+            Observation {
+                at: cycle.end,
+                identity,
+                rssi_dbm: pooled,
+                distance_m: estimate_distance_log(pooled, power, ranging),
+                sample_count: rssis.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_ibeacon::{Major, MeasuredPower, Minor, ProximityUuid};
+    use roomsense_stack::ScanSample;
+
+    fn sample(minor: u16, rssi: f64) -> ScanSample {
+        ScanSample {
+            at: SimTime::from_millis(100),
+            identity: BeaconIdentity {
+                uuid: ProximityUuid::example(),
+                major: Major::new(1),
+                minor: Minor::new(minor),
+            },
+            measured_power: MeasuredPower::new(-59),
+            rssi_dbm: rssi,
+        }
+    }
+
+    fn cycle(samples: Vec<ScanSample>) -> ScanCycleReport {
+        ScanCycleReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(2),
+            samples,
+        }
+    }
+
+    #[test]
+    fn pools_per_beacon() {
+        let c = cycle(vec![
+            sample(0, -60.0),
+            sample(0, -62.0),
+            sample(1, -70.0),
+        ]);
+        let obs = aggregate_cycle(&c, AggregateMethod::MeanDbm, &RangingConfig::default());
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].rssi_dbm, -61.0);
+        assert_eq!(obs[0].sample_count, 2);
+        assert_eq!(obs[1].rssi_dbm, -70.0);
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let c = cycle(vec![
+            sample(0, -60.0),
+            sample(0, -61.0),
+            sample(0, -95.0),
+        ]);
+        let mean = aggregate_cycle(&c, AggregateMethod::MeanDbm, &RangingConfig::default());
+        let median = aggregate_cycle(&c, AggregateMethod::MedianDbm, &RangingConfig::default());
+        assert!(median[0].rssi_dbm > mean[0].rssi_dbm);
+        assert_eq!(median[0].rssi_dbm, -61.0);
+    }
+
+    #[test]
+    fn distance_uses_log_model() {
+        let cfg = RangingConfig {
+            path_loss_exponent: 2.0,
+        };
+        let c = cycle(vec![sample(0, -79.0)]);
+        let obs = aggregate_cycle(&c, AggregateMethod::MeanDbm, &cfg);
+        assert!((obs[0].distance_m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation_timestamped_at_cycle_end() {
+        let c = cycle(vec![sample(0, -60.0)]);
+        let obs = aggregate_cycle(&c, AggregateMethod::MeanDbm, &RangingConfig::default());
+        assert_eq!(obs[0].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn output_sorted_by_identity() {
+        let c = cycle(vec![sample(4, -60.0), sample(1, -60.0), sample(3, -60.0)]);
+        let obs = aggregate_cycle(&c, AggregateMethod::MeanDbm, &RangingConfig::default());
+        let minors: Vec<u16> = obs.iter().map(|o| o.identity.minor.value()).collect();
+        assert_eq!(minors, vec![1, 3, 4]);
+    }
+}

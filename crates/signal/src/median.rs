@@ -1,0 +1,168 @@
+//! A moving-median filter — the robust-but-laggy baseline.
+
+use crate::{DistanceFilter, LossPolicy};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A moving median over the last `window` observations.
+///
+/// Medians reject single-cycle spikes completely (better than EWMA) but add
+/// `window / 2` cycles of latency to every real movement (worse than EWMA).
+/// The `ablate_coeff` bench quantifies the trade-off.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_signal::{DistanceFilter, MedianFilter};
+///
+/// let mut f = MedianFilter::new(3);
+/// f.update(Some(2.0));
+/// f.update(Some(2.1));
+/// // A wild spike is completely rejected:
+/// assert_eq!(f.update(Some(40.0)), Some(2.1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MedianFilter {
+    window: usize,
+    policy: LossPolicy,
+    history: VecDeque<f64>,
+    consecutive_losses: u32,
+}
+
+impl MedianFilter {
+    /// Creates a filter with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        MedianFilter {
+            window,
+            policy: LossPolicy::HoldOneCycle,
+            history: VecDeque::with_capacity(window),
+            consecutive_losses: 0,
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn median(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.history.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        let mid = sorted.len() / 2;
+        Some(if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        })
+    }
+}
+
+impl DistanceFilter for MedianFilter {
+    fn update(&mut self, observation: Option<f64>) -> Option<f64> {
+        match observation {
+            Some(v) => {
+                self.consecutive_losses = 0;
+                if self.history.len() == self.window {
+                    self.history.pop_front();
+                }
+                self.history.push_back(v);
+                self.median()
+            }
+            None => {
+                self.consecutive_losses += 1;
+                let drop_after = match self.policy {
+                    LossPolicy::HoldOneCycle => 2,
+                    LossPolicy::DropImmediately => 1,
+                };
+                if self.consecutive_losses >= drop_after {
+                    self.history.clear();
+                }
+                self.median()
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.consecutive_losses = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "median"
+    }
+}
+
+impl fmt::Display for MedianFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "median(window={})", self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_spike_is_rejected() {
+        let mut f = MedianFilter::new(5);
+        for _ in 0..5 {
+            f.update(Some(2.0));
+        }
+        assert_eq!(f.update(Some(50.0)), Some(2.0));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut f = MedianFilter::new(3);
+        f.update(Some(1.0));
+        f.update(Some(2.0));
+        f.update(Some(3.0));
+        assert_eq!(f.update(Some(4.0)), Some(3.0)); // window = [2,3,4]
+    }
+
+    #[test]
+    fn even_window_averages_middle_pair() {
+        let mut f = MedianFilter::new(4);
+        f.update(Some(1.0));
+        f.update(Some(2.0));
+        f.update(Some(3.0));
+        assert_eq!(f.update(Some(4.0)), Some(2.5));
+    }
+
+    #[test]
+    fn hold_then_drop_like_the_paper() {
+        let mut f = MedianFilter::new(3);
+        f.update(Some(2.0));
+        assert_eq!(f.update(None), Some(2.0));
+        assert_eq!(f.update(None), None);
+    }
+
+    #[test]
+    fn window_one_is_passthrough() {
+        let mut f = MedianFilter::new(1);
+        assert_eq!(f.update(Some(7.0)), Some(7.0));
+        assert_eq!(f.update(Some(9.0)), Some(9.0));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut f = MedianFilter::new(3);
+        f.update(Some(2.0));
+        f.reset();
+        assert_eq!(f.update(Some(5.0)), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = MedianFilter::new(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Stability and responsiveness metrics for filter tuning (paper Figs 7–8).
+//!
+//! "Increasing the coefficient makes the signal more stable and less
+//! affected by peaks but on the other hand it becomes less responsive to
+//! movements. To determine the best trade-off … some dynamic tests have been
+//! performed." These metrics quantify both sides:
+//!
+//! * **Stability** — the standard deviation of the filter output over a
+//!   static capture (smaller is better).
+//! * **Responsiveness** — the settling time after a step change in the true
+//!   distance (smaller is better).
+
+/// Arithmetic mean of a slice. Returns `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation of a slice. Returns `None` on empty input.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_signal::metrics::std_dev;
+/// let flat = [2.0, 2.0, 2.0];
+/// assert_eq!(std_dev(&flat), Some(0.0));
+/// ```
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Root-mean-square error between a series and a constant truth.
+pub fn rmse_against(values: &[f64], truth: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let sq = values.iter().map(|v| (v - truth) * (v - truth)).sum::<f64>() / values.len() as f64;
+    Some(sq.sqrt())
+}
+
+/// Settling time of a step response, in cycles.
+///
+/// `series` is the filter output sampled once per cycle, starting at the
+/// cycle in which the true value stepped from `from` to `to`. Settled means
+/// within `tolerance` × |step| of `to` *and staying there* for the rest of
+/// the series. Returns `None` if the series never settles.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_signal::metrics::settling_cycles;
+/// // Steps from 0 toward 10, reaching within 10% at index 3.
+/// let series = [4.0, 7.0, 8.5, 9.2, 9.6, 9.8];
+/// assert_eq!(settling_cycles(&series, 0.0, 10.0, 0.1), Some(3));
+/// ```
+pub fn settling_cycles(series: &[f64], from: f64, to: f64, tolerance: f64) -> Option<usize> {
+    let band = tolerance * (to - from).abs();
+    let settled = |v: f64| (v - to).abs() <= band;
+    // Find the first index from which everything stays inside the band.
+    let mut candidate: Option<usize> = None;
+    for (i, &v) in series.iter().enumerate() {
+        if settled(v) {
+            if candidate.is_none() {
+                candidate = Some(i);
+            }
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+/// The crossover index in a two-beacon dynamic walk: the first cycle at
+/// which the estimated distance to `b` becomes smaller than to `a`
+/// (the moment the system would switch rooms). Series entries are
+/// `(dist_to_a, dist_to_b)`; `None` values (lost tracks) never win.
+///
+/// Returns `None` if `b` never becomes closer.
+pub fn crossover_index(series: &[(Option<f64>, Option<f64>)]) -> Option<usize> {
+    series.iter().position(|(a, b)| match (a, b) {
+        (Some(da), Some(db)) => db < da,
+        (None, Some(_)) => true,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_series() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        let sd = std_dev(&xs).expect("non-empty");
+        assert!((sd - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_series_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(rmse_against(&[], 1.0), None);
+    }
+
+    #[test]
+    fn rmse_zero_when_exact() {
+        assert_eq!(rmse_against(&[3.0, 3.0], 3.0), Some(0.0));
+    }
+
+    #[test]
+    fn settling_requires_staying_in_band() {
+        // Enters the band at 2, leaves at 3, re-enters at 4.
+        let series = [5.0, 8.0, 9.5, 7.0, 9.6, 9.7];
+        assert_eq!(settling_cycles(&series, 0.0, 10.0, 0.1), Some(4));
+    }
+
+    #[test]
+    fn never_settles() {
+        let series = [1.0, 2.0, 3.0];
+        assert_eq!(settling_cycles(&series, 0.0, 10.0, 0.05), None);
+    }
+
+    #[test]
+    fn settles_immediately() {
+        let series = [9.9, 10.0, 10.1];
+        assert_eq!(settling_cycles(&series, 0.0, 10.0, 0.1), Some(0));
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let series = [
+            (Some(1.0), Some(9.0)),
+            (Some(3.0), Some(6.0)),
+            (Some(5.0), Some(4.0)),
+            (Some(7.0), Some(2.0)),
+        ];
+        assert_eq!(crossover_index(&series), Some(2));
+    }
+
+    #[test]
+    fn crossover_with_lost_first_track() {
+        let series = [(Some(1.0), Some(9.0)), (None, Some(6.0))];
+        assert_eq!(crossover_index(&series), Some(1));
+    }
+
+    #[test]
+    fn no_crossover() {
+        let series = [(Some(1.0), Some(9.0)), (Some(1.0), None)];
+        assert_eq!(crossover_index(&series), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! A small deterministic discrete-event simulation kernel.
+//!
+//! Every stochastic, time-driven part of the reproduction — advertisers
+//! beaconing on a schedule, phones scanning in cycles, transports delivering
+//! messages with latency, batteries draining — runs on this kernel:
+//!
+//! * [`SimTime`] / [`SimDuration`]: integer-millisecond timestamps. Integer
+//!   time keeps event ordering exact and runs reproducible.
+//! * [`EventQueue`]: a monotonic priority queue of `(SimTime, payload)` pairs
+//!   with FIFO tie-breaking for simultaneous events.
+//! * [`rng`]: seed-derivation helpers so each component gets an independent,
+//!   named random stream from one experiment master seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use roomsense_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(20), "second");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(10), "first");
+//! let (t, ev) = q.pop().expect("non-empty");
+//! assert_eq!((t.as_millis(), ev), (10, "first"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+pub mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

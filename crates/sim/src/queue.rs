@@ -1,0 +1,237 @@
+//! The event queue at the heart of the simulation loop.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of simulation events.
+///
+/// Events scheduled for the same instant are delivered in the order they were
+/// scheduled (FIFO), which keeps multi-actor simulations deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), 'b');
+/// q.schedule(SimTime::from_millis(1), 'a');
+/// q.schedule(SimTime::from_millis(5), 'c');
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    sequence: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (then the
+        // lowest sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.sequence;
+        self.sequence += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.schedule(at, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let events = vec![
+            (SimTime::from_millis(2), 'b'),
+            (SimTime::from_millis(1), 'a'),
+        ];
+        let mut q: EventQueue<char> = events.into_iter().collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some('a'));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Popping yields exactly the scheduled payloads, sorted stably
+            /// by time (equal times keep insertion order).
+            #[test]
+            fn pop_order_is_a_stable_sort(times in prop::collection::vec(0u64..50, 0..100)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_millis(*t), i);
+                }
+                let mut expected: Vec<(u64, usize)> =
+                    times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+                expected.sort_by_key(|(t, i)| (*t, *i)); // stable by construction
+                let popped: Vec<(u64, usize)> =
+                    std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_millis(), e))).collect();
+                prop_assert_eq!(popped, expected);
+            }
+
+            /// len/is_empty stay consistent through arbitrary operations.
+            #[test]
+            fn len_tracks_contents(ops in prop::collection::vec(prop::option::of(0u64..100), 0..60)) {
+                let mut q = EventQueue::new();
+                let mut expected_len = 0usize;
+                for op in ops {
+                    match op {
+                        Some(t) => {
+                            q.schedule(SimTime::from_millis(t), ());
+                            expected_len += 1;
+                        }
+                        None => {
+                            let popped = q.pop();
+                            prop_assert_eq!(popped.is_some(), expected_len > 0);
+                            expected_len = expected_len.saturating_sub(1);
+                        }
+                    }
+                    prop_assert_eq!(q.len(), expected_len);
+                    prop_assert_eq!(q.is_empty(), expected_len == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "late");
+        q.schedule(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+        q.schedule(SimTime::from_millis(5), "middle");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("middle"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Driving a receiver through the radio: receptions → scan cycles.
+
+use crate::{Reception, ScanConfig, ScanSample, ScannerModel};
+use rand::Rng;
+use roomsense_geom::Point;
+use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, TransmitterProfile};
+use roomsense_sim::SimTime;
+
+/// An advertiser installed at a fixed position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedAdvertiser {
+    /// The transmitter's advertising behaviour and packet.
+    pub advertiser: Advertiser,
+    /// Its RF profile.
+    pub profile: TransmitterProfile,
+    /// Antenna position.
+    pub position: Point,
+}
+
+/// The outcome of one scan cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanCycleReport {
+    /// Cycle start (inclusive).
+    pub start: SimTime,
+    /// Cycle end (exclusive).
+    pub end: SimTime,
+    /// The samples the OS delivered for this cycle.
+    pub samples: Vec<ScanSample>,
+}
+
+impl ScanCycleReport {
+    /// Mean reported RSSI for one beacon within this cycle, if it was seen.
+    pub fn mean_rssi_for(&self, identity: &roomsense_ibeacon::BeaconIdentity) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.identity == *identity)
+            .map(|s| s.rssi_dbm)
+            .collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+}
+
+/// Simulates every advertisement that physically reaches the receiver in
+/// `[from, until)`, for a receiver whose position is given by
+/// `rx_position(t)`.
+///
+/// Each advertiser's schedule is generated independently; receptions are
+/// returned sorted by time.
+pub fn simulate_receptions<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+) -> Vec<Reception>
+where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
+    let mut receptions = Vec::new();
+    for placed in advertisers {
+        for tx_event in placed.advertiser.schedule(from, until, rng) {
+            let rx_pos = rx_position(tx_event.at);
+            if let Some(rssi) = channel.sample_rssi_on_at(
+                tx_event.at,
+                &placed.profile,
+                placed.position,
+                rx,
+                rx_pos,
+                tx_event.channel,
+                rng,
+            ) {
+                receptions.push(Reception {
+                    at: tx_event.at,
+                    packet: *placed.advertiser.packet(),
+                    rssi_dbm: rssi,
+                    channel: tx_event.channel,
+                });
+            }
+        }
+    }
+    receptions.sort_by_key(|r| r.at);
+    receptions
+}
+
+/// Groups receptions into scan cycles and runs the scanner model on each.
+///
+/// Cycles tile `[from, until)` back to back at `config.scan_period`; a final
+/// partial cycle is included.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_geom::Point;
+/// use roomsense_ibeacon::{Major, MeasuredPower, Minor, Packet, ProximityUuid};
+/// use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, Environment, TransmitterProfile};
+/// use roomsense_sim::{rng, SimDuration, SimTime};
+/// use roomsense_stack::{run_scan, simulate_receptions, AndroidScanner, PlacedAdvertiser, ScanConfig};
+///
+/// let channel = Channel::new(Environment::free_space(), 1);
+/// let packet = Packet::new(ProximityUuid::example(), Major::new(1), Minor::new(0),
+///                          MeasuredPower::new(-59));
+/// let placed = PlacedAdvertiser {
+///     advertiser: Advertiser::new(packet, SimDuration::from_millis(33)),
+///     profile: TransmitterProfile::default(),
+///     position: Point::new(0.0, 0.0),
+/// };
+/// let mut r = rng::for_component(1, "doc");
+/// let receptions = simulate_receptions(
+///     &channel, &[placed], &DeviceRxProfile::ideal(),
+///     |_| Point::new(2.0, 0.0), SimTime::ZERO, SimTime::from_secs(10), &mut r);
+/// let cycles = run_scan(&receptions, &AndroidScanner::reliable(),
+///                       ScanConfig::default(), SimTime::ZERO, SimTime::from_secs(10), &mut r);
+/// // 10 s at a 2 s period = 5 cycles, one sample each (Section V's example).
+/// assert_eq!(cycles.len(), 5);
+/// let total: usize = cycles.iter().map(|c| c.samples.len()).sum();
+/// assert_eq!(total, 5);
+/// ```
+pub fn run_scan<M, R>(
+    receptions: &[Reception],
+    model: &M,
+    config: ScanConfig,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+) -> Vec<ScanCycleReport>
+where
+    M: ScannerModel,
+    R: Rng + ?Sized,
+{
+    assert!(
+        !config.scan_period.is_zero(),
+        "scan period must be non-zero"
+    );
+    let mut cycles = Vec::new();
+    let mut start = from;
+    let mut idx = 0usize;
+    while start < until {
+        let end = (start + config.scan_period).min(until);
+        // Receptions are sorted; take the slice within [start, end).
+        let begin = idx;
+        while idx < receptions.len() && receptions[idx].at < end {
+            idx += 1;
+        }
+        let samples = model.filter_cycle(start, &receptions[begin..idx], rng);
+        cycles.push(ScanCycleReport {
+            start,
+            end,
+            samples,
+        });
+        start = end;
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AndroidScanner, IosScanner};
+    use roomsense_ibeacon::{Major, MeasuredPower, Minor, Packet, ProximityUuid};
+    use roomsense_radio::Environment;
+    use roomsense_sim::{rng, SimDuration};
+
+    fn placed(minor: u16, x: f64, interval_ms: u64) -> PlacedAdvertiser {
+        let packet = Packet::new(
+            ProximityUuid::example(),
+            Major::new(1),
+            Minor::new(minor),
+            MeasuredPower::new(-59),
+        );
+        PlacedAdvertiser {
+            advertiser: Advertiser::with_jitter(
+                packet,
+                SimDuration::from_millis(interval_ms),
+                SimDuration::ZERO,
+            ),
+            profile: TransmitterProfile::default(),
+            position: Point::new(x, 0.0),
+        }
+    }
+
+    #[test]
+    fn paper_section_v_sampling_example() {
+        // "having a scan period of two seconds and an iBeacon generator that
+        // transmits thirty times per second, an Android device that scans
+        // for ten seconds gets only five samples … an iOS device receives
+        // three hundred samples".
+        let channel = Channel::new(Environment::free_space(), 1);
+        let adv = placed(0, 0.0, 33); // ~30 Hz
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(1, "sectionv");
+        let receptions = simulate_receptions(
+            &channel,
+            &[adv],
+            &rx,
+            |_| Point::new(2.0, 0.0),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let android = run_scan(
+            &receptions,
+            &AndroidScanner::reliable(),
+            ScanConfig::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let ios = run_scan(
+            &receptions,
+            &IosScanner,
+            ScanConfig::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let android_total: usize = android.iter().map(|c| c.samples.len()).sum();
+        let ios_total: usize = ios.iter().map(|c| c.samples.len()).sum();
+        assert_eq!(android_total, 5);
+        assert!(
+            (280..=310).contains(&ios_total),
+            "ios got {ios_total} samples"
+        );
+    }
+
+    #[test]
+    fn android_sees_each_beacon_once_per_cycle() {
+        let channel = Channel::new(Environment::free_space(), 2);
+        let advs = vec![placed(0, 0.0, 100), placed(1, 4.0, 100)];
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(2, "multi");
+        let receptions = simulate_receptions(
+            &channel,
+            &advs,
+            &rx,
+            |_| Point::new(2.0, 0.0),
+            SimTime::ZERO,
+            SimTime::from_secs(4),
+            &mut r,
+        );
+        let cycles = run_scan(
+            &receptions,
+            &AndroidScanner::reliable(),
+            ScanConfig::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(4),
+            &mut r,
+        );
+        for cycle in &cycles {
+            assert!(cycle.samples.len() <= 2);
+            let minors: Vec<u16> = cycle.samples.iter().map(|s| s.identity.minor.value()).collect();
+            let mut dedup = minors.clone();
+            dedup.dedup();
+            assert_eq!(minors, dedup, "duplicate advertiser in one cycle");
+        }
+    }
+
+    #[test]
+    fn longer_scan_period_pools_more_android_samples() {
+        // The Fig 4 → Fig 6 lever: a 10 s scan period contains five 2 s
+        // restart windows, so Android pools ~5 samples per beacon per cycle.
+        let channel = Channel::new(Environment::free_space(), 9);
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(9, "pooling");
+        let receptions = simulate_receptions(
+            &channel,
+            &[placed(0, 0.0, 33)],
+            &rx,
+            |_| Point::new(2.0, 0.0),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let cycles = run_scan(
+            &receptions,
+            &AndroidScanner::reliable(),
+            ScanConfig {
+                scan_period: SimDuration::from_secs(10),
+            },
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].samples.len(), 5);
+    }
+
+    #[test]
+    fn partial_final_cycle_is_emitted() {
+        let channel = Channel::new(Environment::free_space(), 3);
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(3, "partial");
+        let receptions = simulate_receptions(
+            &channel,
+            &[placed(0, 0.0, 100)],
+            &rx,
+            |_| Point::new(1.0, 0.0),
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            &mut r,
+        );
+        let cycles = run_scan(
+            &receptions,
+            &IosScanner,
+            ScanConfig::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            &mut r,
+        );
+        assert_eq!(cycles.len(), 3); // 2 + 2 + 1 seconds
+        assert_eq!(cycles[2].end, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn moving_receiver_changes_rssi_trend() {
+        // Walk away from the beacon: later cycles should be weaker.
+        let channel = Channel::new(Environment::free_space(), 4);
+        let rx = DeviceRxProfile::ideal();
+        let mut r = rng::for_component(4, "moving");
+        let adv = placed(0, 0.0, 33);
+        let identity = adv.advertiser.packet().identity();
+        let receptions = simulate_receptions(
+            &channel,
+            &[adv],
+            &rx,
+            |t| Point::new(1.0 + t.as_secs_f64(), 0.0), // 1 m/s away
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let cycles = run_scan(
+            &receptions,
+            &IosScanner,
+            ScanConfig::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut r,
+        );
+        let first = cycles.first().and_then(|c| c.mean_rssi_for(&identity)).expect("seen");
+        let last = cycles.last().and_then(|c| c.mean_rssi_for(&identity)).expect("seen");
+        assert!(first > last + 8.0, "first {first} last {last}");
+    }
+
+    #[test]
+    fn mean_rssi_for_missing_beacon_is_none() {
+        let report = ScanCycleReport {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(2),
+            samples: Vec::new(),
+        };
+        let id = roomsense_ibeacon::BeaconIdentity {
+            uuid: ProximityUuid::example(),
+            major: Major::new(1),
+            minor: Minor::new(0),
+        };
+        assert_eq!(report.mean_rssi_for(&id), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan period")]
+    fn zero_scan_period_panics() {
+        let mut r = rng::for_component(5, "zero");
+        let _ = run_scan(
+            &[],
+            &IosScanner,
+            ScanConfig {
+                scan_period: SimDuration::ZERO,
+            },
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &mut r,
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! Scanner models: what the OS reports out of what the radio heard.
+
+use rand::Rng;
+use roomsense_ibeacon::{BeaconIdentity, MeasuredPower, Packet};
+use roomsense_radio::AdvChannel;
+use roomsense_sim::{SimDuration, SimTime};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One advertisement that physically reached the receiver's radio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reception {
+    /// When the packet arrived.
+    pub at: SimTime,
+    /// The decoded packet.
+    pub packet: Packet,
+    /// RSSI the radio measured, in dBm.
+    pub rssi_dbm: f64,
+    /// Advertising channel it arrived on.
+    pub channel: AdvChannel,
+}
+
+/// One RSSI sample the OS actually delivered to the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanSample {
+    /// When the underlying packet was received.
+    pub at: SimTime,
+    /// Which beacon it came from.
+    pub identity: BeaconIdentity,
+    /// The packet's calibrated measured power.
+    pub measured_power: MeasuredPower,
+    /// RSSI as reported by the OS, in dBm.
+    pub rssi_dbm: f64,
+}
+
+impl ScanSample {
+    fn from_reception(r: &Reception) -> Self {
+        ScanSample {
+            at: r.at,
+            identity: r.packet.identity(),
+            measured_power: r.packet.measured_power(),
+            rssi_dbm: r.rssi_dbm,
+        }
+    }
+}
+
+/// Scan timing configuration.
+///
+/// The *scan period* (paper footnote 1: "the time used to collect samples
+/// for estimating the distance") is the length of one scan cycle; the app
+/// receives one batch of samples per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Length of one scan cycle.
+    pub scan_period: SimDuration,
+}
+
+impl Default for ScanConfig {
+    /// The paper's baseline 2-second scan period.
+    fn default() -> Self {
+        ScanConfig {
+            scan_period: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// How an operating system turns radio receptions into app-visible samples.
+///
+/// Implementations are stateless between cycles; all state lives in the
+/// receptions themselves.
+pub trait ScannerModel {
+    /// Filters the receptions of one scan cycle (which started at
+    /// `cycle_start`) into the samples the OS reports to the app.
+    fn filter_cycle<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+    ) -> Vec<ScanSample>;
+
+    /// A short name for reports and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// The Android 4.x BLE scan behaviour.
+///
+/// * The OS deduplicates per **scan restart window**: `onLeScan` reports
+///   each advertiser once per started scan, so apps restart the scan on a
+///   timer (the classic Android 4.x workaround; the paper's 2-second value
+///   is the [`ScanConfig`] default). Within one restart window the scanner
+///   delivers **at most one sample per distinct advertiser** — the first
+///   packet heard. A longer scan *period* therefore pools more (but still
+///   few) samples per estimate, which is exactly the paper's Fig 4 → Fig 6
+///   lever: "we increased the scan period to collect more sample obtaining
+///   more accurate distance estimations".
+/// * With probability `stall_probability`, an entire restart window is
+///   lost: the adapter wedges and delivers nothing (the paper's "the
+///   adapter sometimes looses some samples due to bugs in the software
+///   stack").
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_stack::{AndroidScanner, ScannerModel};
+/// let scanner = AndroidScanner::default();
+/// assert!(scanner.stall_probability() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndroidScanner {
+    stall_probability: f64,
+    restart_interval: SimDuration,
+}
+
+impl AndroidScanner {
+    /// Creates a scanner with the given per-restart-window stall
+    /// probability and the default 2-second restart interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(stall_probability: f64) -> Self {
+        AndroidScanner::with_restart_interval(stall_probability, SimDuration::from_secs(2))
+    }
+
+    /// Full control over the restart interval (how often the app restarts
+    /// the scan to defeat the per-scan deduplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]` or the interval is
+    /// zero.
+    pub fn with_restart_interval(stall_probability: f64, restart_interval: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&stall_probability),
+            "stall probability must be in [0, 1] (got {stall_probability})"
+        );
+        assert!(
+            !restart_interval.is_zero(),
+            "restart interval must be non-zero"
+        );
+        AndroidScanner {
+            stall_probability,
+            restart_interval,
+        }
+    }
+
+    /// A bug-free Android stack (still one-sample-per-advertiser per
+    /// restart window, but no stalls) — the structural limit alone.
+    pub fn reliable() -> Self {
+        AndroidScanner::new(0.0)
+    }
+
+    /// The per-restart-window stall probability.
+    pub fn stall_probability(&self) -> f64 {
+        self.stall_probability
+    }
+
+    /// The scan restart interval.
+    pub fn restart_interval(&self) -> SimDuration {
+        self.restart_interval
+    }
+}
+
+impl Default for AndroidScanner {
+    /// 5% of restart windows stall — consistent with the sample losses the
+    /// paper works around by holding values across one missed cycle.
+    fn default() -> Self {
+        AndroidScanner::new(0.05)
+    }
+}
+
+impl ScannerModel for AndroidScanner {
+    fn filter_cycle<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+    ) -> Vec<ScanSample> {
+        // Partition the cycle into restart windows; dedup per window.
+        let mut out = Vec::new();
+        let mut seen: HashSet<(u64, BeaconIdentity)> = HashSet::new();
+        let mut stalled: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        for r in receptions {
+            let window = r.at.saturating_since(cycle_start).as_millis()
+                / self.restart_interval.as_millis();
+            let is_stalled = *stalled.entry(window).or_insert_with(|| {
+                self.stall_probability > 0.0 && rng.gen::<f64>() < self.stall_probability
+            });
+            if is_stalled {
+                continue;
+            }
+            if seen.insert((window, r.packet.identity())) {
+                out.push(ScanSample::from_reception(r));
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "android-4.x"
+    }
+}
+
+impl fmt::Display for AndroidScanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "android 4.x scanner (stall {:.0}%)",
+            self.stall_probability * 100.0
+        )
+    }
+}
+
+/// The Android 5.0 ("Android L") scan behaviour — the paper's Section IX
+/// future work, implemented.
+///
+/// "Google announced the release of Android L OS … that promises to correct
+/// some of the bugs related to Bluetooth present in Android 4.4". API 21's
+/// `ScanSettings` low-latency mode delivers a callback **per received
+/// advertisement** (like iOS); batched mode trades latency for power by
+/// delivering accumulated results every `report_delay`.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_sim::SimDuration;
+/// use roomsense_stack::{AndroidLScanner, ScannerModel};
+///
+/// let low_latency = AndroidLScanner::low_latency();
+/// let batched = AndroidLScanner::batched(SimDuration::from_millis(500));
+/// assert_eq!(low_latency.name(), "android-l");
+/// assert_eq!(batched.name(), "android-l");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AndroidLScanner {
+    /// `None` = low-latency mode; `Some(d)` = batch results every `d`.
+    report_delay: Option<SimDuration>,
+}
+
+impl AndroidLScanner {
+    /// Low-latency mode: every advertisement is reported as it arrives.
+    pub fn low_latency() -> Self {
+        AndroidLScanner { report_delay: None }
+    }
+
+    /// Batched mode: results accumulate and are delivered together every
+    /// `report_delay`, each sample timestamped at its batch boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report_delay` is zero.
+    pub fn batched(report_delay: SimDuration) -> Self {
+        assert!(!report_delay.is_zero(), "report delay must be non-zero");
+        AndroidLScanner {
+            report_delay: Some(report_delay),
+        }
+    }
+
+    /// The batching delay, if batched.
+    pub fn report_delay(&self) -> Option<SimDuration> {
+        self.report_delay
+    }
+}
+
+impl Default for AndroidLScanner {
+    fn default() -> Self {
+        AndroidLScanner::low_latency()
+    }
+}
+
+impl ScannerModel for AndroidLScanner {
+    fn filter_cycle<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        _rng: &mut R,
+    ) -> Vec<ScanSample> {
+        match self.report_delay {
+            None => receptions.iter().map(ScanSample::from_reception).collect(),
+            Some(delay) => receptions
+                .iter()
+                .map(|r| {
+                    let mut sample = ScanSample::from_reception(r);
+                    // Delivered at the end of the batch containing it.
+                    let batch =
+                        r.at.saturating_since(cycle_start).as_millis() / delay.as_millis();
+                    sample.at = cycle_start + delay * (batch + 1);
+                    sample
+                })
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "android-l"
+    }
+}
+
+impl fmt::Display for AndroidLScanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.report_delay {
+            None => f.write_str("android L scanner (low latency)"),
+            Some(d) => write!(f, "android L scanner (batched every {d})"),
+        }
+    }
+}
+
+/// The iOS scan behaviour: every reception is reported, so a scan cycle can
+/// carry hundreds of samples per beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IosScanner;
+
+impl ScannerModel for IosScanner {
+    fn filter_cycle<R: Rng + ?Sized>(
+        &self,
+        _cycle_start: SimTime,
+        receptions: &[Reception],
+        _rng: &mut R,
+    ) -> Vec<ScanSample> {
+        receptions.iter().map(ScanSample::from_reception).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "ios"
+    }
+}
+
+impl fmt::Display for IosScanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ios scanner")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_ibeacon::{Major, Minor, ProximityUuid};
+    use roomsense_sim::rng;
+
+    fn reception(at_ms: u64, minor: u16, rssi: f64) -> Reception {
+        Reception {
+            at: SimTime::from_millis(at_ms),
+            packet: Packet::new(
+                ProximityUuid::example(),
+                Major::new(1),
+                Minor::new(minor),
+                MeasuredPower::new(-59),
+            ),
+            rssi_dbm: rssi,
+            channel: AdvChannel::Ch38,
+        }
+    }
+
+    #[test]
+    fn android_keeps_one_sample_per_advertiser() {
+        let scanner = AndroidScanner::reliable();
+        let mut r = rng::for_component(1, "scan");
+        let receptions = vec![
+            reception(0, 0, -60.0),
+            reception(50, 0, -65.0),
+            reception(80, 1, -70.0),
+            reception(120, 0, -62.0),
+            reception(150, 1, -71.0),
+        ];
+        let samples = scanner.filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        assert_eq!(samples.len(), 2);
+        // First-heard wins.
+        assert_eq!(samples[0].rssi_dbm, -60.0);
+        assert_eq!(samples[1].rssi_dbm, -70.0);
+    }
+
+    #[test]
+    fn ios_keeps_everything() {
+        let mut r = rng::for_component(1, "scan");
+        let receptions: Vec<Reception> =
+            (0..300).map(|i| reception(i * 30, 0, -60.0)).collect();
+        let samples = IosScanner.filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        assert_eq!(samples.len(), 300);
+    }
+
+    #[test]
+    fn android_stall_rate_is_respected() {
+        let scanner = AndroidScanner::new(0.3);
+        let mut r = rng::for_component(2, "stall");
+        let receptions = vec![reception(0, 0, -60.0)];
+        let n = 10_000;
+        let delivered = (0..n)
+            .filter(|_| !scanner.filter_cycle(SimTime::ZERO, &receptions, &mut r).is_empty())
+            .count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_cycle_yields_no_samples() {
+        let mut r = rng::for_component(3, "empty");
+        assert!(AndroidScanner::default()
+            .filter_cycle(SimTime::ZERO, &[], &mut r)
+            .is_empty());
+        assert!(IosScanner.filter_cycle(SimTime::ZERO, &[], &mut r).is_empty());
+    }
+
+    #[test]
+    fn sample_copies_packet_fields() {
+        let mut r = rng::for_component(4, "fields");
+        let samples = IosScanner.filter_cycle(SimTime::ZERO, &[reception(10, 7, -63.0)], &mut r);
+        assert_eq!(samples[0].identity.minor, Minor::new(7));
+        assert_eq!(samples[0].measured_power, MeasuredPower::new(-59));
+        assert_eq!(samples[0].at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "stall probability")]
+    fn bad_stall_probability_panics() {
+        let _ = AndroidScanner::new(1.2);
+    }
+
+    #[test]
+    fn android_l_low_latency_matches_ios() {
+        let mut r = rng::for_component(7, "android-l");
+        let receptions: Vec<Reception> =
+            (0..60).map(|i| reception(i * 33, 0, -60.0)).collect();
+        let l = AndroidLScanner::low_latency().filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        let ios = IosScanner.filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        assert_eq!(l.len(), ios.len());
+        assert_eq!(l.len(), 60);
+    }
+
+    #[test]
+    fn android_l_batched_quantises_timestamps() {
+        let mut r = rng::for_component(8, "android-l-batch");
+        let receptions = vec![
+            reception(100, 0, -60.0),
+            reception(450, 0, -61.0),
+            reception(900, 1, -70.0),
+        ];
+        let scanner = AndroidLScanner::batched(SimDuration::from_millis(500));
+        let samples = scanner.filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].at, SimTime::from_millis(500));
+        assert_eq!(samples[1].at, SimTime::from_millis(500));
+        assert_eq!(samples[2].at, SimTime::from_millis(1000));
+        // Batching delays delivery but loses nothing.
+        assert_eq!(samples[1].rssi_dbm, -61.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "report delay")]
+    fn android_l_zero_delay_panics() {
+        let _ = AndroidLScanner::batched(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn android_l_fixes_the_one_sample_limit() {
+        // The paper's future-work hope, quantified: same receptions, the
+        // 4.x stack keeps 1 sample (single restart window), L keeps all.
+        let mut r = rng::for_component(9, "android-l-vs-4x");
+        let receptions: Vec<Reception> =
+            (0..30).map(|i| reception(i * 33, 0, -60.0)).collect();
+        let old = AndroidScanner::reliable().filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        let new = AndroidLScanner::low_latency().filter_cycle(SimTime::ZERO, &receptions, &mut r);
+        assert_eq!(old.len(), 1);
+        assert_eq!(new.len(), 30);
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace root package: owns the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`.
+//!
+//! The actual library lives in the [`roomsense`] crate and its subsystem
+//! crates; this package simply re-exports the top-level API so examples can
+//! `use roomsense_repro as rs;`.
+
+pub use roomsense::*;

@@ -1,0 +1,96 @@
+//! Reproducibility: every public entry point is a pure function of its
+//! seed. This is what makes the `repro` binary's output stable enough to
+//! record in EXPERIMENTS.md.
+
+use roomsense::experiments::{
+    classification_experiment, dynamic_walk, energy_experiment, sampling_comparison,
+    static_capture,
+};
+use roomsense::{collect_dataset, run_pipeline, PipelineConfig, Scenario};
+use roomsense_building::mobility::StaticPosition;
+use roomsense_building::presets;
+use roomsense_geom::Point;
+use roomsense_sim::SimDuration;
+
+#[test]
+fn static_capture_is_deterministic() {
+    let run = || {
+        static_capture(
+            &PipelineConfig::paper_android(),
+            2.0,
+            SimDuration::from_secs(60),
+            1,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_captures() {
+    let run = |seed| {
+        static_capture(
+            &PipelineConfig::paper_android(),
+            2.0,
+            SimDuration::from_secs(60),
+            seed,
+        )
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn dynamic_walk_is_deterministic() {
+    assert_eq!(dynamic_walk(0.65, 1.2, 3), dynamic_walk(0.65, 1.2, 3));
+}
+
+#[test]
+fn classification_experiment_is_deterministic() {
+    let a = classification_experiment(4);
+    let b = classification_experiment(4);
+    assert_eq!(a.headline(), b.headline());
+    assert_eq!(a.svm, b.svm);
+}
+
+#[test]
+fn energy_experiment_is_deterministic() {
+    let a = energy_experiment(SimDuration::from_secs(600), 2, 5);
+    let b = energy_experiment(SimDuration::from_secs(600), 2, 5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sampling_comparison_is_deterministic() {
+    assert_eq!(sampling_comparison(6), sampling_comparison(6));
+}
+
+#[test]
+fn pipeline_records_are_deterministic_across_scenario_rebuilds() {
+    // Rebuilding the scenario from scratch must not change anything: no
+    // hidden global state.
+    let run = || {
+        let scenario = Scenario::from_plan(presets::paper_house(), 7);
+        run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &StaticPosition::new(Point::new(2.0, 2.0)),
+            SimDuration::from_secs(30),
+            7,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dataset_collection_is_deterministic() {
+    let run = || {
+        let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 8);
+        collect_dataset(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            SimDuration::from_secs(15),
+            1,
+            8,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,144 @@
+//! The paper's headline claims, asserted as a reproduction gate.
+//!
+//! Each test pins one quantitative claim from the paper to the band our
+//! simulated reproduction must land in. `EXPERIMENTS.md` records the exact
+//! measured values.
+
+use roomsense::experiments::{
+    classification_experiment, coefficient_sweep, device_comparison, energy_experiment,
+    sampling_comparison, static_capture,
+};
+use roomsense::PipelineConfig;
+use roomsense_radio::DeviceRxProfile;
+use roomsense_sim::SimDuration;
+
+const SEED: u64 = 20150309;
+
+/// Abstract: "we increased the accuracy of the classification algorithm …
+/// from 80% to 90%" / Section VI: proximity 84% → scene-analysis SVM ~94%.
+#[test]
+fn svm_beats_proximity_by_about_ten_points() {
+    let result = classification_experiment(SEED);
+    let (svm, proximity) = result.headline();
+    assert!(svm > 0.88, "svm accuracy {svm:.3} below the paper's ~0.94 band");
+    assert!(
+        proximity < svm,
+        "proximity {proximity:.3} must trail the svm {svm:.3}"
+    );
+    assert!(
+        svm - proximity > 0.04,
+        "gap {:.3} too small to reproduce the paper's ~10 points",
+        svm - proximity
+    );
+}
+
+/// Section VI: "the number of false positive … is slightly higher than the
+/// number of false negative, is about the same" — in aggregate over all
+/// rooms the two totals are identical, and neither dominates per room.
+#[test]
+fn confusion_matrix_errors_are_balanced() {
+    let result = classification_experiment(SEED);
+    let classes = result.label_names.len();
+    let total_fp: u64 = (0..classes).map(|c| result.svm.false_positives(c)).sum();
+    let total_fn: u64 = (0..classes).map(|c| result.svm.false_negatives(c)).sum();
+    // Totals agree by construction (each error is one FP and one FN).
+    assert_eq!(total_fp, total_fn);
+    // And errors are rare overall.
+    assert!(total_fp as f64 / result.svm.total() as f64 <= 0.12);
+}
+
+/// Section VII: "Using the Bluetooth based architecture we obtained an
+/// energy saving of the 15%" and "the battery lifetime … is around 10
+/// hours".
+#[test]
+fn bluetooth_saves_about_fifteen_percent_and_battery_lasts_about_ten_hours() {
+    let result = energy_experiment(SimDuration::from_secs(3600), 10, SEED);
+    let saving = result.saving_fraction();
+    assert!(
+        (0.08..=0.22).contains(&saving),
+        "saving {saving:.3} outside the paper's ~0.15 band"
+    );
+    assert!(
+        (8.0..=13.0).contains(&result.bt_lifetime_h),
+        "bt lifetime {:.1} h not around 10 h",
+        result.bt_lifetime_h
+    );
+    assert!(result.wifi_lifetime_h < result.bt_lifetime_h);
+}
+
+/// Section V example: 10 s of scanning at a 2 s period with a 30 Hz beacon
+/// gives Android 5 samples and iOS about 300.
+#[test]
+fn android_gets_five_samples_where_ios_gets_three_hundred() {
+    let s = sampling_comparison(SEED);
+    assert_eq!(s.android_samples, 5);
+    assert!(
+        (250..=320).contains(&s.ios_samples),
+        "ios samples {}",
+        s.ios_samples
+    );
+}
+
+/// Section V / Figs 4 vs 6: increasing the scan period from 2 s to 5 s
+/// lowers the variance of the distance estimates.
+#[test]
+fn five_second_scan_period_is_less_noisy_than_two() {
+    let mean_std = |period: u64| {
+        let cfg =
+            PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(period));
+        let stds: Vec<f64> = (0..6)
+            .map(|t| static_capture(&cfg, 2.0, SimDuration::from_secs(300), SEED ^ t).raw_std())
+            .collect();
+        stds.iter().sum::<f64>() / stds.len() as f64
+    };
+    let two = mean_std(2);
+    let five = mean_std(5);
+    assert!(
+        five < two * 0.85,
+        "5 s std {five:.3} not clearly below 2 s std {two:.3}"
+    );
+}
+
+/// Section V / Figs 5, 7, 8: the EWMA coefficient trades stability for
+/// responsiveness, with 0.65 as the chosen knee.
+#[test]
+fn coefficient_trades_stability_for_responsiveness() {
+    let sweep = coefficient_sweep(&[0.1, 0.65, 0.95], 5, SEED);
+    // Stability improves monotonically with the coefficient.
+    assert!(sweep[0].stability_std_m > sweep[1].stability_std_m);
+    assert!(sweep[1].stability_std_m > sweep[2].stability_std_m);
+    // Responsiveness does not improve as the coefficient rises.
+    let c01 = sweep[0].crossover_cycle.expect("0.1 must switch");
+    let c65 = sweep[1].crossover_cycle.expect("0.65 must switch");
+    assert!(c65 >= c01, "0.65 crossover {c65} faster than 0.1's {c01}");
+}
+
+/// Section VIII / Fig 11: different devices report significantly different
+/// signal strengths at the same distance from the same transmitter.
+#[test]
+fn devices_disagree_on_rssi_at_the_same_distance() {
+    let rows = device_comparison(
+        &[
+            DeviceRxProfile::galaxy_s3_mini(),
+            DeviceRxProfile::nexus_5(),
+        ],
+        2.0,
+        SimDuration::from_secs(240),
+        SEED,
+    );
+    let gap = rows[1].mean_rssi_dbm - rows[0].mean_rssi_dbm;
+    assert!(gap > 3.0, "device gap {gap:.1} dB too small for Fig 11");
+    // The gap propagates into the distance estimates.
+    assert!(rows[1].mean_distance_m < rows[0].mean_distance_m);
+}
+
+/// Abstract: "we increased the accuracy by 10% and the energy efficiency by
+/// 15%" — the two headline deltas, asserted together.
+#[test]
+fn headline_deltas_hold_jointly() {
+    let classification = classification_experiment(SEED);
+    let (svm, proximity) = classification.headline();
+    let energy = energy_experiment(SimDuration::from_secs(1800), 4, SEED);
+    assert!(svm - proximity >= 0.04);
+    assert!(energy.saving_fraction() >= 0.08);
+}

@@ -1,0 +1,182 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use roomsense_geom::{Point, Polyline, Segment};
+use roomsense_ibeacon::{
+    estimate_distance_log, BeaconIdentity, Major, MeasuredPower, Minor, Packet, ProximityUuid,
+    RangingConfig, Region,
+};
+use roomsense_ml::ConfusionMatrix;
+use roomsense_signal::{DistanceFilter, EwmaFilter, KalmanFilter, LossPolicy, MedianFilter};
+
+proptest! {
+    /// Every syntactically valid packet survives an encode/decode
+    /// round-trip bit-for-bit.
+    #[test]
+    fn packet_roundtrips(
+        uuid in prop::array::uniform16(any::<u8>()),
+        major in any::<u16>(),
+        minor in any::<u16>(),
+        power in any::<i8>(),
+    ) {
+        let packet = Packet::new(
+            ProximityUuid::from_bytes(uuid),
+            Major::new(major),
+            Minor::new(minor),
+            MeasuredPower::new(power),
+        );
+        prop_assert_eq!(Packet::decode(&packet.encode()).expect("valid"), packet);
+    }
+
+    /// UUID parsing round-trips through Display for arbitrary bytes.
+    #[test]
+    fn uuid_display_parse_roundtrip(bytes in prop::array::uniform16(any::<u8>())) {
+        let uuid = ProximityUuid::from_bytes(bytes);
+        let parsed: ProximityUuid = uuid.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(parsed, uuid);
+    }
+
+    /// Region specificity is a chain: matching the most specific region
+    /// implies matching every broader one.
+    #[test]
+    fn region_specificity_chain(
+        major in any::<u16>(),
+        minor in any::<u16>(),
+        probe_major in any::<u16>(),
+        probe_minor in any::<u16>(),
+    ) {
+        let uuid = ProximityUuid::example();
+        let beacon = BeaconIdentity {
+            uuid,
+            major: Major::new(probe_major),
+            minor: Minor::new(probe_minor),
+        };
+        let exact = Region::with_minor(uuid, Major::new(major), Minor::new(minor));
+        let floor = Region::with_major(uuid, Major::new(major));
+        let all = Region::with_uuid(uuid);
+        if exact.matches(&beacon) {
+            prop_assert!(floor.matches(&beacon));
+        }
+        if floor.matches(&beacon) {
+            prop_assert!(all.matches(&beacon));
+        }
+        prop_assert!(exact.is_subregion_of(&floor) && floor.is_subregion_of(&all));
+    }
+
+    /// The log-distance ranging estimate is the exact inverse of the
+    /// log-distance propagation law.
+    #[test]
+    fn ranging_inverts_pathloss(
+        distance in 0.05f64..100.0,
+        exponent in 1.5f64..4.0,
+        power in -90i8..-30,
+    ) {
+        let config = RangingConfig { path_loss_exponent: exponent };
+        let rssi = f64::from(power.clamp(i8::MIN, i8::MAX))
+            - 10.0 * exponent * distance.log10();
+        let estimated = estimate_distance_log(rssi, MeasuredPower::new(power), &config);
+        prop_assert!((estimated - distance).abs() / distance < 1e-9);
+    }
+
+    /// Every filter's output stays within the hull of the observations it
+    /// has seen (no overshoot), for arbitrary bounded inputs.
+    #[test]
+    fn filters_never_overshoot(values in prop::collection::vec(0.1f64..60.0, 1..60)) {
+        let mut filters: Vec<Box<dyn DistanceFilter>> = vec![
+            Box::new(EwmaFilter::paper()),
+            Box::new(EwmaFilter::new(0.3, LossPolicy::DropImmediately)),
+            Box::new(KalmanFilter::indoor_default()),
+            Box::new(MedianFilter::new(5)),
+        ];
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for filter in &mut filters {
+            for v in &values {
+                if let Some(out) = filter.update(Some(*v)) {
+                    prop_assert!(
+                        out >= lo - 1e-9 && out <= hi + 1e-9,
+                        "{} output {} escaped [{}, {}]",
+                        filter.name(), out, lo, hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// EWMA with losses interleaved still never invents values outside the
+    /// observation hull, and drops after exactly two consecutive losses.
+    #[test]
+    fn ewma_loss_semantics(
+        pattern in prop::collection::vec(prop::option::weighted(0.7, 1.0f64..30.0), 1..80)
+    ) {
+        let mut filter = EwmaFilter::paper();
+        let mut consecutive = 0usize;
+        let mut has_track = false;
+        for obs in &pattern {
+            let out = filter.update(*obs);
+            match obs {
+                Some(_) => {
+                    consecutive = 0;
+                    has_track = true;
+                    prop_assert!(out.is_some());
+                }
+                None => {
+                    consecutive += 1;
+                    if consecutive >= 2 {
+                        has_track = false;
+                    }
+                    prop_assert_eq!(out.is_some(), has_track);
+                }
+            }
+        }
+    }
+
+    /// Confusion-matrix invariants: total counts match records, accuracy in
+    /// [0, 1], FP total equals FN total.
+    #[test]
+    fn confusion_matrix_invariants(
+        pairs in prop::collection::vec((0usize..5, 0usize..5), 1..200)
+    ) {
+        let truth: Vec<usize> = pairs.iter().map(|(t, _)| *t).collect();
+        let pred: Vec<usize> = pairs.iter().map(|(_, p)| *p).collect();
+        let cm = ConfusionMatrix::from_pairs(5, &truth, &pred);
+        prop_assert_eq!(cm.total() as usize, pairs.len());
+        let acc = cm.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let fp: u64 = (0..5).map(|c| cm.false_positives(c)).sum();
+        let fnn: u64 = (0..5).map(|c| cm.false_negatives(c)).sum();
+        prop_assert_eq!(fp, fnn);
+    }
+
+    /// Walking a polyline never leaves the bounding box of its waypoints.
+    #[test]
+    fn polyline_walk_stays_in_hull(
+        points in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..12),
+        fractions in prop::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let waypoints: Vec<Point> = points.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        let min_x = points.iter().map(|(x, _)| *x).fold(f64::INFINITY, f64::min);
+        let max_x = points.iter().map(|(x, _)| *x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+        let max_y = points.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let path = Polyline::new(waypoints).expect("two or more waypoints");
+        for f in fractions {
+            let p = path.point_at_distance(f * path.length());
+            prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+            prop_assert!(p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9);
+        }
+    }
+
+    /// Segment intersection is symmetric.
+    #[test]
+    fn segment_intersection_symmetric(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+        dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+    ) {
+        let s1 = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let s2 = Segment::new(Point::new(cx, cy), Point::new(dx, dy));
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+}
