@@ -381,7 +381,7 @@ fn ablate_grid_search() {
     }
     let best = result.best_point();
     println!(
-        "  best: C={} gamma={} at {:.1}% (defaults C=10, gamma=0.5)",
+        "  best: C={} gamma={} at {:.1}% (defaults C=10, gamma=1)",
         best.c,
         best.gamma,
         best.mean_accuracy * 100.0

@@ -7,9 +7,9 @@
 
 use roomsense::experiments::{
     classification_cross_validation, classification_experiment, coefficient_sweep,
-    device_comparison, dynamic_walk, energy_experiment, run_tx_power_calibration,
-    multifloor_experiment, sampling_comparison, scaling_experiment, static_capture,
-    tracking_experiment,
+    device_comparison, dynamic_walk, energy_experiment, faults_experiment,
+    run_tx_power_calibration, multifloor_experiment, sampling_comparison, scaling_experiment,
+    static_capture, tracking_experiment,
 };
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
@@ -42,6 +42,7 @@ fn main() {
         "tracking" => tracking(),
         "scaling" => scaling(),
         "floors" => floors(),
+        "faults" => faults(),
         "all" => {
             fig1();
             fig3();
@@ -57,11 +58,12 @@ fn main() {
             tracking();
             scaling();
             floors();
+            faults();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|all]"
             );
             std::process::exit(2);
         }
@@ -347,6 +349,32 @@ fn floors() {
         result.floor_accuracy * 100.0,
         result.room_accuracy * 100.0
     );
+}
+
+/// Robustness: the fault-intensity sweep, bare uplink vs store-and-forward.
+fn faults() {
+    header("faults: graceful degradation under injected faults (2 occupants, 10 min)");
+    println!("  per fault intensity: report delivery, online BMS-vs-truth agreement,");
+    println!("  mean knowledge staleness, uplink energy, and stale-evidence conditioning");
+    println!();
+    println!("  intensity  path down  arm        delivery  agreement  staleness  energy    stale-hvac");
+    let result = faults_experiment(SEED);
+    for point in &result.points {
+        for (name, arm) in [("bare", &point.bare), ("queueing", &point.resilient)] {
+            println!(
+                "  {:>9.2}  {:>8}  {:<9} {:>8}  {:>8.1}%  {:>8.1}s  {:>7.0} mJ  {:>8.1}s",
+                point.intensity,
+                format!("{}", point.uplink_downtime),
+                name,
+                arm.delivery_rate
+                    .map_or("    -".to_string(), |r| format!("{:.1}%", r * 100.0)),
+                arm.device_agreement * 100.0,
+                arm.mean_staleness.as_secs_f64(),
+                arm.energy_mj,
+                arm.stale_conditioning.as_secs_f64(),
+            );
+        }
+    }
 }
 
 /// Writes the figure's data series as CSV files under `dir`.

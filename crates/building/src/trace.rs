@@ -1,0 +1,120 @@
+//! Ground-truth occupancy traces: the reference answer sheet.
+//!
+//! Every accuracy number in the reproduction is scored against a trace
+//! produced here — the *actual* room of every occupant at every sample
+//! instant, read straight off the mobility models with no radio, scanner,
+//! or classifier in between.
+
+use crate::{mobility::MobilityModel, FloorPlan, RoomId};
+use roomsense_sim::{SimDuration, SimTime};
+
+/// Where every occupant truly was at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthSample {
+    /// The sample instant.
+    pub at: SimTime,
+    /// Per-occupant true room (same order as the occupants slice);
+    /// `None` means outside every room.
+    pub rooms: Vec<Option<RoomId>>,
+}
+
+/// A sampled ground-truth occupancy trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    samples: Vec<TruthSample>,
+}
+
+impl GroundTruth {
+    /// The samples, in time order.
+    pub fn samples(&self) -> &[TruthSample] {
+        &self.samples
+    }
+}
+
+/// Samples every occupant's true room on `plan` from time zero through
+/// `duration` (inclusive), every `sample_every`.
+///
+/// # Panics
+///
+/// Panics if `sample_every` is zero.
+pub fn ground_truth(
+    plan: &FloorPlan,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    sample_every: SimDuration,
+) -> GroundTruth {
+    assert!(!sample_every.is_zero(), "sample interval must be non-zero");
+    let step = sample_every.as_millis();
+    let mut samples = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let at = SimTime::ZERO + SimDuration::from_millis(offset);
+        let rooms = occupants
+            .iter()
+            .map(|occupant| plan.room_at(occupant.position_at(at)))
+            .collect();
+        samples.push(TruthSample { at, rooms });
+        offset += step;
+        if offset > duration.as_millis() {
+            break;
+        }
+    }
+    GroundTruth { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{StaticPosition, WaypointWalk};
+    use crate::presets;
+    use roomsense_geom::{Point, Polyline};
+
+    #[test]
+    fn sample_count_is_inclusive_of_both_ends() {
+        let plan = presets::paper_house();
+        let parked = StaticPosition::new(Point::new(2.0, 2.0));
+        let occupants: [&dyn MobilityModel; 1] = [&parked];
+        let truth = ground_truth(
+            &plan,
+            &occupants,
+            SimDuration::from_secs(240),
+            SimDuration::from_secs(2),
+        );
+        assert_eq!(truth.samples().len(), 121);
+        assert_eq!(truth.samples()[0].at, SimTime::ZERO);
+        assert_eq!(truth.samples()[120].at, SimTime::from_secs(240));
+    }
+
+    #[test]
+    fn static_occupants_never_change_rooms() {
+        let plan = presets::paper_house();
+        let kitchen = StaticPosition::new(Point::new(2.0, 2.0));
+        let outside = StaticPosition::new(Point::new(60.0, 2.0));
+        let occupants: [&dyn MobilityModel; 2] = [&kitchen, &outside];
+        let truth = ground_truth(
+            &plan,
+            &occupants,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+        );
+        for sample in truth.samples() {
+            assert_eq!(sample.rooms, vec![Some(RoomId::new(0)), None]);
+        }
+    }
+
+    #[test]
+    fn a_walk_changes_rooms_mid_trace() {
+        let plan = presets::two_transmitter_corridor();
+        let path = Polyline::new(vec![Point::new(1.0, 1.0), Point::new(11.0, 1.0)]).unwrap();
+        let walk = WaypointWalk::new(path, 1.0, SimTime::ZERO);
+        let occupants: [&dyn MobilityModel; 1] = [&walk];
+        let truth = ground_truth(
+            &plan,
+            &occupants,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(truth.samples()[0].rooms[0], Some(RoomId::new(0)));
+        assert_eq!(truth.samples()[10].rooms[0], Some(RoomId::new(1)));
+    }
+}

@@ -6,7 +6,7 @@
 //! downstream consumers (server, demand-response controller) process events
 //! exactly once, in order, regardless of how many devices there are.
 
-use crate::{run_pipeline, CycleRecord, PipelineConfig, Scenario};
+use crate::{run_pipeline, run_pipeline_faulted, CycleRecord, FaultPlan, PipelineConfig, Scenario};
 use roomsense_building::mobility::MobilityModel;
 use roomsense_net::DeviceId;
 use roomsense_sim::{EventQueue, SimDuration};
@@ -56,12 +56,40 @@ pub fn run_fleet(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<FleetEvent> {
+    merge_fleet(occupants, |mobility, device_seed| {
+        run_pipeline(scenario, config, mobility, duration, device_seed)
+    }, seed)
+}
+
+/// [`run_fleet`] with a shared [`FaultPlan`]: every device suffers the same
+/// building-side faults (dead beacons, degraded TX) and the same scheduled
+/// adapter faults, as when one flaky firmware build is rolled out fleet-wide.
+///
+/// With [`FaultPlan::none`] this matches [`run_fleet`] exactly.
+pub fn run_fleet_faulted(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Vec<FleetEvent> {
+    merge_fleet(occupants, |mobility, device_seed| {
+        run_pipeline_faulted(scenario, config, mobility, duration, device_seed, faults)
+    }, seed)
+}
+
+fn merge_fleet(
+    occupants: &[&dyn MobilityModel],
+    mut run: impl FnMut(&dyn MobilityModel, u64) -> Vec<CycleRecord>,
+    seed: u64,
+) -> Vec<FleetEvent> {
     let mut queue: EventQueue<(DeviceId, CycleRecord)> = EventQueue::new();
     for (index, mobility) in occupants.iter().enumerate() {
         let device = DeviceId::new(index as u32);
         let device_seed = roomsense_sim::rng::derive_seed(seed, "fleet-device")
             ^ roomsense_sim::rng::derive_seed(index as u64, "fleet-index");
-        for record in run_pipeline(scenario, config, *mobility, duration, device_seed) {
+        for record in run(*mobility, device_seed) {
             queue.schedule(record.at, (device, record));
         }
     }

@@ -54,6 +54,7 @@
 
 mod app_run;
 mod collect;
+mod fault;
 mod fleet;
 mod multifloor;
 mod config;
@@ -64,9 +65,10 @@ mod scenario;
 
 pub use app_run::{run_app, AppRun};
 pub use collect::{collect_dataset, features_from_snapshots, LabelledDataset, MISSING_DISTANCE};
-pub use fleet::{run_fleet, FleetEvent};
+pub use fault::FaultPlan;
+pub use fleet::{run_fleet, run_fleet_faulted, FleetEvent};
 pub use multifloor::{MultiFloorScenario, SLAB_ATTENUATION_DB};
 pub use config::{PipelineConfig, ScannerKind};
 pub use occupancy::{OccupancyModel, TrainOccupancyError};
-pub use pipeline::{run_pipeline, CycleRecord};
+pub use pipeline::{run_pipeline, run_pipeline_faulted, CycleRecord};
 pub use scenario::Scenario;

@@ -1,6 +1,6 @@
 //! The end-to-end phone pipeline: radio → scanner → aggregation → tracks.
 
-use crate::{PipelineConfig, Scenario, ScannerKind};
+use crate::{FaultPlan, PipelineConfig, Scenario, ScannerKind};
 use roomsense_building::mobility::MobilityModel;
 use roomsense_building::RoomId;
 use roomsense_geom::Point;
@@ -8,7 +8,10 @@ use roomsense_signal::{
     aggregate_cycle, EwmaFilter, Observation, TrackManager, TrackSnapshot,
 };
 use roomsense_sim::{rng, SimDuration, SimTime};
-use roomsense_stack::{run_scan, simulate_receptions, AndroidLScanner, AndroidScanner, IosScanner};
+use roomsense_stack::{
+    run_scan, simulate_receptions, simulate_receptions_faulty, AndroidLScanner, AndroidScanner,
+    FaultyScanner, IosScanner,
+};
 use std::fmt;
 
 /// The output of one scan cycle with ground truth attached.
@@ -95,13 +98,94 @@ pub fn run_pipeline<M: MobilityModel + ?Sized>(
             &mut scan_rng,
         ),
     };
+    records_from_cycles(scenario, config, mobility, &cycles)
+}
+
+/// Like [`run_pipeline`], but with a [`FaultPlan`] injected at every layer:
+/// beacons go dark or sag per `faults.transmitter`, the phone's adapter
+/// stalls and storms per the scanner schedules. (The plan's *uplink* faults
+/// apply when reports are sent, not here — wrap the transport in
+/// [`roomsense_net::FaultyTransport`] with the plan's schedules.)
+///
+/// With [`FaultPlan::none`] this produces exactly the same records as
+/// [`run_pipeline`] for the same seed.
+///
+/// # Panics
+///
+/// Panics if the plan's transmitter list does not match the scenario's
+/// beacon count.
+pub fn run_pipeline_faulted<M: MobilityModel + ?Sized>(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &M,
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+) -> Vec<CycleRecord> {
+    let from = SimTime::ZERO;
+    let until = from + duration;
+    let mut radio_rng = rng::for_indexed(seed, "pipeline-radio", scenario.seed());
+    let receptions = simulate_receptions_faulty(
+        scenario.channel(),
+        scenario.advertisers(),
+        &faults.transmitter,
+        &config.device,
+        |t| mobility.position_at(t),
+        from,
+        until,
+        &mut radio_rng,
+    );
+    let mut scan_rng = rng::for_indexed(seed, "pipeline-scan", scenario.seed());
+    fn faulty<M: roomsense_stack::ScannerModel>(inner: M, plan: &FaultPlan) -> FaultyScanner<M> {
+        FaultyScanner::new(
+            inner,
+            plan.scanner_stalls.clone(),
+            plan.scanner_storms.clone(),
+            plan.storm_loss,
+        )
+    }
+    let cycles = match config.scanner {
+        ScannerKind::Android { stall_probability } => run_scan(
+            &receptions,
+            &faulty(AndroidScanner::new(stall_probability), faults),
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+        ScannerKind::AndroidL => run_scan(
+            &receptions,
+            &faulty(AndroidLScanner::low_latency(), faults),
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+        ScannerKind::Ios => run_scan(
+            &receptions,
+            &faulty(IosScanner, faults),
+            config.scan,
+            from,
+            until,
+            &mut scan_rng,
+        ),
+    };
+    records_from_cycles(scenario, config, mobility, &cycles)
+}
+
+fn records_from_cycles<M: MobilityModel + ?Sized>(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &M,
+    cycles: &[roomsense_stack::ScanCycleReport],
+) -> Vec<CycleRecord> {
     let ranging = scenario.ranging_config();
     let mut tracks = TrackManager::new(EwmaFilter::new(
         config.filter_coefficient,
         config.loss_policy,
     ));
     let mut records = Vec::with_capacity(cycles.len());
-    for cycle in &cycles {
+    for cycle in cycles {
         let observations = aggregate_cycle(cycle, config.aggregation, &ranging);
         let snapshots = tracks.update_cycle(cycle.end, &observations);
         let true_position = mobility.position_at(cycle.end);
@@ -220,6 +304,82 @@ mod tests {
             )
         };
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn benign_fault_plan_matches_the_plain_pipeline() {
+        let scenario = corridor_scenario();
+        let position = StaticPosition::new(Point::new(2.0, 1.0));
+        let plain = run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &position,
+            SimDuration::from_secs(30),
+            6,
+        );
+        let faulted = run_pipeline_faulted(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &position,
+            SimDuration::from_secs(30),
+            6,
+            &FaultPlan::none(scenario.advertisers().len()),
+        );
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn beacon_outage_starves_its_tracks() {
+        use roomsense_radio::TransmitterFault;
+        use roomsense_sim::{FaultSchedule, FaultWindow};
+        let scenario = corridor_scenario();
+        let position = StaticPosition::new(Point::new(2.0, 1.0));
+        // Kill the west beacon (index 0) for the whole run.
+        let mut plan = FaultPlan::none(scenario.advertisers().len());
+        plan.transmitter[0] = TransmitterFault::new(
+            FaultSchedule::new(vec![FaultWindow::new(
+                SimTime::ZERO,
+                SimTime::from_secs(600),
+            )]),
+            FaultSchedule::none(),
+            0.0,
+        );
+        let records = run_pipeline_faulted(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &position,
+            SimDuration::from_secs(60),
+            6,
+            &plan,
+        );
+        let west = Minor::new(0);
+        assert!(records
+            .iter()
+            .flat_map(|r| r.observations.iter())
+            .all(|o| o.identity.minor != west));
+    }
+
+    #[test]
+    fn faulted_pipeline_is_deterministic() {
+        let scenario = corridor_scenario();
+        let plan = FaultPlan::generate(
+            scenario.advertisers().len(),
+            SimDuration::from_secs(60),
+            0.6,
+            13,
+        );
+        let position = StaticPosition::new(Point::new(2.0, 1.0));
+        let run = || {
+            run_pipeline_faulted(
+                &scenario,
+                &PipelineConfig::paper_android(),
+                &position,
+                SimDuration::from_secs(60),
+                13,
+                &plan,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

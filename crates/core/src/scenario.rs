@@ -32,7 +32,7 @@ pub struct Scenario {
 
 impl Scenario {
     /// Instruments `plan` with default radio parameters: 100 ms advertising
-    /// interval, the default transmitter profile, 3 dB spatial shadowing,
+    /// interval, the default transmitter profile, 4 dB spatial shadowing,
     /// measured power calibrated to the true 1-metre RSSI (the paper's
     /// calibration procedure, assumed done).
     pub fn from_plan(plan: FloorPlan, seed: u64) -> Self {
@@ -41,7 +41,7 @@ impl Scenario {
             seed,
             TransmitterProfile::default(),
             SimDuration::from_millis(100),
-            3.0,
+            4.0,
         )
     }
 

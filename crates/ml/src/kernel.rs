@@ -54,9 +54,9 @@ impl Kernel {
 }
 
 impl Default for Kernel {
-    /// RBF with γ = 0.5 — a good default once features are standardised.
+    /// RBF with γ = 1 — a good default once features are standardised.
     fn default() -> Self {
-        Kernel::Rbf { gamma: 0.5 }
+        Kernel::Rbf { gamma: 1.0 }
     }
 }
 

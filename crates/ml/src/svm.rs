@@ -25,15 +25,15 @@ pub struct SvmParams {
 }
 
 impl Default for SvmParams {
-    /// `C = 10`, RBF(γ = 0.5) — solid defaults for standardised distance
+    /// `C = 10`, RBF(γ = 1) — solid defaults for standardised distance
     /// features.
     fn default() -> Self {
         SvmParams {
             c: 10.0,
             kernel: Kernel::default(),
             tolerance: 1e-3,
-            max_passes: 5,
-            max_iterations: 200,
+            max_passes: 12,
+            max_iterations: 800,
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::{DeviceId, ObservationReport};
 use parking_lot::Mutex;
-use roomsense_sim::SimTime;
+use roomsense_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -36,6 +36,74 @@ where
 {
     fn classify(&self, report: &ObservationReport) -> Option<RoomLabel> {
         self(report)
+    }
+}
+
+/// Who the server believes is in one room, split by evidence freshness.
+///
+/// When the uplink is down the server keeps serving its last-known-good
+/// table — but a consumer (the HVAC controller, a dashboard) must be able to
+/// tell "2 people, reported seconds ago" from "2 people, last heard from
+/// twenty minutes ago".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoomPresence {
+    /// Devices whose last classification put them in this room.
+    pub occupants: usize,
+    /// How many of those devices reported within the freshness TTL.
+    pub fresh: usize,
+}
+
+impl RoomPresence {
+    /// True when the room's count rests entirely on expired evidence.
+    pub fn is_stale(&self) -> bool {
+        self.fresh == 0
+    }
+}
+
+/// The occupancy table with per-room staleness, as of one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyView {
+    /// The instant the view was taken.
+    pub at: SimTime,
+    /// Reports older than this (relative to `at`) count as stale.
+    pub ttl: SimDuration,
+    /// Per-room presence. Rooms nobody was ever classified into are absent.
+    pub rooms: BTreeMap<RoomLabel, RoomPresence>,
+}
+
+impl OccupancyView {
+    /// The plain occupant counts, shaped like [`BmsServer::occupancy`].
+    pub fn counts(&self) -> BTreeMap<RoomLabel, usize> {
+        self.rooms
+            .iter()
+            .map(|(room, p)| (*room, p.occupants))
+            .collect()
+    }
+
+    /// Rooms whose counts rest entirely on expired evidence.
+    pub fn stale_rooms(&self) -> Vec<RoomLabel> {
+        self.rooms
+            .iter()
+            .filter(|(_, p)| p.is_stale())
+            .map(|(room, _)| *room)
+            .collect()
+    }
+
+    /// True when every room's count has at least one fresh contributor.
+    pub fn is_fully_fresh(&self) -> bool {
+        self.rooms.values().all(|p| !p.is_stale())
+    }
+}
+
+impl fmt::Display for OccupancyView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total: usize = self.rooms.values().map(|p| p.occupants).sum();
+        write!(
+            f,
+            "{total} occupant(s) across {} room(s), {} stale",
+            self.rooms.len(),
+            self.stale_rooms().len()
+        )
     }
 }
 
@@ -132,6 +200,40 @@ impl BmsServer {
     /// The room one device was last classified into.
     pub fn room_of(&self, device: DeviceId) -> Option<RoomLabel> {
         self.state.lock().device_rooms.get(&device).map(|(_, r)| *r)
+    }
+
+    /// The occupancy table with explicit staleness: every device still counts
+    /// in its last-known room (graceful degradation — an outage must not make
+    /// the building look empty), but devices whose last report is older than
+    /// `ttl` at `now` no longer count as *fresh*, and a room with no fresh
+    /// contributor is flagged stale.
+    pub fn occupancy_view(&self, now: SimTime, ttl: SimDuration) -> OccupancyView {
+        let state = self.state.lock();
+        let mut rooms: BTreeMap<RoomLabel, RoomPresence> = BTreeMap::new();
+        for (last_at, room) in state.device_rooms.values() {
+            let entry = rooms.entry(*room).or_default();
+            entry.occupants += 1;
+            if now.saturating_since(*last_at) <= ttl {
+                entry.fresh += 1;
+            }
+        }
+        OccupancyView {
+            at: now,
+            ttl,
+            rooms,
+        }
+    }
+
+    /// The age of the *oldest* device record at `now` — how far behind
+    /// reality the whole table could be. `None` when no device has ever
+    /// been classified.
+    pub fn staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.state
+            .lock()
+            .device_rooms
+            .values()
+            .map(|(last_at, _)| now.saturating_since(*last_at))
+            .max()
     }
 
     /// The occupancy table as it stood at time `at`, reconstructed from the
@@ -324,6 +426,53 @@ mod tests {
         assert_eq!(analytics.dwell(0), roomsense_sim::SimDuration::from_secs(20));
         // Unknown devices have empty histories.
         assert!(server.assignment_history(DeviceId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn occupancy_view_flags_rooms_with_only_expired_evidence() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 10, 0)); // room 0, old
+        server.post_observation(report(2, 95, 2)); // room 2, fresh
+        let view = server.occupancy_view(SimTime::from_secs(100), SimDuration::from_secs(30));
+        // Both devices still count — the outage must not empty the building.
+        assert_eq!(view.counts().get(&0), Some(&1));
+        assert_eq!(view.counts().get(&2), Some(&1));
+        // But room 0's evidence is 90 s old against a 30 s TTL.
+        assert!(view.rooms[&0].is_stale());
+        assert!(!view.rooms[&2].is_stale());
+        assert_eq!(view.stale_rooms(), vec![0]);
+        assert!(!view.is_fully_fresh());
+        assert_eq!(server.staleness(SimTime::from_secs(100)), Some(SimDuration::from_secs(90)));
+    }
+
+    #[test]
+    fn occupancy_view_mixed_evidence_keeps_the_room_fresh() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 10, 0)); // stale contributor
+        server.post_observation(report(2, 99, 0)); // fresh contributor
+        let view = server.occupancy_view(SimTime::from_secs(100), SimDuration::from_secs(30));
+        let presence = view.rooms[&0];
+        assert_eq!(presence.occupants, 2);
+        assert_eq!(presence.fresh, 1);
+        assert!(!presence.is_stale());
+        assert!(view.is_fully_fresh());
+    }
+
+    #[test]
+    fn occupancy_view_counts_match_the_plain_table() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 1, 0));
+        server.post_observation(report(2, 2, 0));
+        server.post_observation(report(3, 3, 4));
+        let view = server.occupancy_view(SimTime::from_secs(5), SimDuration::from_secs(60));
+        assert_eq!(view.counts(), server.occupancy());
+        assert!(view.is_fully_fresh());
+        // An empty server yields an empty, trivially fresh view.
+        let empty = BmsServer::new(minor_estimator());
+        let view = empty.occupancy_view(SimTime::from_secs(5), SimDuration::from_secs(60));
+        assert!(view.rooms.is_empty());
+        assert!(view.is_fully_fresh());
+        assert_eq!(empty.staleness(SimTime::from_secs(5)), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! reports how much conditioning time demand-response saved against an
 //! always-on baseline.
 
-use crate::RoomLabel;
+use crate::{OccupancyView, RoomLabel};
 use roomsense_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -57,6 +57,10 @@ pub struct DemandResponseReport {
     pub baseline: SimDuration,
     /// Conditioning time actually used.
     pub actual: SimDuration,
+    /// The part of `actual` driven purely by expired occupancy evidence
+    /// (the controller fails safe and keeps conditioning a room whose last
+    /// report has outlived its TTL — this measures the cost of doing so).
+    pub stale: SimDuration,
 }
 
 impl DemandResponseReport {
@@ -73,10 +77,11 @@ impl fmt::Display for DemandResponseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hvac on {} of {} baseline ({:.0}% saved)",
+            "hvac on {} of {} baseline ({:.0}% saved, {} on stale evidence)",
             self.actual,
             self.baseline,
-            self.savings_fraction() * 100.0
+            self.savings_fraction() * 100.0,
+            self.stale
         )
     }
 }
@@ -104,6 +109,11 @@ impl fmt::Display for DemandResponseReport {
 #[derive(Debug, Clone)]
 pub struct DemandResponseController {
     rooms: Vec<RoomPlant>,
+    /// Whether each room's *current* conditioning decision rests on expired
+    /// evidence (set by [`update_view`](Self::update_view)).
+    stale_driven: Vec<bool>,
+    /// Closed-interval conditioning time accrued while stale-driven.
+    stale_on: SimDuration,
     hold_off: SimDuration,
     started: Option<SimTime>,
     last_update: Option<SimTime>,
@@ -115,6 +125,8 @@ impl DemandResponseController {
     pub fn new(room_count: usize, hold_off: SimDuration) -> Self {
         DemandResponseController {
             rooms: vec![RoomPlant::default(); room_count],
+            stale_driven: vec![false; room_count],
+            stale_on: SimDuration::ZERO,
             hold_off,
             started: None,
             last_update: None,
@@ -135,13 +147,57 @@ impl DemandResponseController {
         self.rooms[room].state
     }
 
-    /// Applies a new occupancy snapshot at time `now`.
+    /// Applies a new occupancy snapshot at time `now`. All evidence is
+    /// assumed fresh; use [`update_view`](Self::update_view) when the source
+    /// carries staleness information.
     ///
     /// # Panics
     ///
     /// Panics if `now` precedes an earlier update, or a label is out of
     /// range.
     pub fn update(&mut self, now: SimTime, occupancy: &BTreeMap<RoomLabel, usize>) {
+        self.accrue_stale(now);
+        self.stale_driven.iter_mut().for_each(|s| *s = false);
+        self.apply(now, occupancy);
+    }
+
+    /// Applies a staleness-aware occupancy view at time `now`.
+    ///
+    /// The controller **fails safe**: a room whose count rests entirely on
+    /// expired evidence is still treated as occupied (switching off the
+    /// plant on people who merely lost connectivity is the worse error),
+    /// but the conditioning time spent that way is tracked and surfaced as
+    /// [`DemandResponseReport::stale`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update, or a label is out of
+    /// range.
+    pub fn update_view(&mut self, now: SimTime, view: &OccupancyView) {
+        self.accrue_stale(now);
+        for (room, flag) in self.stale_driven.iter_mut().enumerate() {
+            *flag = view
+                .rooms
+                .get(&room)
+                .is_some_and(|p| p.occupants > 0 && p.is_stale());
+        }
+        self.apply(now, &view.counts());
+    }
+
+    /// Closes the stale-conditioning interval `[last_update, now)` using the
+    /// flags from the previous snapshot.
+    fn accrue_stale(&mut self, now: SimTime) {
+        if let Some(last) = self.last_update {
+            let dt = now.saturating_since(last);
+            for (plant, stale) in self.rooms.iter().zip(self.stale_driven.iter()) {
+                if *stale && plant.state == HvacState::On {
+                    self.stale_on += dt;
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, now: SimTime, occupancy: &BTreeMap<RoomLabel, usize>) {
         if let Some(last) = self.last_update {
             assert!(now >= last, "updates must move forward in time");
         }
@@ -185,7 +241,22 @@ impl DemandResponseController {
                 actual += now.saturating_since(since);
             }
         }
-        DemandResponseReport { baseline, actual }
+        // Close the running stale interval for accounting, like `actual`
+        // does for running plant intervals.
+        let mut stale = self.stale_on;
+        if let Some(last) = self.last_update {
+            let tail = now.saturating_since(last);
+            for (plant, flag) in self.rooms.iter().zip(self.stale_driven.iter()) {
+                if *flag && plant.state == HvacState::On {
+                    stale += tail;
+                }
+            }
+        }
+        DemandResponseReport {
+            baseline,
+            actual,
+            stale,
+        }
     }
 }
 
@@ -241,6 +312,82 @@ mod tests {
         let dr = DemandResponseController::new(3, SimDuration::from_secs(60));
         let report = dr.report(SimTime::from_secs(10));
         assert_eq!(report.savings_fraction(), 0.0);
+    }
+
+    fn view(now_secs: u64, rooms: &[(usize, usize, usize)]) -> OccupancyView {
+        OccupancyView {
+            at: SimTime::from_secs(now_secs),
+            ttl: SimDuration::from_secs(30),
+            rooms: rooms
+                .iter()
+                .map(|(room, occupants, fresh)| {
+                    (
+                        *room,
+                        crate::RoomPresence {
+                            occupants: *occupants,
+                            fresh: *fresh,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stale_occupied_room_stays_conditioned_but_is_accounted() {
+        let mut dr = DemandResponseController::new(1, SimDuration::ZERO);
+        // Fresh evidence for the first 100 s, then the uplink dies and the
+        // view goes stale for the next 100 s.
+        dr.update_view(SimTime::ZERO, &view(0, &[(0, 1, 1)]));
+        dr.update_view(SimTime::from_secs(100), &view(100, &[(0, 1, 0)]));
+        // Fail-safe: the room is still conditioned.
+        assert_eq!(dr.state_of(0), HvacState::On);
+        let report = dr.report(SimTime::from_secs(200));
+        assert_eq!(report.actual, SimDuration::from_secs(200));
+        // Only the second half ran on expired evidence.
+        assert_eq!(report.stale, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn fresh_views_accrue_no_stale_time() {
+        let mut dr = DemandResponseController::new(2, SimDuration::ZERO);
+        dr.update_view(SimTime::ZERO, &view(0, &[(0, 2, 2)]));
+        dr.update_view(SimTime::from_secs(60), &view(60, &[(0, 2, 1)]));
+        let report = dr.report(SimTime::from_secs(120));
+        assert_eq!(report.stale, SimDuration::ZERO);
+        assert_eq!(report.actual, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn recovery_stops_the_stale_clock() {
+        let mut dr = DemandResponseController::new(1, SimDuration::ZERO);
+        dr.update_view(SimTime::ZERO, &view(0, &[(0, 1, 0)])); // stale from the start
+        dr.update_view(SimTime::from_secs(50), &view(50, &[(0, 1, 1)])); // link back
+        let report = dr.report(SimTime::from_secs(100));
+        assert_eq!(report.stale, SimDuration::from_secs(50));
+        assert_eq!(report.actual, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn empty_stale_room_is_not_conditioned() {
+        // Staleness never *turns on* a plant: an empty room with expired
+        // evidence stays off.
+        let mut dr = DemandResponseController::new(1, SimDuration::ZERO);
+        dr.update_view(SimTime::ZERO, &view(0, &[(0, 0, 0)]));
+        assert_eq!(dr.state_of(0), HvacState::Off);
+        let report = dr.report(SimTime::from_secs(100));
+        assert_eq!(report.stale, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn plain_update_clears_stale_flags() {
+        let mut dr = DemandResponseController::new(1, SimDuration::ZERO);
+        dr.update_view(SimTime::ZERO, &view(0, &[(0, 1, 0)]));
+        // A plain (fresh-by-definition) snapshot closes the stale interval.
+        dr.update(SimTime::from_secs(40), &occ(&[0]));
+        let report = dr.report(SimTime::from_secs(100));
+        assert_eq!(report.stale, SimDuration::from_secs(40));
+        assert_eq!(report.actual, SimDuration::from_secs(100));
     }
 
     #[test]

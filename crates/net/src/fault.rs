@@ -1,0 +1,199 @@
+//! Uplink fault injection: AP downtime, relay refusal, server outages.
+//!
+//! A transport's stochastic loss (its per-attempt success probability)
+//! models radio flakiness. Real deployments also see *correlated* downtime:
+//! the Wi-Fi AP reboots, the mains-powered relay beacon is unplugged, the
+//! BMS server is down for maintenance. [`FaultyTransport`] wraps any
+//! [`Transport`] with a scheduled [`FaultSchedule`]: while a window is
+//! active every send is refused — after the radio burns a (short) probe
+//! burst, which the energy ledger prices like any other attempt.
+//!
+//! Outage layers compose by nesting: `FaultyTransport::new(
+//! FaultyTransport::new(inner, ap_downtime), server_downtime)` fails when
+//! either schedule is active, which is exactly how an end-to-end ACK behaves.
+
+use crate::{ObservationReport, SendOutcome, Transport, TransportEvent};
+use rand::Rng;
+use roomsense_sim::{FaultSchedule, SimDuration, SimTime};
+use std::fmt;
+
+/// Wraps a transport with scheduled outage windows.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{FaultyTransport, Transport, WifiTransport};
+/// use roomsense_sim::{FaultSchedule, FaultWindow, SimTime};
+///
+/// let downtime = FaultSchedule::new(vec![FaultWindow::new(
+///     SimTime::from_secs(60),
+///     SimTime::from_secs(120),
+/// )]);
+/// let transport = FaultyTransport::new(WifiTransport::default(), downtime);
+/// assert_eq!(transport.outage_refusals(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    outages: FaultSchedule,
+    events: Vec<TransportEvent>,
+    refusals: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`; sends during an `outages` window are refused.
+    pub fn new(inner: T, outages: FaultSchedule) -> Self {
+        FaultyTransport {
+            inner,
+            outages,
+            events: Vec::new(),
+            refusals: 0,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The outage schedule.
+    pub fn outages(&self) -> &FaultSchedule {
+        &self.outages
+    }
+
+    /// How many sends were refused by an outage window (as opposed to
+    /// failing stochastically inside the wrapped transport).
+    pub fn outage_refusals(&self) -> u64 {
+        self.refusals
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        if self.outages.active_at(at) {
+            // The radio still probes for the peer: a connect attempt that
+            // times out quickly (plus jitter) — much shorter than a full
+            // transfer, but not free.
+            self.refusals += 1;
+            let active = SimDuration::from_millis(80 + rng.gen_range(0..40));
+            self.events.push(TransportEvent {
+                kind: self.inner.kind(),
+                start: at,
+                active,
+                delivered: false,
+            });
+            return SendOutcome::Failed;
+        }
+        let outcome = self.inner.send(at, report, rng);
+        if let Some(event) = self.inner.events().last() {
+            self.events.push(*event);
+        }
+        outcome
+    }
+
+    fn events(&self) -> &[TransportEvent] {
+        &self.events
+    }
+
+    fn kind(&self) -> crate::TransportKind {
+        self.inner.kind()
+    }
+}
+
+impl<T: Transport + fmt::Display> fmt::Display for FaultyTransport<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} behind {} outage window(s)",
+            self.inner,
+            self.outages.windows().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, SightedBeacon, WifiTransport};
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+    use roomsense_sim::{rng, FaultWindow};
+
+    fn report() -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(1),
+            at: SimTime::from_secs(1),
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(0),
+                },
+                distance_m: 1.5,
+            }],
+        }
+    }
+
+    fn outage(from_s: u64, until_s: u64) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultWindow::new(
+            SimTime::from_secs(from_s),
+            SimTime::from_secs(until_s),
+        )])
+    }
+
+    #[test]
+    fn sends_inside_the_window_are_refused_but_priced() {
+        let mut t = FaultyTransport::new(WifiTransport::new(1.0, SimDuration::from_millis(50)), outage(10, 20));
+        let mut r = rng::for_component(1, "refuse");
+        assert!(t.send(SimTime::from_secs(5), &report(), &mut r).is_delivered());
+        assert!(!t.send(SimTime::from_secs(15), &report(), &mut r).is_delivered());
+        assert!(t.send(SimTime::from_secs(25), &report(), &mut r).is_delivered());
+        assert_eq!(t.outage_refusals(), 1);
+        // All three attempts appear in the merged event log, including the
+        // refused probe burst.
+        assert_eq!(t.events().len(), 3);
+        assert!(!t.events()[1].delivered);
+        assert!(t.events()[1].active >= SimDuration::from_millis(80));
+        // The probe is cheaper than a real transfer would have been.
+        assert!(t.events()[1].active < t.events()[0].active + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn no_outages_is_transparent() {
+        let mut wrapped = FaultyTransport::new(WifiTransport::default(), FaultSchedule::none());
+        let mut bare = WifiTransport::default();
+        let mut r1 = rng::for_component(2, "transparent");
+        let mut r2 = rng::for_component(2, "transparent");
+        for i in 0..100 {
+            let at = SimTime::from_secs(i);
+            assert_eq!(
+                wrapped.send(at, &report(), &mut r1),
+                bare.send(at, &report(), &mut r2)
+            );
+        }
+        assert_eq!(wrapped.events(), bare.events());
+        assert_eq!(wrapped.outage_refusals(), 0);
+    }
+
+    #[test]
+    fn nested_outage_layers_compose() {
+        // AP down 0–10 s, server down 20–30 s: both windows refuse.
+        let ap = FaultyTransport::new(WifiTransport::new(1.0, SimDuration::from_millis(50)), outage(0, 10));
+        let mut both = FaultyTransport::new(ap, outage(20, 30));
+        let mut r = rng::for_component(3, "nested");
+        assert!(!both.send(SimTime::from_secs(5), &report(), &mut r).is_delivered());
+        assert!(both.send(SimTime::from_secs(15), &report(), &mut r).is_delivered());
+        assert!(!both.send(SimTime::from_secs(25), &report(), &mut r).is_delivered());
+        assert_eq!(both.events().len(), 3);
+        assert_eq!(both.delivery_rate(), Some(1.0 / 3.0));
+    }
+}

@@ -23,14 +23,16 @@
 mod analytics;
 mod bms;
 mod demand;
+mod fault;
 mod message;
 mod transport;
 
 pub use analytics::{DebouncedRoom, MovementAnalytics, RoomTransition};
-pub use bms::{BmsServer, OccupancyEstimator, RoomLabel, ServerStats};
+pub use bms::{BmsServer, OccupancyEstimator, OccupancyView, RoomLabel, RoomPresence, ServerStats};
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
+pub use fault::FaultyTransport;
 pub use message::{DeviceId, ObservationReport, SightedBeacon};
 pub use transport::{
-    BtRelayTransport, Retrying, SendOutcome, Transport, TransportEvent, TransportKind,
-    WifiTransport,
+    BtRelayTransport, Delivery, QueueingTransport, Retrying, SendOutcome, Transport,
+    TransportEvent, TransportKind, WifiTransport,
 };

@@ -73,13 +73,15 @@ pub trait Transport {
     /// The channel this transport uses.
     fn kind(&self) -> TransportKind;
 
-    /// Delivered / attempted, or 1.0 when nothing was attempted.
-    fn delivery_rate(&self) -> f64 {
+    /// Delivered / attempted bursts, or `None` when nothing was attempted
+    /// yet. The distinction matters in fault sweeps: a link that was down
+    /// the whole run (zero attempts) must not masquerade as a perfect one.
+    fn delivery_rate(&self) -> Option<f64> {
         let events = self.events();
         if events.is_empty() {
-            return 1.0;
+            return None;
         }
-        events.iter().filter(|e| e.delivered).count() as f64 / events.len() as f64
+        Some(events.iter().filter(|e| e.delivered).count() as f64 / events.len() as f64)
     }
 }
 
@@ -334,6 +336,253 @@ impl<T: Transport + fmt::Display> fmt::Display for Retrying<T> {
     }
 }
 
+/// One report delivered out of a [`QueueingTransport`]'s buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The report that got through.
+    pub report: ObservationReport,
+    /// When it arrived at the server.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QueuedReport {
+    report: ObservationReport,
+    attempts: u32,
+    next_attempt: SimTime,
+}
+
+/// Store-and-forward resilience: failed reports wait in a bounded buffer
+/// and are retried with exponential backoff (plus jitter) on later calls.
+///
+/// Where [`Retrying`] burns its whole retry budget *immediately* — which is
+/// hopeless against a correlated outage measured in minutes — this decorator
+/// holds reports across the outage and drains them once the link returns.
+/// Every actual radio burst still lands in [`events`](Transport::events), so
+/// the energy model automatically prices the resilience.
+///
+/// When the buffer is full the *oldest* queued report is dropped (the
+/// freshest observation is the most valuable to the BMS).
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{BtRelayTransport, QueueingTransport};
+/// use roomsense_sim::SimDuration;
+///
+/// let transport = QueueingTransport::new(
+///     BtRelayTransport::default(),
+///     32,
+///     SimDuration::from_secs(2),
+/// );
+/// assert_eq!(transport.pending(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueingTransport<T> {
+    inner: T,
+    capacity: usize,
+    base_backoff: SimDuration,
+    max_backoff: SimDuration,
+    queue: std::collections::VecDeque<QueuedReport>,
+    offered: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<T: Transport> QueueingTransport<T> {
+    /// Wraps `inner` with a buffer of `capacity` reports and the given base
+    /// backoff (doubled per failed attempt, capped at 64×, jittered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the backoff is zero.
+    pub fn new(inner: T, capacity: usize, base_backoff: SimDuration) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        assert!(!base_backoff.is_zero(), "base backoff must be non-zero");
+        QueueingTransport {
+            inner,
+            capacity,
+            base_backoff,
+            max_backoff: base_backoff * 64,
+            queue: std::collections::VecDeque::new(),
+            offered: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the inner transport (and its event log).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Reports currently waiting in the buffer.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reports offered via [`offer`](Self::offer) (or `send`).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offered reports that eventually got through.
+    pub fn delivered_reports(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Reports evicted from a full buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// End-to-end *report* delivery rate: delivered / offered, or `None`
+    /// before any report was offered. Distinct from
+    /// [`delivery_rate`](Transport::delivery_rate), which counts radio
+    /// bursts (a report delivered on its third attempt counts once here but
+    /// three times there).
+    pub fn report_delivery_rate(&self) -> Option<f64> {
+        if self.offered == 0 {
+            None
+        } else {
+            Some(self.delivered as f64 / self.offered as f64)
+        }
+    }
+
+    fn backoff_for<R: Rng + ?Sized>(&self, attempts: u32, rng: &mut R) -> SimDuration {
+        let doubling = attempts.saturating_sub(1).min(16);
+        let scaled = self.base_backoff * (1u64 << doubling);
+        let capped = if scaled > self.max_backoff {
+            self.max_backoff
+        } else {
+            scaled
+        };
+        // Full jitter on top of the exponential floor de-synchronises the
+        // fleet when a shared outage lifts.
+        capped + SimDuration::from_millis(rng.gen_range(0..=self.base_backoff.as_millis()))
+    }
+
+    fn enqueue<R: Rng + ?Sized>(
+        &mut self,
+        report: ObservationReport,
+        attempts: u32,
+        at: SimTime,
+        rng: &mut R,
+    ) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped += 1;
+        }
+        let next_attempt = at + self.backoff_for(attempts, rng);
+        self.queue.push_back(QueuedReport {
+            report,
+            attempts,
+            next_attempt,
+        });
+    }
+
+    /// Retries every queued report whose backoff has expired by `at`;
+    /// returns the ones that got through.
+    pub fn flush<R: Rng + ?Sized>(&mut self, at: SimTime, rng: &mut R) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        let mut still_waiting = std::collections::VecDeque::new();
+        while let Some(mut entry) = self.queue.pop_front() {
+            if entry.next_attempt > at {
+                still_waiting.push_back(entry);
+                continue;
+            }
+            match self.inner.send(at, &entry.report, rng) {
+                SendOutcome::Delivered { at: arrived } => {
+                    self.delivered += 1;
+                    deliveries.push(Delivery {
+                        report: entry.report,
+                        at: arrived,
+                    });
+                }
+                SendOutcome::Failed => {
+                    entry.attempts += 1;
+                    entry.next_attempt = at + self.backoff_for(entry.attempts, rng);
+                    still_waiting.push_back(entry);
+                }
+            }
+        }
+        self.queue = still_waiting;
+        deliveries
+    }
+
+    /// Offers a new report: first drains due queue entries, then attempts
+    /// this report once, queueing it on failure. Returns everything that
+    /// reached the server during this call (queued backlog first).
+    pub fn offer<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: ObservationReport,
+        rng: &mut R,
+    ) -> Vec<Delivery> {
+        let mut deliveries = self.flush(at, rng);
+        self.offered += 1;
+        match self.inner.send(at, &report, rng) {
+            SendOutcome::Delivered { at: arrived } => {
+                self.delivered += 1;
+                deliveries.push(Delivery {
+                    report,
+                    at: arrived,
+                });
+            }
+            SendOutcome::Failed => self.enqueue(report, 1, at, rng),
+        }
+        deliveries
+    }
+}
+
+impl<T: Transport> Transport for QueueingTransport<T> {
+    /// [`offer`](Self::offer)s the report; `Delivered` means *this* report
+    /// got through in this call. `Failed` means it was queued (it may still
+    /// deliver from a later call) — callers that need the backlog should use
+    /// `offer` directly.
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let device = report.device;
+        let sent_at = report.at;
+        let deliveries = self.offer(at, report.clone(), rng);
+        deliveries
+            .iter()
+            .find(|d| d.report.device == device && d.report.at == sent_at)
+            .map(|d| SendOutcome::Delivered { at: d.at })
+            .unwrap_or(SendOutcome::Failed)
+    }
+
+    fn events(&self) -> &[TransportEvent] {
+        self.inner.events()
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+}
+
+impl<T: Transport + fmt::Display> fmt::Display for QueueingTransport<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queueing (cap {}, {} pending, {} dropped)",
+            self.inner,
+            self.capacity,
+            self.queue.len(),
+            self.dropped
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,14 +615,11 @@ mod tests {
             wifi.send(at, &report(), &mut r);
             bt.send(at, &report(), &mut r);
         }
-        assert!(wifi.delivery_rate() > 0.98, "wifi {}", wifi.delivery_rate());
-        assert!(
-            bt.delivery_rate() < wifi.delivery_rate(),
-            "bt {} wifi {}",
-            bt.delivery_rate(),
-            wifi.delivery_rate()
-        );
-        assert!((bt.delivery_rate() - 0.90).abs() < 0.03);
+        let wifi_rate = wifi.delivery_rate().expect("wifi attempted sends");
+        let bt_rate = bt.delivery_rate().expect("bt attempted sends");
+        assert!(wifi_rate > 0.98, "wifi {wifi_rate}");
+        assert!(bt_rate < wifi_rate, "bt {bt_rate} wifi {wifi_rate}");
+        assert!((bt_rate - 0.90).abs() < 0.03);
     }
 
     #[test]
@@ -420,9 +666,12 @@ mod tests {
     }
 
     #[test]
-    fn empty_transport_reports_full_delivery() {
+    fn untouched_transport_has_no_delivery_rate() {
+        // "No traffic" must be distinguishable from "perfect delivery":
+        // a fault sweep that kills the link before the first send would
+        // otherwise score it 100 %.
         let wifi = WifiTransport::default();
-        assert_eq!(wifi.delivery_rate(), 1.0);
+        assert_eq!(wifi.delivery_rate(), None);
     }
 
     #[test]
@@ -480,6 +729,118 @@ mod tests {
         // Attempts are spaced by the previous burst, not simultaneous.
         let starts: Vec<u64> = never.events().iter().map(|e| e.start.as_millis()).collect();
         assert!(starts.windows(2).all(|w| w[1] > w[0]), "starts {starts:?}");
+    }
+
+    fn stamped_report(at_secs: u64) -> ObservationReport {
+        ObservationReport {
+            at: SimTime::from_secs(at_secs),
+            ..report()
+        }
+    }
+
+    #[test]
+    fn queueing_holds_reports_across_a_dead_spell_and_drains_after() {
+        // A transport that is dead, then perfect — the correlated-outage
+        // shape Retrying cannot survive but the queue can.
+        let mut q = QueueingTransport::new(
+            crate::FaultyTransport::new(
+                BtRelayTransport::new(1.0, SimDuration::from_millis(400)),
+                roomsense_sim::FaultSchedule::new(vec![roomsense_sim::FaultWindow::new(
+                    SimTime::ZERO,
+                    SimTime::from_secs(60),
+                )]),
+            ),
+            32,
+            SimDuration::from_secs(2),
+        );
+        let mut r = rng::for_component(11, "queue-outage");
+        let mut delivered = Vec::new();
+        for i in 0..60 {
+            let at = SimTime::from_secs(i * 2);
+            delivered.extend(q.offer(at, stamped_report(i * 2), &mut r));
+        }
+        // Everything offered during the minute of downtime was queued, not
+        // lost, and drained once the link returned.
+        assert_eq!(q.offered(), 60);
+        assert_eq!(q.delivered_reports(), 60);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(delivered.len(), 60);
+        assert_eq!(q.report_delivery_rate(), Some(1.0));
+        // Every distinct report made it out exactly once (retry order is
+        // staggered by backoff, so only completeness is guaranteed).
+        let mut sent_times: Vec<u64> = delivered.iter().map(|d| d.report.at.as_millis()).collect();
+        sent_times.sort_unstable();
+        sent_times.dedup();
+        assert_eq!(sent_times.len(), 60);
+    }
+
+    #[test]
+    fn queueing_backoff_grows_and_is_spaced() {
+        let mut q = QueueingTransport::new(
+            BtRelayTransport::new(0.0, SimDuration::from_millis(400)),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let mut r = rng::for_component(12, "queue-backoff");
+        q.offer(SimTime::ZERO, stamped_report(0), &mut r);
+        assert_eq!(q.pending(), 1);
+        // Flushing before the backoff expires does not attempt the send.
+        let before = q.events().len();
+        assert!(q.flush(SimTime::from_millis(500), &mut r).is_empty());
+        assert_eq!(q.events().len(), before);
+        // Well after the (jittered) backoff, the retry happens and fails
+        // again with a longer next wait.
+        assert!(q.flush(SimTime::from_secs(3), &mut r).is_empty());
+        assert_eq!(q.events().len(), before + 1);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn queueing_bounded_buffer_evicts_oldest() {
+        let mut q = QueueingTransport::new(
+            BtRelayTransport::new(0.0, SimDuration::from_millis(400)),
+            4,
+            SimDuration::from_secs(600), // never retried within this test
+        );
+        let mut r = rng::for_component(13, "queue-bound");
+        for i in 0..10 {
+            q.offer(SimTime::from_secs(i), stamped_report(i), &mut r);
+        }
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.dropped(), 6);
+        assert_eq!(q.report_delivery_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn queueing_report_rate_is_none_before_traffic() {
+        let q = QueueingTransport::new(
+            BtRelayTransport::default(),
+            8,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(q.report_delivery_rate(), None);
+        assert_eq!(q.delivery_rate(), None);
+    }
+
+    #[test]
+    fn queueing_send_reports_immediate_outcome() {
+        let mut q = QueueingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let mut r = rng::for_component(14, "queue-send");
+        let outcome = q.send(SimTime::from_secs(1), &stamped_report(1), &mut r);
+        assert!(outcome.is_delivered());
+        let mut dead = QueueingTransport::new(
+            WifiTransport::new(0.0, SimDuration::from_millis(50)),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let outcome = dead.send(SimTime::from_secs(1), &stamped_report(1), &mut r);
+        assert!(!outcome.is_delivered());
+        assert_eq!(dead.pending(), 1);
     }
 
     #[test]

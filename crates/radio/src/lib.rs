@@ -41,6 +41,7 @@
 
 mod advertiser;
 mod channel;
+mod fault;
 mod device;
 mod environment;
 mod interference;
@@ -52,4 +53,5 @@ pub use advertiser::{AdvChannel, Advertiser, Transmission};
 pub use channel::{Channel, TransmitterProfile};
 pub use device::DeviceRxProfile;
 pub use environment::{Environment, Wall, WallMaterial};
+pub use fault::TransmitterFault;
 pub use interference::Interferer;

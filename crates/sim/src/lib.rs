@@ -10,6 +10,8 @@
 //!   with FIFO tie-breaking for simultaneous events.
 //! * [`rng`]: seed-derivation helpers so each component gets an independent,
 //!   named random stream from one experiment master seed.
+//! * [`FaultSchedule`]: seeded, scheduled fault windows — the shared
+//!   substrate of fault injection across the radio, stack, and net layers.
 //!
 //! # Examples
 //!
@@ -26,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod queue;
 pub mod rng;
 mod time;
 
+pub use fault::{FaultSchedule, FaultWindow};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

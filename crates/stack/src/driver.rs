@@ -3,7 +3,7 @@
 use crate::{Reception, ScanConfig, ScanSample, ScannerModel};
 use rand::Rng;
 use roomsense_geom::Point;
-use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, TransmitterProfile};
+use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, TransmitterFault, TransmitterProfile};
 use roomsense_sim::SimTime;
 
 /// An advertiser installed at a fixed position.
@@ -71,6 +71,65 @@ where
             if let Some(rssi) = channel.sample_rssi_on_at(
                 tx_event.at,
                 &placed.profile,
+                placed.position,
+                rx,
+                rx_pos,
+                tx_event.channel,
+                rng,
+            ) {
+                receptions.push(Reception {
+                    at: tx_event.at,
+                    packet: *placed.advertiser.packet(),
+                    rssi_dbm: rssi,
+                    channel: tx_event.channel,
+                });
+            }
+        }
+    }
+    receptions.sort_by_key(|r| r.at);
+    receptions
+}
+
+/// Like [`simulate_receptions`], but with a [`TransmitterFault`] per
+/// advertiser: transmissions scheduled inside an outage window never happen,
+/// and transmissions inside a degraded window go out at reduced power (which
+/// both weakens the recorded RSSI and pushes marginal links below the
+/// receiver's sensitivity).
+///
+/// # Panics
+///
+/// Panics if `faults` is not exactly one entry per advertiser.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_receptions_faulty<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    faults: &[TransmitterFault],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+) -> Vec<Reception>
+where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
+    assert_eq!(
+        advertisers.len(),
+        faults.len(),
+        "need exactly one TransmitterFault per advertiser"
+    );
+    let mut receptions = Vec::new();
+    for (placed, fault) in advertisers.iter().zip(faults) {
+        for tx_event in placed.advertiser.schedule(from, until, rng) {
+            if !fault.transmits_at(tx_event.at) {
+                continue;
+            }
+            let profile = fault.profile_at(tx_event.at, &placed.profile);
+            let rx_pos = rx_position(tx_event.at);
+            if let Some(rssi) = channel.sample_rssi_on_at(
+                tx_event.at,
+                &profile,
                 placed.position,
                 rx,
                 rx_pos,

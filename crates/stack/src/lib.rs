@@ -32,9 +32,13 @@
 
 pub mod app;
 mod driver;
+mod fault;
 mod scanner;
 
-pub use driver::{run_scan, simulate_receptions, PlacedAdvertiser, ScanCycleReport};
+pub use driver::{
+    run_scan, simulate_receptions, simulate_receptions_faulty, PlacedAdvertiser, ScanCycleReport,
+};
+pub use fault::FaultyScanner;
 pub use scanner::{
     AndroidLScanner, AndroidScanner, IosScanner, Reception, ScanConfig, ScanSample, ScannerModel,
 };

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, every test, and a warning-free clippy
+# pass over the whole workspace. The build environment has no crate
+# registry, so everything runs --offline against the in-tree shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "check.sh: build + tests + clippy all green"

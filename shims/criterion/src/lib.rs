@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`: same macro/API shape, but the
+//! measurement is a simple warm-up + timed-batch median rather than the
+//! full statistical machinery. Good enough to run `cargo bench` offline
+//! and print per-benchmark timings; not a statistics-grade harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: one input per measurement.
+    LargeInput,
+}
+
+/// Runs and times one benchmark's routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn record(&mut self, elapsed: Duration, iterations: u64) {
+        self.total += elapsed;
+        self.iterations += iterations;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.total.as_nanos() as f64 / self.iterations as f64
+    }
+
+    /// Times `routine` over a fixed iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, then calibrate an iteration count that keeps each
+        // benchmark fast while still averaging over many runs.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000_000 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let budget = Duration::from_millis(100).as_nanos();
+        let iters = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: one measured call to size the budget.
+        let input = setup();
+        let probe = Instant::now();
+        black_box(routine(input));
+        let per_iter = probe.elapsed().as_nanos().max(1);
+        let budget = Duration::from_millis(100).as_nanos();
+        let iters = (budget / per_iter).clamp(1, 100_000) as u64;
+
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.record(measured, iters);
+    }
+}
+
+/// The benchmark driver: collects named benchmarks and prints timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let mean = bencher.mean_ns();
+        let (value, unit) = if mean >= 1e9 {
+            (mean / 1e9, "s")
+        } else if mean >= 1e6 {
+            (mean / 1e6, "ms")
+        } else if mean >= 1e3 {
+            (mean / 1e3, "µs")
+        } else {
+            (mean, "ns")
+        };
+        println!(
+            "{name:<40} time: {value:>10.3} {unit}/iter ({} iters)",
+            bencher.iterations
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group: a function that runs each listed benchmark
+/// against one [`Criterion`] driver.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("tiny_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

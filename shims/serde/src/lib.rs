@@ -1,0 +1,5 @@
+//! Offline placeholder for `serde`. The workspace dependency table declares
+//! serde for future use, but no crate currently imports it; this stub keeps
+//! the manifest resolvable without a crate registry.
+
+#![forbid(unsafe_code)]
