@@ -1,6 +1,11 @@
 //! `repro` — regenerates every figure and headline claim of the paper.
 //!
-//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|all]`
+//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|bench|all]`
+//!
+//! The `bench` arm is not a paper figure: it times the parallel execution
+//! layer against a forced single-worker run of the same workloads, checks
+//! the outputs are identical, and writes `BENCH_PR2.json` in the working
+//! directory.
 //!
 //! Each subcommand prints the rows/series the corresponding paper artifact
 //! reports; `EXPERIMENTS.md` records paper-vs-measured.
@@ -15,7 +20,7 @@ use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
 use roomsense_ibeacon::{Major, MeasuredPower, Minor, Packet, ProximityUuid, Region, RegionId};
 use roomsense_radio::DeviceRxProfile;
-use roomsense_sim::{SimDuration, SimTime};
+use roomsense_sim::{exec, SimDuration, SimTime};
 use roomsense_stack::app::{App, AppEvent};
 
 fn main() {
@@ -43,6 +48,7 @@ fn main() {
         "scaling" => scaling(),
         "floors" => floors(),
         "faults" => faults(),
+        "bench" => bench(),
         "all" => {
             fig1();
             fig3();
@@ -63,7 +69,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|bench|all]"
             );
             std::process::exit(2);
         }
@@ -375,6 +381,178 @@ fn faults() {
             );
         }
     }
+}
+
+/// PR 2 benchmark: sequential vs parallel wall-clock for the fan-out
+/// paths, plus uncached vs cached SMO, with output-equality checksums.
+///
+/// Writes `BENCH_PR2.json` into the current directory. Each case reports
+/// the best of three runs per arm; `checksums_match` proves the parallel
+/// run produced bit-for-bit the sequential output (the checksum is an
+/// FNV-1a hash of the result's debug formatting, which prints every f64
+/// to full precision).
+fn bench() {
+    use roomsense::run_fleet;
+    use roomsense_building::mobility::{MobilityModel, StaticPosition};
+    use roomsense_building::presets;
+    use roomsense_geom::Point;
+    use roomsense_ml::{grid_search, BinarySvm, Dataset, Kernel, SvmParams};
+    use roomsense_sim::rng;
+
+    header("bench: deterministic parallel layer + SMO error cache");
+    let threads = exec::thread_count();
+    println!("  worker threads: {threads} (override with ROOMSENSE_THREADS)");
+    println!();
+
+    let mut cases: Vec<BenchCase> = Vec::new();
+
+    // Fleet: one pipeline per occupant, fanned out per device.
+    let scenario = roomsense::Scenario::from_plan(presets::two_transmitter_corridor(), SEED);
+    let spots: Vec<StaticPosition> = (0..6)
+        .map(|i| StaticPosition::new(Point::new(1.0 + 1.5 * f64::from(i), 1.0)))
+        .collect();
+    let occupants: Vec<&dyn MobilityModel> = spots.iter().map(|s| s as _).collect();
+    cases.push(bench_case("fleet_6_devices_60s", threads, || {
+        run_fleet(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &occupants,
+            SimDuration::from_secs(60),
+            SEED,
+        )
+    }));
+
+    // Grid search: (γ, fold) tasks fanned out, Gram shared across Cs.
+    let mut data = Dataset::new(2, vec!["a".into(), "b".into()]).expect("valid dataset");
+    for i in 0..40 {
+        let t = f64::from(i) * 0.08;
+        data.push(vec![t, 0.3 * t], 0).expect("row");
+        data.push(vec![4.0 + t, 4.0 - 0.3 * t], 1).expect("row");
+    }
+    cases.push(bench_case("grid_search_3x3x4", threads, || {
+        let mut r = rng::for_component(SEED, "bench-grid");
+        grid_search(&data, &[0.1, 1.0, 10.0], &[0.01, 0.1, 1.0], 4, &mut r)
+    }));
+
+    // Coefficient sweep: (coefficient, trial) cells fanned out.
+    cases.push(bench_case("coefficient_sweep_3x3", threads, || {
+        coefficient_sweep(&[0.2, 0.5, 0.8], 3, SEED)
+    }));
+
+    // SMO error cache: same solver workload, cached vs per-call scans.
+    // This one is single-threaded on both arms; the win is algorithmic.
+    let (rows, targets): (Vec<Vec<f64>>, Vec<f64>) = (0..160)
+        .map(|i| {
+            let angle = f64::from(i) * std::f64::consts::FRAC_PI_8;
+            let (r, y) = if i % 2 == 0 { (1.0, -1.0) } else { (3.0, 1.0) };
+            (vec![r * angle.cos(), r * angle.sin()], y)
+        })
+        .unzip();
+    let params = SvmParams {
+        c: 2.0,
+        kernel: Kernel::Rbf { gamma: 0.5 },
+        ..SvmParams::default()
+    };
+    let uncached = best_of_3(|| BinarySvm::fit_uncached(&rows, &targets, &params));
+    let cached = best_of_3(|| BinarySvm::fit(rows.clone(), &targets, &params));
+    cases.push(BenchCase {
+        name: "smo_error_cache_160",
+        sequential_ms: uncached.1,
+        parallel_ms: cached.1,
+        checksums_match: fnv1a(&format!("{:?}", uncached.0)) == fnv1a(&format!("{:?}", cached.0)),
+        checksum: fnv1a(&format!("{:?}", cached.0)),
+    });
+
+    println!("  case                     seq (ms)  par (ms)  speedup  outputs identical");
+    for case in &cases {
+        println!(
+            "  {:<24} {:>8.1}  {:>8.1}  {:>6.2}x  {}",
+            case.name,
+            case.sequential_ms,
+            case.parallel_ms,
+            case.speedup(),
+            case.checksums_match,
+        );
+        assert!(case.checksums_match, "{}: parallel output diverged", case.name);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"note\": \"best of 3 runs per arm; seq = ROOMSENSE_THREADS=1, par = default; smo case is cached-vs-uncached, not threaded\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"outputs_identical\": {}, \"checksum\": \"{:016x}\"}}{}\n",
+            case.name,
+            case.sequential_ms,
+            case.parallel_ms,
+            case.speedup(),
+            case.checksums_match,
+            case.checksum,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_PR2.json", json).expect("write BENCH_PR2.json");
+    println!();
+    println!("wrote BENCH_PR2.json");
+}
+
+struct BenchCase {
+    name: &'static str,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    checksums_match: bool,
+    checksum: u64,
+}
+
+impl BenchCase {
+    fn speedup(&self) -> f64 {
+        self.sequential_ms / self.parallel_ms
+    }
+}
+
+/// Times `work` under a forced single worker and under the default worker
+/// count, checking both arms produce identical output.
+fn bench_case<T: std::fmt::Debug>(
+    name: &'static str,
+    threads: usize,
+    work: impl Fn() -> T,
+) -> BenchCase {
+    let (seq_out, sequential_ms) = best_of_3(|| exec::with_thread_override(1, &work));
+    let (par_out, parallel_ms) = best_of_3(|| exec::with_thread_override(threads, &work));
+    let seq_sum = fnv1a(&format!("{seq_out:?}"));
+    let par_sum = fnv1a(&format!("{par_out:?}"));
+    BenchCase {
+        name,
+        sequential_ms,
+        parallel_ms,
+        checksums_match: seq_sum == par_sum,
+        checksum: par_sum,
+    }
+}
+
+/// Runs `work` three times; returns the last output and the best time.
+fn best_of_3<T>(work: impl Fn() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let value = work();
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+        out = Some(value);
+    }
+    (out.expect("ran at least once"), best)
+}
+
+/// FNV-1a over a string; stable, dependency-free output fingerprint.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// Writes the figure's data series as CSV files under `dir`.

@@ -21,8 +21,10 @@ use std::fmt;
 ///
 /// Implementations must be deterministic: the same model asked the same
 /// time twice answers the same position. Randomized walks draw all their
-/// randomness at construction.
-pub trait MobilityModel {
+/// randomness at construction. The `Sync` bound lets fleet runners sample
+/// many occupants from parallel workers; deterministic models are
+/// immutable after construction, so this costs implementations nothing.
+pub trait MobilityModel: Sync {
     /// The occupant's position at `at`.
     fn position_at(&self, at: SimTime) -> Point;
 

@@ -33,7 +33,7 @@ use roomsense_net::{
 };
 use roomsense_radio::DeviceRxProfile;
 use roomsense_signal::metrics;
-use roomsense_sim::{rng, SimDuration, SimTime};
+use roomsense_sim::{exec, rng, SimDuration, SimTime};
 
 /// One static capture: the phone fixed at a known distance from a single
 /// transmitter (the Figs 4/5/6 protocol).
@@ -171,32 +171,35 @@ pub struct CoefficientSweepPoint {
 /// Sweeps the filter coefficient over static stability and dynamic
 /// responsiveness — the experiment behind the paper's choice of 0.65.
 ///
-/// Results are averaged over `trials` independent seeds.
+/// Results are averaged over `trials` independent seeds. Every
+/// `(coefficient, trial)` cell is an independent capture-plus-walk pair,
+/// so the sweep fans the flattened grid out over worker threads and
+/// aggregates per coefficient in trial order — identical output to the
+/// sequential nesting at any thread count.
 pub fn coefficient_sweep(
     coefficients: &[f64],
     trials: u64,
     seed: u64,
 ) -> Vec<CoefficientSweepPoint> {
+    let cells: Vec<(usize, u64)> = (0..coefficients.len())
+        .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
+        .collect();
+    let outcomes: Vec<(f64, Option<usize>)> = exec::par_map_indexed(&cells, |_, &(ci, trial)| {
+        let coefficient = coefficients[ci];
+        let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
+        let config = PipelineConfig::paper_android().with_coefficient(coefficient);
+        let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), trial_seed);
+        let crossing = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle;
+        (capture.smoothed_std(), crossing)
+    });
     coefficients
         .iter()
-        .map(|&coefficient| {
-            let mut stds = Vec::new();
-            let mut crossings = Vec::new();
-            for trial in 0..trials {
-                let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
-                let config =
-                    PipelineConfig::paper_android().with_coefficient(coefficient);
-                let capture = static_capture(
-                    &config,
-                    2.0,
-                    SimDuration::from_secs(120),
-                    trial_seed,
-                );
-                stds.push(capture.smoothed_std());
-                if let Some(c) = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle {
-                    crossings.push(c);
-                }
-            }
+        .enumerate()
+        .map(|(ci, &coefficient)| {
+            let per_coeff = &outcomes[ci * trials as usize..(ci + 1) * trials as usize];
+            let stds: Vec<f64> = per_coeff.iter().map(|(std, _)| *std).collect();
+            let crossings: Vec<usize> =
+                per_coeff.iter().filter_map(|(_, crossing)| *crossing).collect();
             let stability_std_m = metrics::mean(&stds).unwrap_or(0.0);
             let crossover_cycle = if crossings.is_empty() {
                 None
@@ -293,18 +296,18 @@ pub fn classification_cross_validation(seed: u64, folds: usize) -> Vec<f64> {
         seed,
     );
     let mut fold_rng = rng::for_component(seed, "classification-cv");
-    k_fold(&labelled.data, folds, &mut fold_rng)
-        .into_iter()
-        .map(|(train, val)| {
-            let train_labelled = LabelledDataset {
-                data: train,
-                beacon_order: labelled.beacon_order.clone(),
-            };
-            let model = OccupancyModel::fit(&train_labelled, &SvmParams::default())
-                .expect("folds keep all classes with high probability");
-            model.evaluate(&val).accuracy()
-        })
-        .collect()
+    // Fold assignment draws from the RNG sequentially; the fold fits are
+    // then independent and fan out over worker threads in fold order.
+    let fold_sets = k_fold(&labelled.data, folds, &mut fold_rng);
+    exec::par_map_indexed(&fold_sets, |_, (train, val)| {
+        let train_labelled = LabelledDataset {
+            data: train.clone(),
+            beacon_order: labelled.beacon_order.clone(),
+        };
+        let model = OccupancyModel::fit(&train_labelled, &SvmParams::default())
+            .expect("folds keep all classes with high probability");
+        model.evaluate(val).accuracy()
+    })
 }
 
 /// The Fig 10 experiment output.
@@ -351,37 +354,47 @@ pub fn energy_experiment(duration: SimDuration, trials: u64, seed: u64) -> Energ
         }],
     };
 
+    // Trials draw from independent indexed streams, so they fan out over
+    // worker threads; energies are then summed in trial order, keeping the
+    // floating-point accumulation identical to the sequential loop.
+    let trial_indices: Vec<u64> = (0..trials).collect();
+    let trial_runs: Vec<(f64, f64, UsageTimeline, UsageTimeline)> =
+        exec::par_map_indexed(&trial_indices, |_, &trial| {
+            let mut wifi = WifiTransport::default();
+            let mut bt = BtRelayTransport::default();
+            let mut r = rng::for_indexed(seed, "energy-trial", trial);
+            for c in 0..cycles {
+                let at = SimTime::ZERO + scan_period * c;
+                wifi.send(at, &report, &mut r);
+                bt.send(at, &report, &mut r);
+            }
+            let wifi_timeline = UsageTimeline {
+                duration,
+                scan_active: duration,
+                transport_events: wifi.events().to_vec(),
+            };
+            let bt_timeline = UsageTimeline {
+                duration,
+                scan_active: duration,
+                transport_events: bt.events().to_vec(),
+            };
+            let wifi_mj =
+                account(&profile, &wifi_timeline, UplinkArchitecture::Wifi).total_mj();
+            let bt_mj = account(
+                &profile,
+                &bt_timeline,
+                UplinkArchitecture::BluetoothRelay,
+            )
+            .total_mj();
+            (wifi_mj, bt_mj, wifi_timeline, bt_timeline)
+        });
     let mut wifi_energy_mj = 0.0;
     let mut bt_energy_mj = 0.0;
     let mut wifi_timeline_last = None;
     let mut bt_timeline_last = None;
-    for trial in 0..trials {
-        let mut wifi = WifiTransport::default();
-        let mut bt = BtRelayTransport::default();
-        let mut r = rng::for_indexed(seed, "energy-trial", trial);
-        for c in 0..cycles {
-            let at = SimTime::ZERO + scan_period * c;
-            wifi.send(at, &report, &mut r);
-            bt.send(at, &report, &mut r);
-        }
-        let wifi_timeline = UsageTimeline {
-            duration,
-            scan_active: duration,
-            transport_events: wifi.events().to_vec(),
-        };
-        let bt_timeline = UsageTimeline {
-            duration,
-            scan_active: duration,
-            transport_events: bt.events().to_vec(),
-        };
-        wifi_energy_mj +=
-            account(&profile, &wifi_timeline, UplinkArchitecture::Wifi).total_mj();
-        bt_energy_mj += account(
-            &profile,
-            &bt_timeline,
-            UplinkArchitecture::BluetoothRelay,
-        )
-        .total_mj();
+    for (wifi_mj, bt_mj, wifi_timeline, bt_timeline) in trial_runs {
+        wifi_energy_mj += wifi_mj;
+        bt_energy_mj += bt_mj;
         wifi_timeline_last = Some(wifi_timeline);
         bt_timeline_last = Some(bt_timeline);
     }
@@ -909,8 +922,11 @@ pub fn faults_experiment(seed: u64) -> FaultsResult {
         SimDuration::from_secs(5),
     );
 
-    let mut points = Vec::new();
-    for (index, &intensity) in [0.0, 0.25, 0.5, 0.75].iter().enumerate() {
+    // Each intensity point is an independent faulted run keyed on indexed
+    // RNG streams; the four points fan out over worker threads (and each
+    // run's per-device pipelines fan out again inside run_fleet_faulted).
+    let intensities = [0.0, 0.25, 0.5, 0.75];
+    let points = exec::par_map_indexed(&intensities, |index, &intensity| {
         let plan = crate::FaultPlan::generate(
             scenario.advertisers().len(),
             duration,
@@ -1037,13 +1053,13 @@ pub fn faults_experiment(seed: u64) -> FaultsResult {
 
         let bare = score(&bare_deliveries, bare_transport.events(), bare_rate);
         let resilient = score(&resilient_deliveries, queue.events(), resilient_rate);
-        points.push(FaultSweepPoint {
+        FaultSweepPoint {
             intensity,
             uplink_downtime: plan.uplink_downtime(),
             bare,
             resilient,
-        });
-    }
+        }
+    });
     FaultsResult { points }
 }
 

@@ -9,8 +9,10 @@
 use crate::{run_pipeline, run_pipeline_faulted, CycleRecord, FaultPlan, PipelineConfig, Scenario};
 use roomsense_building::mobility::MobilityModel;
 use roomsense_net::DeviceId;
-use roomsense_sim::{EventQueue, SimDuration};
+use roomsense_sim::SimDuration;
 use roomsense_sim::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One fleet event: a device finished a scan cycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,23 +81,54 @@ pub fn run_fleet_faulted(
     }, seed)
 }
 
+/// Runs one pipeline per occupant — in parallel, one worker per core —
+/// then k-way-merges the per-device streams.
+///
+/// Each pipeline is a pure function of `(scenario, config, mobility,
+/// device_seed)`, so fanning devices out over threads cannot change any
+/// output: the per-device record vectors are identical to a sequential
+/// run, and the merge below is deterministic. Device seeds come from
+/// [`rng::derive_indexed_seed`](roomsense_sim::rng::derive_indexed_seed),
+/// which keys on both the fleet seed and the device index without the
+/// cross-pair collisions a XOR of independent seeds would allow.
 fn merge_fleet(
     occupants: &[&dyn MobilityModel],
-    mut run: impl FnMut(&dyn MobilityModel, u64) -> Vec<CycleRecord>,
+    run: impl Fn(&dyn MobilityModel, u64) -> Vec<CycleRecord> + Sync,
     seed: u64,
 ) -> Vec<FleetEvent> {
-    let mut queue: EventQueue<(DeviceId, CycleRecord)> = EventQueue::new();
-    for (index, mobility) in occupants.iter().enumerate() {
-        let device = DeviceId::new(index as u32);
-        let device_seed = roomsense_sim::rng::derive_seed(seed, "fleet-device")
-            ^ roomsense_sim::rng::derive_seed(index as u64, "fleet-index");
-        for record in run(*mobility, device_seed) {
-            queue.schedule(record.at, (device, record));
+    let per_device: Vec<Vec<CycleRecord>> =
+        roomsense_sim::exec::par_map_indexed(occupants, |index, mobility| {
+            let device_seed =
+                roomsense_sim::rng::derive_indexed_seed(seed, "fleet-device", index as u64);
+            run(*mobility, device_seed)
+        });
+
+    // Each pipeline returns chronologically ordered cycles, so the merge
+    // is a k-way merge over sorted runs: a min-heap holds one candidate
+    // per device, keyed `(time, device)` so simultaneous cycles keep
+    // device order — the same tie-break the event queue's FIFO gave.
+    let total = per_device.iter().map(Vec::len).sum();
+    let mut streams: Vec<_> = per_device
+        .into_iter()
+        .map(|records| records.into_iter().peekable())
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = streams
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(device, stream)| stream.peek().map(|r| Reverse((r.at, device))))
+        .collect();
+    let mut events = Vec::with_capacity(total);
+    while let Some(Reverse((at, device))) = heap.pop() {
+        let record = streams[device].next().expect("peeked above");
+        debug_assert_eq!(record.at, at);
+        events.push(FleetEvent {
+            at,
+            device: DeviceId::new(device as u32),
+            record,
+        });
+        if let Some(next) = streams[device].peek() {
+            heap.push(Reverse((next.at, device)));
         }
-    }
-    let mut events = Vec::with_capacity(queue.len());
-    while let Some((at, (device, record))) = queue.pop() {
-        events.push(FleetEvent { at, device, record });
     }
     events
 }

@@ -5,8 +5,10 @@
 //! deployment re-tunes `C` and `γ` per building. This module provides the
 //! standard grid search so downstream users do not hand-roll it.
 
-use crate::{k_fold, Classifier, Dataset, Kernel, SvmClassifier, SvmParams};
+use crate::svm::{pair_splits, PairSplit};
+use crate::{k_fold, BinarySvm, Classifier, Dataset, Gram, Kernel, SvmClassifier, SvmParams};
 use rand::Rng;
+use roomsense_sim::exec;
 use std::fmt;
 
 /// One evaluated grid point.
@@ -91,33 +93,75 @@ pub fn grid_search<R: Rng + ?Sized>(
 ) -> GridSearchResult {
     assert!(!cs.is_empty() && !gammas.is_empty(), "grid must be non-empty");
     let fold_sets = k_fold(data, folds, rng);
-    let mut points = Vec::with_capacity(cs.len() * gammas.len());
-    for &c in cs {
-        for &gamma in gammas {
-            let params = SvmParams {
-                c,
-                kernel: Kernel::Rbf { gamma },
-                ..SvmParams::default()
-            };
-            let mut total = 0.0;
-            for (train, val) in &fold_sets {
-                let accuracy = match SvmClassifier::fit(train, &params) {
-                    Ok(svm) => {
-                        let correct = val
-                            .rows()
-                            .iter()
-                            .zip(val.labels())
-                            .filter(|(row, label)| svm.predict(row) == **label)
-                            .count();
-                        if val.is_empty() {
-                            0.0
-                        } else {
-                            correct as f64 / val.len() as f64
-                        }
-                    }
-                    Err(_) => 0.0,
+    // The one-vs-one pair subproblems of each fold depend on neither C nor
+    // γ; build them once. A degenerate fold (empty / single-class train
+    // split) scores zero at every grid point, as before.
+    let fold_pairs: Vec<Option<Vec<PairSplit>>> = fold_sets
+        .iter()
+        .map(|(train, _)| pair_splits(train).ok())
+        .collect();
+
+    // One parallel task per (γ, fold): the task computes each pair's Gram
+    // matrix for that kernel once and sweeps every C against it, so the
+    // O(n²·d) kernel work is paid |γ|·folds times instead of
+    // |C|·|γ|·folds times. Tasks are pure functions of their index, so the
+    // fan-out is bit-for-bit identical to a sequential evaluation.
+    let tasks: Vec<(usize, usize)> = (0..gammas.len())
+        .flat_map(|gi| (0..fold_sets.len()).map(move |fi| (gi, fi)))
+        .collect();
+    let accuracies: Vec<Vec<f64>> = exec::par_map_indexed(&tasks, |_, &(gi, fi)| {
+        let kernel = Kernel::Rbf { gamma: gammas[gi] };
+        let (_, val) = &fold_sets[fi];
+        let Some(pairs) = &fold_pairs[fi] else {
+            return vec![0.0; cs.len()];
+        };
+        let grams: Vec<Gram> = pairs
+            .iter()
+            .map(|p| Gram::compute(&p.rows, kernel))
+            .collect();
+        cs.iter()
+            .map(|&c| {
+                let params = SvmParams {
+                    c,
+                    kernel,
+                    ..SvmParams::default()
                 };
-                total += accuracy;
+                let machines = pairs
+                    .iter()
+                    .zip(&grams)
+                    .map(|(p, gram)| {
+                        (
+                            p.a,
+                            p.b,
+                            BinarySvm::fit_with_gram(&p.rows, &p.targets, gram, &params),
+                        )
+                    })
+                    .collect();
+                let svm = SvmClassifier::from_machines(data.class_count(), machines);
+                if val.is_empty() {
+                    0.0
+                } else {
+                    let correct = val
+                        .rows()
+                        .iter()
+                        .zip(val.labels())
+                        .filter(|(row, label)| svm.predict(row) == **label)
+                        .count();
+                    correct as f64 / val.len() as f64
+                }
+            })
+            .collect()
+    });
+
+    // Reassemble in the original evaluation order (C outer, γ inner),
+    // summing folds in fold order — the identical additions, in the
+    // identical order, the sequential nesting performed.
+    let mut points = Vec::with_capacity(cs.len() * gammas.len());
+    for (ci, &c) in cs.iter().enumerate() {
+        for (gi, &gamma) in gammas.iter().enumerate() {
+            let mut total = 0.0;
+            for fi in 0..fold_sets.len() {
+                total += accuracies[gi * fold_sets.len() + fi][ci];
             }
             points.push(GridPoint {
                 c,

@@ -60,6 +60,174 @@ impl fmt::Display for TrainSvmError {
 
 impl std::error::Error for TrainSvmError {}
 
+/// A precomputed kernel (Gram) matrix for one training set.
+///
+/// The matrix depends only on the rows and the kernel — never on the
+/// soft-margin penalty `C` — so grid search computes it once per `γ` and
+/// reuses it across every `C` sharing that kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gram {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl Gram {
+    /// Computes the symmetric kernel matrix of `rows` under `kernel`.
+    ///
+    /// Pair problems are small (hundreds of rows) so O(n²) memory is the
+    /// right trade.
+    pub fn compute(rows: &[Vec<f64>], kernel: Kernel) -> Self {
+        let n = rows.len();
+        let mut values = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = kernel.compute(&rows[i], &rows[j]);
+                values[i * n + j] = k;
+                values[j * n + i] = k;
+            }
+        }
+        Gram { n, values }
+    }
+
+    /// Number of rows the matrix was computed over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (zero rows).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+}
+
+/// The decision function at training row `i` under the current `(α, b)`
+/// state: `b + Σⱼ αⱼ yⱼ K(j, i)`, summed in index order.
+///
+/// This exact expression (same skip of zero α, same summation order) is
+/// what the error cache in [`smo_solve`] memoizes, which is why cached and
+/// uncached solves are bitwise identical.
+fn decision_at(alphas: &[f64], targets: &[f64], gram: &Gram, b: f64, i: usize) -> f64 {
+    let mut acc = b;
+    for j in 0..alphas.len() {
+        if alphas[j] != 0.0 {
+            acc += alphas[j] * targets[j] * gram.at(j, i);
+        }
+    }
+    acc
+}
+
+/// Simplified SMO over a precomputed Gram matrix; returns `(alphas, bias)`.
+///
+/// Error evaluations go through an epoch-stamped cache: committing an
+/// `(αᵢ, αⱼ, b)` step bumps the epoch (an O(1) invalidation of every
+/// cached value), and `f(i)` is recomputed — by [`decision_at`], in the
+/// exact summation order an uncached solver uses — only the first time
+/// index `i` is probed within an epoch. Because `(α, b)` are constant
+/// between commits, every cache hit returns the bit-identical value a
+/// fresh evaluation would have produced, so the optimisation trajectory
+/// and the returned model match the uncached solver exactly. The win:
+/// SMO's terminal phase is `max_passes` full sweeps with no update — one
+/// epoch — which drops from O(n·|SV|) kernel-sum work per pass to O(n)
+/// lookups, and every repeated probe mid-training is free.
+fn smo_solve(targets: &[f64], gram: &Gram, params: &SvmParams) -> (Vec<f64>, f64) {
+    let n = targets.len();
+    let mut alphas = vec![0.0f64; n];
+    let mut b = 0.0f64;
+    // fs[i] caches decision_at(i); valid iff stamp[i] == epoch.
+    let mut fs = vec![0.0f64; n];
+    let mut stamp = vec![0u64; n];
+    let mut epoch = 1u64;
+
+    let mut passes = 0usize;
+    let mut iterations = 0usize;
+    // Deterministic second-index choice: a fixed stride derived from the
+    // problem size (no RNG keeps training reproducible bit-for-bit).
+    let stride = (n / 2).max(1) | 1;
+    while passes < params.max_passes && iterations < params.max_iterations {
+        let mut changed = 0usize;
+        for i in 0..n {
+            if stamp[i] != epoch {
+                fs[i] = decision_at(&alphas, targets, gram, b, i);
+                stamp[i] = epoch;
+            }
+            let e_i = fs[i] - targets[i];
+            let violates = (targets[i] * e_i < -params.tolerance && alphas[i] < params.c)
+                || (targets[i] * e_i > params.tolerance && alphas[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            // Pick j != i deterministically.
+            let j = (i + stride + iterations) % n;
+            let j = if j == i { (j + 1) % n } else { j };
+            if j == i {
+                continue; // n == 1: nothing to pair with
+            }
+            if stamp[j] != epoch {
+                fs[j] = decision_at(&alphas, targets, gram, b, j);
+                stamp[j] = epoch;
+            }
+            let e_j = fs[j] - targets[j];
+            let (alpha_i_old, alpha_j_old) = (alphas[i], alphas[j]);
+            let (lo, hi) = if targets[i] == targets[j] {
+                (
+                    (alpha_i_old + alpha_j_old - params.c).max(0.0),
+                    (alpha_i_old + alpha_j_old).min(params.c),
+                )
+            } else {
+                (
+                    (alpha_j_old - alpha_i_old).max(0.0),
+                    (params.c + alpha_j_old - alpha_i_old).min(params.c),
+                )
+            };
+            if (hi - lo).abs() < 1e-12 {
+                continue;
+            }
+            let eta = 2.0 * gram.at(i, j) - gram.at(i, i) - gram.at(j, j);
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut alpha_j = alpha_j_old - targets[j] * (e_i - e_j) / eta;
+            alpha_j = alpha_j.clamp(lo, hi);
+            if (alpha_j - alpha_j_old).abs() < 1e-7 {
+                continue;
+            }
+            let alpha_i = alpha_i_old + targets[i] * targets[j] * (alpha_j_old - alpha_j);
+            alphas[i] = alpha_i;
+            alphas[j] = alpha_j;
+            let b1 = b
+                - e_i
+                - targets[i] * (alpha_i - alpha_i_old) * gram.at(i, i)
+                - targets[j] * (alpha_j - alpha_j_old) * gram.at(i, j);
+            let b2 = b
+                - e_j
+                - targets[i] * (alpha_i - alpha_i_old) * gram.at(i, j)
+                - targets[j] * (alpha_j - alpha_j_old) * gram.at(j, j);
+            b = if alpha_i > 0.0 && alpha_i < params.c {
+                b1
+            } else if alpha_j > 0.0 && alpha_j < params.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+            // The committed step moved (α, b): everything cached is stale.
+            epoch += 1;
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+        iterations += 1;
+    }
+    (alphas, b)
+}
+
 /// A trained binary SVM: `f(x) = Σᵢ αᵢ yᵢ K(xᵢ, x) + b`, class = sign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BinarySvm {
@@ -73,62 +241,111 @@ pub struct BinarySvm {
 impl BinarySvm {
     /// Trains on rows with labels `+1` / `-1` using simplified SMO.
     ///
+    /// Takes the rows by value: support vectors are moved out, not cloned.
+    ///
     /// # Panics
     ///
     /// Panics if `rows` and `targets` differ in length, or a target is not
     /// ±1.
-    pub fn fit(rows: &[Vec<f64>], targets: &[f64], params: &SvmParams) -> Self {
+    pub fn fit(rows: Vec<Vec<f64>>, targets: &[f64], params: &SvmParams) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        assert!(
+            targets.iter().all(|t| *t == 1.0 || *t == -1.0),
+            "targets must be +1 or -1"
+        );
+        let gram = Gram::compute(&rows, params.kernel);
+        let (alphas, bias) = smo_solve(targets, &gram, params);
+        // Keep only support vectors, moving them out of the training rows.
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for (i, row) in rows.into_iter().enumerate() {
+            if alphas[i] > 1e-9 {
+                support_vectors.push(row);
+                coefficients.push(alphas[i] * targets[i]);
+            }
+        }
+        BinarySvm {
+            kernel: params.kernel,
+            support_vectors,
+            coefficients,
+            bias,
+        }
+    }
+
+    /// Trains against a Gram matrix precomputed by [`Gram::compute`] over
+    /// exactly these `rows` under `params.kernel`.
+    ///
+    /// This is the grid-search path: one matrix per `(fold, pair, γ)`
+    /// serves every `C`. Only the support vectors are cloned out of the
+    /// borrowed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`BinarySvm::fit`]'s conditions, or if `gram` was not
+    /// computed over `rows.len()` rows.
+    pub fn fit_with_gram(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        gram: &Gram,
+        params: &SvmParams,
+    ) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        assert_eq!(gram.len(), rows.len(), "gram/rows size mismatch");
+        assert!(
+            targets.iter().all(|t| *t == 1.0 || *t == -1.0),
+            "targets must be +1 or -1"
+        );
+        let (alphas, bias) = smo_solve(targets, gram, params);
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for (i, alpha) in alphas.iter().enumerate() {
+            if *alpha > 1e-9 {
+                support_vectors.push(rows[i].clone());
+                coefficients.push(alpha * targets[i]);
+            }
+        }
+        BinarySvm {
+            kernel: params.kernel,
+            support_vectors,
+            coefficients,
+            bias,
+        }
+    }
+
+    /// The pre-error-cache reference solver: recomputes the full decision
+    /// function for every error evaluation.
+    ///
+    /// Kept for the bitwise regression test and the `repro bench`
+    /// error-cache measurement; not a public API.
+    #[doc(hidden)]
+    pub fn fit_uncached(rows: &[Vec<f64>], targets: &[f64], params: &SvmParams) -> Self {
         assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
         assert!(
             targets.iter().all(|t| *t == 1.0 || *t == -1.0),
             "targets must be +1 or -1"
         );
         let n = rows.len();
-        // Precompute the kernel matrix; pair problems are small (hundreds of
-        // rows) so O(n²) memory is the right trade.
-        let mut gram = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let k = params.kernel.compute(&rows[i], &rows[j]);
-                gram[i * n + j] = k;
-                gram[j * n + i] = k;
-            }
-        }
-        let k = |i: usize, j: usize| gram[i * n + j];
-
+        let gram = Gram::compute(rows, params.kernel);
         let mut alphas = vec![0.0f64; n];
         let mut b = 0.0f64;
-        let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
-            let mut acc = b;
-            for j in 0..n {
-                if alphas[j] != 0.0 {
-                    acc += alphas[j] * targets[j] * k(j, i);
-                }
-            }
-            acc
-        };
-
         let mut passes = 0usize;
         let mut iterations = 0usize;
-        // Deterministic second-index choice: a fixed stride derived from the
-        // problem size (no RNG keeps training reproducible bit-for-bit).
         let stride = (n / 2).max(1) | 1;
         while passes < params.max_passes && iterations < params.max_iterations {
             let mut changed = 0usize;
             for i in 0..n {
-                let e_i = f(&alphas, b, i) - targets[i];
+                let e_i = decision_at(&alphas, targets, &gram, b, i) - targets[i];
                 let violates = (targets[i] * e_i < -params.tolerance && alphas[i] < params.c)
                     || (targets[i] * e_i > params.tolerance && alphas[i] > 0.0);
                 if !violates {
                     continue;
                 }
-                // Pick j != i deterministically.
                 let j = (i + stride + iterations) % n;
                 let j = if j == i { (j + 1) % n } else { j };
                 if j == i {
-                    continue; // n == 1: nothing to pair with
+                    continue;
                 }
-                let e_j = f(&alphas, b, j) - targets[j];
+                let e_j = decision_at(&alphas, targets, &gram, b, j) - targets[j];
                 let (alpha_i_old, alpha_j_old) = (alphas[i], alphas[j]);
                 let (lo, hi) = if targets[i] == targets[j] {
                     (
@@ -144,7 +361,7 @@ impl BinarySvm {
                 if (hi - lo).abs() < 1e-12 {
                     continue;
                 }
-                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                let eta = 2.0 * gram.at(i, j) - gram.at(i, i) - gram.at(j, j);
                 if eta >= 0.0 {
                     continue;
                 }
@@ -158,12 +375,12 @@ impl BinarySvm {
                 alphas[j] = alpha_j;
                 let b1 = b
                     - e_i
-                    - targets[i] * (alpha_i - alpha_i_old) * k(i, i)
-                    - targets[j] * (alpha_j - alpha_j_old) * k(i, j);
+                    - targets[i] * (alpha_i - alpha_i_old) * gram.at(i, i)
+                    - targets[j] * (alpha_j - alpha_j_old) * gram.at(i, j);
                 let b2 = b
                     - e_j
-                    - targets[i] * (alpha_i - alpha_i_old) * k(i, j)
-                    - targets[j] * (alpha_j - alpha_j_old) * k(j, j);
+                    - targets[i] * (alpha_i - alpha_i_old) * gram.at(i, j)
+                    - targets[j] * (alpha_j - alpha_j_old) * gram.at(j, j);
                 b = if alpha_i > 0.0 && alpha_i < params.c {
                     b1
                 } else if alpha_j > 0.0 && alpha_j < params.c {
@@ -180,8 +397,6 @@ impl BinarySvm {
             }
             iterations += 1;
         }
-
-        // Keep only support vectors.
         let mut support_vectors = Vec::new();
         let mut coefficients = Vec::new();
         for i in 0..n {
@@ -213,6 +428,49 @@ impl BinarySvm {
     }
 }
 
+/// One one-vs-one subproblem of a dataset: the rows of classes `a` and
+/// `b` with ±1 targets. Independent of every hyper-parameter, so grid
+/// search builds these once per fold and reuses them across the grid.
+pub(crate) struct PairSplit {
+    pub(crate) a: usize,
+    pub(crate) b: usize,
+    pub(crate) rows: Vec<Vec<f64>>,
+    pub(crate) targets: Vec<f64>,
+}
+
+/// Splits a dataset into its one-vs-one pair subproblems over the classes
+/// that actually appear, in ascending `(a, b)` order.
+pub(crate) fn pair_splits(data: &Dataset) -> Result<Vec<PairSplit>, TrainSvmError> {
+    if data.is_empty() {
+        return Err(TrainSvmError::EmptyDataset);
+    }
+    let histogram = data.class_histogram();
+    let present: Vec<usize> = (0..data.class_count())
+        .filter(|c| histogram[*c] > 0)
+        .collect();
+    if present.len() < 2 {
+        return Err(TrainSvmError::SingleClass);
+    }
+    let mut splits = Vec::new();
+    for (pi, &a) in present.iter().enumerate() {
+        for &b in &present[pi + 1..] {
+            let mut rows = Vec::new();
+            let mut targets = Vec::new();
+            for (row, label) in data.rows().iter().zip(data.labels()) {
+                if *label == a {
+                    rows.push(row.clone());
+                    targets.push(1.0);
+                } else if *label == b {
+                    rows.push(row.clone());
+                    targets.push(-1.0);
+                }
+            }
+            splits.push(PairSplit { a, b, rows, targets });
+        }
+    }
+    Ok(splits)
+}
+
 /// A one-vs-one multiclass SVM.
 ///
 /// Trains one [`BinarySvm`] per class pair and predicts by majority vote,
@@ -235,37 +493,26 @@ impl SvmClassifier {
     ///
     /// [`TrainSvmError::EmptyDataset`] and [`TrainSvmError::SingleClass`].
     pub fn fit(data: &Dataset, params: &SvmParams) -> Result<Self, TrainSvmError> {
-        if data.is_empty() {
-            return Err(TrainSvmError::EmptyDataset);
-        }
-        let histogram = data.class_histogram();
-        let present: Vec<usize> = (0..data.class_count())
-            .filter(|c| histogram[*c] > 0)
+        let machines = pair_splits(data)?
+            .into_iter()
+            .map(|p| (p.a, p.b, BinarySvm::fit(p.rows, &p.targets, params)))
             .collect();
-        if present.len() < 2 {
-            return Err(TrainSvmError::SingleClass);
-        }
-        let mut machines = Vec::new();
-        for (pi, &a) in present.iter().enumerate() {
-            for &b in &present[pi + 1..] {
-                let mut rows = Vec::new();
-                let mut targets = Vec::new();
-                for (row, label) in data.rows().iter().zip(data.labels()) {
-                    if *label == a {
-                        rows.push(row.clone());
-                        targets.push(1.0);
-                    } else if *label == b {
-                        rows.push(row.clone());
-                        targets.push(-1.0);
-                    }
-                }
-                machines.push((a, b, BinarySvm::fit(&rows, &targets, params)));
-            }
-        }
         Ok(SvmClassifier {
             class_count: data.class_count(),
             machines,
         })
+    }
+
+    /// Assembles a classifier from already-trained pair machines (the
+    /// grid-search path, where Gram matrices are shared across fits).
+    pub(crate) fn from_machines(
+        class_count: usize,
+        machines: Vec<(usize, usize, BinarySvm)>,
+    ) -> Self {
+        SvmClassifier {
+            class_count,
+            machines,
+        }
     }
 
     /// Number of pairwise machines.
@@ -451,10 +698,43 @@ mod tests {
             .iter()
             .map(|l| if *l == 0 { 1.0 } else { -1.0 })
             .collect();
-        let bin = BinarySvm::fit(rows, &targets, &SvmParams::default());
+        let bin = BinarySvm::fit(rows.to_vec(), &targets, &SvmParams::default());
         assert!(bin.support_vector_count() > 0);
         assert!(bin.decision(&[-2.0, -2.0]) > 0.0);
         assert!(bin.decision(&[2.0, 2.0]) < 0.0);
+    }
+
+    /// The error cache must be invisible: on the ring and blob fixtures the
+    /// cached solver reproduces the pre-change (uncached) model bit for
+    /// bit — same support vectors, same coefficients, same bias.
+    #[test]
+    fn error_cache_reproduces_uncached_model_bitwise() {
+        for (data, params) in [
+            (xor_free_dataset(), SvmParams::default()),
+            (
+                ring_dataset(),
+                SvmParams {
+                    kernel: Kernel::Rbf { gamma: 1.0 },
+                    ..SvmParams::default()
+                },
+            ),
+            (
+                ring_dataset(),
+                SvmParams {
+                    kernel: Kernel::Linear,
+                    ..SvmParams::default()
+                },
+            ),
+        ] {
+            for split in pair_splits(&data).expect("two classes") {
+                let reference = BinarySvm::fit_uncached(&split.rows, &split.targets, &params);
+                let cached = BinarySvm::fit(split.rows.clone(), &split.targets, &params);
+                assert_eq!(cached, reference, "cached fit drifted from reference");
+                let gram = Gram::compute(&split.rows, params.kernel);
+                let shared = BinarySvm::fit_with_gram(&split.rows, &split.targets, &gram, &params);
+                assert_eq!(shared, reference, "gram-sharing fit drifted from reference");
+            }
+        }
     }
 
     #[test]

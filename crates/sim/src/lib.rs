@@ -10,6 +10,10 @@
 //!   with FIFO tie-breaking for simultaneous events.
 //! * [`rng`]: seed-derivation helpers so each component gets an independent,
 //!   named random stream from one experiment master seed.
+//! * [`exec`]: a deterministic ordered parallel map — independent
+//!   repetitions (per-device pipelines, grid points, sweep trials) fan out
+//!   over scoped threads and come back bit-for-bit identical to the
+//!   sequential path.
 //! * [`FaultSchedule`]: seeded, scheduled fault windows — the shared
 //!   substrate of fault injection across the radio, stack, and net layers.
 //!
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 mod fault;
 mod queue;
 pub mod rng;

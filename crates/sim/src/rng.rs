@@ -53,10 +53,20 @@ pub fn for_component(master: u64, component: &str) -> StdRng {
     StdRng::seed_from_u64(derive_seed(master, component))
 }
 
+/// Derives the sub-seed for the `index`-th instance of a replicated
+/// component.
+///
+/// Both the master seed and the index pass through the mixer before they
+/// meet, so distinct `(master, index)` pairs land on distinct streams: a
+/// plain XOR of two independently derived seeds would let pairs collide.
+pub fn derive_indexed_seed(master: u64, component: &str, index: u64) -> u64 {
+    split_mix64(derive_seed(master, component) ^ split_mix64(index))
+}
+
 /// Creates a deterministic RNG for the `index`-th instance of a replicated
 /// component (for example, the i-th beacon transmitter).
 pub fn for_indexed(master: u64, component: &str, index: u64) -> StdRng {
-    StdRng::seed_from_u64(split_mix64(derive_seed(master, component) ^ split_mix64(index)))
+    StdRng::seed_from_u64(derive_indexed_seed(master, component, index))
 }
 
 #[cfg(test)]
@@ -86,6 +96,22 @@ mod tests {
         let s0 = for_indexed(7, "beacon", 0).gen::<u64>();
         let s1 = for_indexed(7, "beacon", 1).gen::<u64>();
         assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn indexed_seeds_do_not_collide_across_masters() {
+        // A grid of (master, index) pairs must produce all-distinct seeds;
+        // the old fleet derivation (XOR of two independent derive_seed
+        // calls) could collide here.
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..64u64 {
+            for index in 0..64u64 {
+                assert!(
+                    seen.insert(derive_indexed_seed(master, "fleet-device", index)),
+                    "collision at master={master} index={index}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,11 +2,19 @@
 # Full pre-merge gate: release build, every test, and a warning-free clippy
 # pass over the whole workspace. The build environment has no crate
 # registry, so everything runs --offline against the in-tree shims.
+#
+# Tests run twice: once pinned to a single worker (the pure sequential
+# paths) and once at the default parallelism, so a scheduling-dependent
+# bug cannot hide behind whichever mode the CI host happens to pick.
+# The bench arm then regenerates BENCH_PR2.json and asserts the parallel
+# outputs are bit-for-bit identical to the sequential ones.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+ROOMSENSE_THREADS=1 cargo test -q --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+./target/release/repro bench
 
-echo "check.sh: build + tests + clippy all green"
+echo "check.sh: build + tests (threads=1 and default) + clippy + bench all green"
