@@ -11,8 +11,8 @@
 //! reports; `EXPERIMENTS.md` records paper-vs-measured.
 
 use roomsense::experiments::{
-    classification_cross_validation, classification_experiment, coefficient_sweep,
-    device_comparison, dynamic_walk, energy_experiment, faults_experiment,
+    chaos_experiment, classification_cross_validation, classification_experiment,
+    coefficient_sweep, device_comparison, dynamic_walk, energy_experiment, faults_experiment,
     run_tx_power_calibration, multifloor_experiment, sampling_comparison, scaling_experiment,
     static_capture, tracking_experiment,
 };
@@ -48,6 +48,7 @@ fn main() {
         "scaling" => scaling(),
         "floors" => floors(),
         "faults" => faults(),
+        "chaos" => chaos(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -65,11 +66,12 @@ fn main() {
             scaling();
             floors();
             faults();
+            chaos();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|bench|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|bench|all]"
             );
             std::process::exit(2);
         }
@@ -381,6 +383,57 @@ fn faults() {
             );
         }
     }
+}
+
+/// Reliable delivery: the chaos sweep. Lossy acks force retransmission
+/// duplicates and reordering in every cell; the `blackout` and `storm`
+/// patterns add a long Wi-Fi outage and mid-run server crashes. The arm
+/// asserts the sweep's invariants and that every failover+dedup cell
+/// converged to the clean oracle, then prints an FNV-1a checksum of the
+/// full result — `scripts/check.sh` compares it across thread counts.
+fn chaos() {
+    header("chaos: end-to-end reliable delivery (duplicates, reorder, crash/restore, failover)");
+    let onoff = |b: bool| if b { "on" } else { "off" };
+    let result = chaos_experiment(SEED);
+    println!(
+        "  pattern   failover dedup  offered delivered dropped  retx  dup-wire dup-rej fo-sends probes crashes replayed  energy     oracle    invariants"
+    );
+    for c in &result.cells {
+        println!(
+            "  {:<9} {:>8} {:>5}  {:>7} {:>9} {:>7} {:>5} {:>9} {:>7} {:>8} {:>6} {:>7} {:>8}  {:>7.0} mJ  {:<8}  {}",
+            c.pattern,
+            onoff(c.failover),
+            onoff(c.dedup),
+            c.offered,
+            c.delivered,
+            c.dropped,
+            c.retransmits,
+            c.duplicates_on_wire,
+            c.duplicates_rejected,
+            c.failover_sends,
+            c.probes,
+            c.crashes,
+            c.replayed,
+            c.energy_mj,
+            if c.view_matches_oracle { "match" } else { "DIVERGED" },
+            if c.invariants_hold() { "ok" } else { "VIOLATED" },
+        );
+    }
+    assert!(
+        result.all_invariants_hold(),
+        "chaos sweep invariant violated"
+    );
+    assert!(
+        result.reliable_cells_match_oracle(),
+        "a failover+dedup cell diverged from the clean oracle"
+    );
+    println!();
+    println!("  invariants hold at every cell; failover+dedup cells match the clean oracle");
+    println!(
+        "  sweep checksum: {:016x} (threads: {})",
+        fnv1a(&format!("{result:?}")),
+        exec::thread_count()
+    );
 }
 
 /// PR 2 benchmark: sequential vs parallel wall-clock for the fan-out

@@ -32,6 +32,11 @@ pub struct FaultPlan {
     pub uplink_outages: FaultSchedule,
     /// Windows where the BMS server itself is unreachable.
     pub server_outages: FaultSchedule,
+    /// Windows where the BMS server process is *crashed*: at each window
+    /// start the in-memory state since the last checkpoint is lost, and the
+    /// server restarts from checkpoint + journal replay when the window
+    /// ends.
+    pub server_crashes: FaultSchedule,
 }
 
 impl FaultPlan {
@@ -44,6 +49,7 @@ impl FaultPlan {
             storm_loss: 0.0,
             uplink_outages: FaultSchedule::none(),
             server_outages: FaultSchedule::none(),
+            server_crashes: FaultSchedule::none(),
         }
     }
 
@@ -99,6 +105,8 @@ impl FaultPlan {
         let uplink_outages = draw(&mut r, 0.30 * intensity, 80);
         let mut r = rng::for_component(seed, "fault-plan-server");
         let server_outages = draw(&mut r, 0.20 * intensity, 120);
+        let mut r = rng::for_component(seed, "fault-plan-server-crash");
+        let server_crashes = draw(&mut r, 0.10 * intensity, 60);
         FaultPlan {
             transmitter,
             scanner_stalls,
@@ -106,6 +114,7 @@ impl FaultPlan {
             storm_loss: (0.5 + 0.4 * intensity).min(1.0),
             uplink_outages,
             server_outages,
+            server_crashes,
         }
     }
 
@@ -116,6 +125,7 @@ impl FaultPlan {
             && self.scanner_storms.is_empty()
             && self.uplink_outages.is_empty()
             && self.server_outages.is_empty()
+            && self.server_crashes.is_empty()
     }
 
     /// Total scheduled downtime of the end-to-end report path (either hop
@@ -134,13 +144,14 @@ impl fmt::Display for FaultPlan {
             .sum();
         write!(
             f,
-            "fault plan: {} tx window(s) over {} beacon(s), {} stall(s), {} storm(s), {} uplink + {} server outage(s)",
+            "fault plan: {} tx window(s) over {} beacon(s), {} stall(s), {} storm(s), {} uplink + {} server outage(s), {} crash(es)",
             tx_windows,
             self.transmitter.len(),
             self.scanner_stalls.windows().len(),
             self.scanner_storms.windows().len(),
             self.uplink_outages.windows().len(),
-            self.server_outages.windows().len()
+            self.server_outages.windows().len(),
+            self.server_crashes.windows().len()
         )
     }
 }

@@ -186,6 +186,7 @@ mod tests {
         let model = OccupancyModel::fit(&toy_labelled(), &SvmParams::default()).expect("trains");
         let report = ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(2),
             beacons: vec![
                 SightedBeacon {
@@ -206,6 +207,7 @@ mod tests {
         let model = OccupancyModel::fit(&toy_labelled(), &SvmParams::default()).expect("trains");
         let report = ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(2),
             beacons: vec![],
         };
@@ -217,6 +219,7 @@ mod tests {
         let model = OccupancyModel::fit(&toy_labelled(), &SvmParams::default()).expect("trains");
         let report = ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(2),
             beacons: vec![
                 SightedBeacon {

@@ -140,9 +140,11 @@ impl fmt::Display for EnergyLedger {
 /// Continuous components (baseline, CPU, scan, Wi-Fi idle) are charged for
 /// their dwell; each transport event is charged for its active burst, and
 /// Wi-Fi events additionally for the post-transfer tail. The Wi-Fi idle
-/// charge applies only to the Wi-Fi architecture — the Bluetooth
-/// architecture keeps the adapter off, which is exactly where the paper's
-/// 15 % saving comes from.
+/// charge applies to the Wi-Fi and failover architectures (both keep the
+/// adapter associated) — the Bluetooth architecture keeps the adapter off,
+/// which is exactly where the paper's 15 % saving comes from. A failover
+/// run's mixed event log is priced per burst: Wi-Fi bursts as Wi-Fi
+/// (active + tail), relay bursts as BT connections.
 ///
 /// # Examples
 ///
@@ -173,7 +175,10 @@ pub fn account(
         timeline.duration,
     );
     ledger.charge(ComponentKind::BleScan, profile.ble_scan_mw, timeline.scan_active);
-    if architecture == UplinkArchitecture::Wifi {
+    if matches!(
+        architecture,
+        UplinkArchitecture::Wifi | UplinkArchitecture::Failover
+    ) {
         ledger.charge(ComponentKind::WifiIdle, profile.wifi_idle_mw, timeline.duration);
     }
     for event in &timeline.transport_events {
@@ -250,6 +255,24 @@ mod tests {
         );
         assert_eq!(ledger.energy_mj(ComponentKind::WifiIdle), 0.0);
         assert_eq!(ledger.energy_mj(ComponentKind::WifiActive), 0.0);
+        assert!(ledger.energy_mj(ComponentKind::BtConnection) > 0.0);
+    }
+
+    #[test]
+    fn failover_architecture_prices_mixed_bursts_and_wifi_idle() {
+        // A failover run: mostly Wi-Fi bursts, a stretch of BT bursts while
+        // Wi-Fi was down. The adapter stays associated throughout, so idle
+        // is charged, and each burst is priced by its own radio.
+        let profile = PowerProfile::galaxy_s3_mini();
+        let events = vec![
+            event(TransportKind::Wifi, 10, 80),
+            event(TransportKind::BluetoothRelay, 20, 500),
+            event(TransportKind::Wifi, 30, 80),
+        ];
+        let ledger = account(&profile, &hour_timeline(events), UplinkArchitecture::Failover);
+        assert!(ledger.energy_mj(ComponentKind::WifiIdle) > 0.0);
+        assert!(ledger.energy_mj(ComponentKind::WifiActive) > 0.0);
+        assert!(ledger.energy_mj(ComponentKind::WifiTail) > 0.0);
         assert!(ledger.energy_mj(ComponentKind::BtConnection) > 0.0);
     }
 

@@ -10,6 +10,11 @@ pub enum UplinkArchitecture {
     Wifi,
     /// Reports go to the room beacon over Bluetooth; Wi-Fi stays off.
     BluetoothRelay,
+    /// Wi-Fi preferred with Bluetooth failover: the Wi-Fi adapter stays
+    /// associated (it must be ready to probe and fail back), so the idle
+    /// cost is Wi-Fi's, while each burst is priced by the radio that
+    /// actually carried it.
+    Failover,
 }
 
 impl fmt::Display for UplinkArchitecture {
@@ -17,6 +22,7 @@ impl fmt::Display for UplinkArchitecture {
         match self {
             UplinkArchitecture::Wifi => f.write_str("wifi architecture"),
             UplinkArchitecture::BluetoothRelay => f.write_str("bluetooth architecture"),
+            UplinkArchitecture::Failover => f.write_str("wifi->bt failover architecture"),
         }
     }
 }

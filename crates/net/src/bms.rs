@@ -114,18 +114,101 @@ pub struct ServerStats {
     pub reports_stored: u64,
     /// Reports the estimator could not classify.
     pub reports_unclassified: u64,
+    /// Retransmitted duplicates dropped by [`BmsServer::ingest`]'s
+    /// `(device, seq)` dedup window.
+    pub reports_duplicate: u64,
 }
 
-#[derive(Debug, Default)]
+/// The result of [`BmsServer::ingest`]ing one report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// First sighting of this `(device, seq)`: its effects were applied.
+    Accepted {
+        /// The room the report classified into, if any.
+        room: Option<RoomLabel>,
+    },
+    /// An already-seen `(device, seq)` — a retransmitted duplicate. Dropped
+    /// with no state change.
+    Duplicate,
+}
+
+impl IngestOutcome {
+    /// True when the report was dropped as a duplicate.
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, IngestOutcome::Duplicate)
+    }
+}
+
+/// Bounded per-device record of which sequence numbers were already
+/// ingested.
+///
+/// Exact membership is kept for at most `capacity` recent seqs; older ones
+/// are summarised by a low *watermark*: every `seq <= watermark` counts as
+/// seen. With a monotone per-device stamper the window only ever evicts
+/// seqs that genuinely arrived, so the summary stays exact for any
+/// straggler less than `capacity` seqs behind the newest — far beyond any
+/// realistic retransmission delay — while memory stays O(capacity).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct DedupWindow {
+    watermark: Option<u64>,
+    seen: std::collections::BTreeSet<u64>,
+}
+
+impl DedupWindow {
+    /// Returns true when `seq` is new, recording it and shrinking the
+    /// window back to `capacity` entries.
+    fn check_and_insert(&mut self, seq: u64, capacity: usize) -> bool {
+        if let Some(watermark) = self.watermark {
+            if seq <= watermark {
+                return false;
+            }
+        }
+        if !self.seen.insert(seq) {
+            return false;
+        }
+        while self.seen.len() > capacity {
+            let lowest = *self.seen.iter().next().expect("window is non-empty");
+            self.seen.remove(&lowest);
+            self.watermark = Some(self.watermark.map_or(lowest, |w| w.max(lowest)));
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct ServerState {
     /// Full observation log, in arrival order.
     log: Vec<ObservationReport>,
-    /// Latest classified room per device.
-    device_rooms: BTreeMap<DeviceId, (SimTime, RoomLabel)>,
-    /// Every classification, per device, in arrival order — the raw
-    /// material for movement analytics.
+    /// Latest classified `(report time, seq, room)` per device — last
+    /// writer wins on *report* time (seq breaks exact ties), never on
+    /// arrival time.
+    device_rooms: BTreeMap<DeviceId, (SimTime, u64, RoomLabel)>,
+    /// Every classification, per device — the raw material for movement
+    /// analytics. `post_observation` appends in arrival order; `ingest`
+    /// inserts in report-time order so reordered arrivals cannot corrupt
+    /// the history.
     assignments: BTreeMap<DeviceId, Vec<(SimTime, RoomLabel)>>,
+    /// Per-device dedup windows for the `ingest` path.
+    dedup: BTreeMap<DeviceId, DedupWindow>,
     stats: ServerStats,
+}
+
+/// An opaque snapshot of a [`BmsServer`]'s full state, produced by
+/// [`BmsServer::checkpoint`] and consumed by [`BmsServer::restore`].
+#[derive(Debug, Clone)]
+pub struct BmsCheckpoint {
+    state: ServerState,
+}
+
+impl BmsCheckpoint {
+    /// Number of reports captured in the snapshot.
+    pub fn report_count(&self) -> usize {
+        self.state.log.len()
+    }
 }
 
 /// The BMS server: observation database + occupancy table.
@@ -140,6 +223,7 @@ struct ServerState {
 /// let server = BmsServer::new(Box::new(|_: &ObservationReport| Some(0)));
 /// let report = ObservationReport {
 ///     device: DeviceId::new(7),
+///     seq: 0,
 ///     at: SimTime::from_secs(2),
 ///     beacons: vec![],
 /// };
@@ -148,16 +232,43 @@ struct ServerState {
 /// ```
 pub struct BmsServer {
     estimator: Box<dyn OccupancyEstimator>,
+    dedup_capacity: usize,
     state: Mutex<ServerState>,
 }
+
+/// Default per-device dedup window size for [`BmsServer::ingest`].
+const DEFAULT_DEDUP_CAPACITY: usize = 128;
 
 impl BmsServer {
     /// Creates a server around an estimator.
     pub fn new(estimator: Box<dyn OccupancyEstimator>) -> Self {
         BmsServer {
             estimator,
+            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
             state: Mutex::new(ServerState::default()),
         }
+    }
+
+    /// Overrides the per-device dedup window size (default 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup capacity must be non-zero");
+        self.dedup_capacity = capacity;
+        self
+    }
+
+    /// The per-device dedup window size.
+    pub fn dedup_capacity(&self) -> usize {
+        self.dedup_capacity
+    }
+
+    /// Total exact dedup entries held across all devices — bounded by
+    /// `devices x dedup_capacity` whatever the traffic does.
+    pub fn dedup_entries(&self) -> usize {
+        self.state.lock().dedup.values().map(DedupWindow::len).sum()
     }
 
     /// The REST endpoint: stores a report and updates the device's room.
@@ -169,11 +280,14 @@ impl BmsServer {
         state.stats.reports_stored += 1;
         match room {
             Some(label) => {
-                let entry = state.device_rooms.entry(report.device).or_insert((report.at, label));
-                // Only move forward in time (out-of-order arrivals happen
-                // with retrying transports).
-                if report.at >= entry.0 {
-                    *entry = (report.at, label);
+                let entry = state
+                    .device_rooms
+                    .entry(report.device)
+                    .or_insert((report.at, report.seq, label));
+                // Only move forward in report time (out-of-order arrivals
+                // happen with retrying transports); seq breaks exact ties.
+                if (report.at, report.seq) >= (entry.0, entry.1) {
+                    *entry = (report.at, report.seq, label);
                 }
                 state
                     .assignments
@@ -187,11 +301,79 @@ impl BmsServer {
         room
     }
 
+    /// The reliable ingestion endpoint: idempotent and reorder-tolerant.
+    ///
+    /// Where [`post_observation`](Self::post_observation) trusts its caller,
+    /// `ingest` assumes an **at-least-once** uplink: a retransmitted
+    /// duplicate (same `(device, seq)` inside the bounded dedup window) is
+    /// dropped with no state change, a straggler that arrives late is
+    /// applied but can never overwrite a newer classification (last writer
+    /// wins on *report* time, not arrival time), and the per-device
+    /// assignment history is kept in report-time order. At-least-once
+    /// delivery composed with this endpoint gives effectively exactly-once
+    /// ingestion *effects*.
+    pub fn ingest(&self, report: ObservationReport) -> IngestOutcome {
+        let room = self.estimator.classify(&report);
+        let mut state = self.state.lock();
+        let capacity = self.dedup_capacity;
+        let is_new = state
+            .dedup
+            .entry(report.device)
+            .or_default()
+            .check_and_insert(report.seq, capacity);
+        if !is_new {
+            state.stats.reports_duplicate += 1;
+            return IngestOutcome::Duplicate;
+        }
+        state.stats.reports_stored += 1;
+        match room {
+            Some(label) => {
+                let entry = state
+                    .device_rooms
+                    .entry(report.device)
+                    .or_insert((report.at, report.seq, label));
+                if (report.at, report.seq) >= (entry.0, entry.1) {
+                    *entry = (report.at, report.seq, label);
+                }
+                let history = state.assignments.entry(report.device).or_default();
+                let position = history.partition_point(|(t, _)| *t <= report.at);
+                history.insert(position, (report.at, label));
+            }
+            None => state.stats.reports_unclassified += 1,
+        }
+        state.log.push(report);
+        IngestOutcome::Accepted { room }
+    }
+
+    /// Snapshots the full server state (observation log, occupancy table,
+    /// assignment histories, dedup windows, counters) for crash recovery.
+    ///
+    /// Because the dedup windows are part of the snapshot, a restored
+    /// server can safely re-[`ingest`](Self::ingest) *any* suffix of the
+    /// delivery journal that covers the gap since the snapshot — duplicates
+    /// from overlap are dropped, so replay converges to exactly the
+    /// no-crash state.
+    pub fn checkpoint(&self) -> BmsCheckpoint {
+        BmsCheckpoint {
+            state: self.state.lock().clone(),
+        }
+    }
+
+    /// Rebuilds a server from a [`checkpoint`](Self::checkpoint) and a
+    /// (fresh) estimator.
+    pub fn restore(estimator: Box<dyn OccupancyEstimator>, checkpoint: BmsCheckpoint) -> Self {
+        BmsServer {
+            estimator,
+            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+            state: Mutex::new(checkpoint.state),
+        }
+    }
+
     /// The occupancy table: how many devices are currently in each room.
     pub fn occupancy(&self) -> BTreeMap<RoomLabel, usize> {
         let state = self.state.lock();
         let mut table = BTreeMap::new();
-        for (_, (_, room)) in state.device_rooms.iter() {
+        for (_, (_, _, room)) in state.device_rooms.iter() {
             *table.entry(*room).or_insert(0) += 1;
         }
         table
@@ -199,7 +381,11 @@ impl BmsServer {
 
     /// The room one device was last classified into.
     pub fn room_of(&self, device: DeviceId) -> Option<RoomLabel> {
-        self.state.lock().device_rooms.get(&device).map(|(_, r)| *r)
+        self.state
+            .lock()
+            .device_rooms
+            .get(&device)
+            .map(|(_, _, r)| *r)
     }
 
     /// The occupancy table with explicit staleness: every device still counts
@@ -210,7 +396,7 @@ impl BmsServer {
     pub fn occupancy_view(&self, now: SimTime, ttl: SimDuration) -> OccupancyView {
         let state = self.state.lock();
         let mut rooms: BTreeMap<RoomLabel, RoomPresence> = BTreeMap::new();
-        for (last_at, room) in state.device_rooms.values() {
+        for (last_at, _, room) in state.device_rooms.values() {
             let entry = rooms.entry(*room).or_default();
             entry.occupants += 1;
             if now.saturating_since(*last_at) <= ttl {
@@ -232,7 +418,7 @@ impl BmsServer {
             .lock()
             .device_rooms
             .values()
-            .map(|(last_at, _)| now.saturating_since(*last_at))
+            .map(|(last_at, _, _)| now.saturating_since(*last_at))
             .max()
     }
 
@@ -321,6 +507,7 @@ mod tests {
     fn report(device: u32, at_secs: u64, minor: u16) -> ObservationReport {
         ObservationReport {
             device: DeviceId::new(device),
+            seq: at_secs,
             at: SimTime::from_secs(at_secs),
             beacons: vec![SightedBeacon {
                 identity: BeaconIdentity {
@@ -364,6 +551,7 @@ mod tests {
         let server = BmsServer::new(minor_estimator());
         server.post_observation(ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(1),
             beacons: vec![],
         });
@@ -473,6 +661,114 @@ mod tests {
         assert!(view.rooms.is_empty());
         assert!(view.is_fully_fresh());
         assert_eq!(empty.staleness(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn ingest_drops_duplicates_idempotently() {
+        let server = BmsServer::new(minor_estimator());
+        let r = report(1, 10, 3);
+        assert_eq!(
+            server.ingest(r.clone()),
+            IngestOutcome::Accepted { room: Some(3) }
+        );
+        // The retransmitted copy changes nothing.
+        assert_eq!(server.ingest(r.clone()), IngestOutcome::Duplicate);
+        assert_eq!(server.ingest(r), IngestOutcome::Duplicate);
+        assert_eq!(server.report_count(), 1);
+        assert_eq!(server.stats().reports_duplicate, 2);
+        assert_eq!(server.assignment_history(DeviceId::new(1)).len(), 1);
+        assert_eq!(server.occupancy().get(&3), Some(&1));
+    }
+
+    #[test]
+    fn ingest_is_reorder_tolerant() {
+        // Deliveries arrive newest-first; the final table and the history
+        // must look exactly as if they had arrived in order.
+        let server = BmsServer::new(minor_estimator());
+        let ordered = BmsServer::new(minor_estimator());
+        let mut reports: Vec<ObservationReport> =
+            (0..10u64).map(|i| report(1, i * 10, (i % 4) as u16)).collect();
+        for r in &reports {
+            ordered.ingest(r.clone());
+        }
+        reports.reverse();
+        for r in reports {
+            server.ingest(r);
+        }
+        assert_eq!(server.occupancy(), ordered.occupancy());
+        assert_eq!(
+            server.assignment_history(DeviceId::new(1)),
+            ordered.assignment_history(DeviceId::new(1))
+        );
+        assert_eq!(
+            server.occupancy_at(SimTime::from_secs(45)),
+            ordered.occupancy_at(SimTime::from_secs(45))
+        );
+    }
+
+    #[test]
+    fn ingest_straggler_cannot_overwrite_newer_classification() {
+        let server = BmsServer::new(minor_estimator());
+        server.ingest(report(1, 100, 5));
+        // A delayed retransmission of an *older* observation arrives later.
+        server.ingest(report(1, 10, 0));
+        assert_eq!(server.room_of(DeviceId::new(1)), Some(5));
+        // Equal report times fall back to seq order.
+        let tie = BmsServer::new(minor_estimator());
+        tie.ingest(ObservationReport { seq: 2, ..report(1, 50, 7) });
+        tie.ingest(ObservationReport { seq: 1, ..report(1, 50, 3) });
+        assert_eq!(tie.room_of(DeviceId::new(1)), Some(7));
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_but_still_catches_recent_duplicates() {
+        let server = BmsServer::new(minor_estimator()).with_dedup_capacity(8);
+        for i in 0..100u64 {
+            server.ingest(ObservationReport { seq: i, ..report(1, i, 0) });
+        }
+        assert_eq!(server.dedup_entries(), 8);
+        // Anything at or below the watermark is treated as already seen.
+        assert!(server.ingest(ObservationReport { seq: 5, ..report(1, 5, 0) }).is_duplicate());
+        // Recent seqs are matched exactly.
+        assert!(server.ingest(ObservationReport { seq: 99, ..report(1, 99, 0) }).is_duplicate());
+        assert_eq!(server.report_count(), 100);
+    }
+
+    #[test]
+    fn checkpoint_restore_replay_converges() {
+        let live = BmsServer::new(minor_estimator());
+        let mut journal = Vec::new();
+        for i in 0..20u64 {
+            let r = report(1, i * 10, (i % 3) as u16);
+            journal.push(r.clone());
+            live.ingest(r);
+            if i == 9 {
+                // Snapshot mid-run; everything after it is "lost" in the
+                // crash below.
+                let snapshot = live.checkpoint();
+                assert_eq!(snapshot.report_count(), 10);
+            }
+        }
+        // Crash after report 14: restore the t<=90 snapshot and replay the
+        // journal from the start — overlap is deduped, the tail re-applied.
+        let snapshot = {
+            let fresh = BmsServer::new(minor_estimator());
+            for r in &journal[..10] {
+                fresh.ingest(r.clone());
+            }
+            fresh.checkpoint()
+        };
+        let restored = BmsServer::restore(minor_estimator(), snapshot);
+        for r in &journal {
+            restored.ingest(r.clone());
+        }
+        assert_eq!(restored.occupancy(), live.occupancy());
+        assert_eq!(restored.report_count(), live.report_count());
+        assert_eq!(
+            restored.assignment_history(DeviceId::new(1)),
+            live.assignment_history(DeviceId::new(1))
+        );
+        assert_eq!(restored.stats().reports_duplicate, 10);
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 active,
                 delivered: false,
             });
-            return SendOutcome::Failed;
+            // Refused, not Failed: the loss is correlated (the peer is
+            // down), so retry decorators should stop probing immediately.
+            return SendOutcome::Refused;
         }
         let outcome = self.inner.send(at, report, rng);
         if let Some(event) = self.inner.events().last() {
@@ -131,6 +133,7 @@ mod tests {
     fn report() -> ObservationReport {
         ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(1),
             beacons: vec![SightedBeacon {
                 identity: BeaconIdentity {
@@ -182,6 +185,32 @@ mod tests {
         }
         assert_eq!(wrapped.events(), bare.events());
         assert_eq!(wrapped.outage_refusals(), 0);
+    }
+
+    #[test]
+    fn refusals_return_refused_not_failed() {
+        let mut t = FaultyTransport::new(WifiTransport::default(), outage(0, 10));
+        let mut r = rng::for_component(4, "refused-kind");
+        assert!(t.send(SimTime::from_secs(5), &report(), &mut r).is_refused());
+    }
+
+    #[test]
+    fn retrying_short_circuits_during_an_outage() {
+        // During a scheduled window every immediate retry would be refused
+        // too; the budget used to burn all six probe bursts, now one.
+        let mut t = crate::Retrying::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(0, 100),
+            ),
+            5,
+        );
+        let mut r = rng::for_component(5, "retry-refused");
+        let outcome = t.send(SimTime::from_secs(50), &report(), &mut r);
+        assert!(outcome.is_refused());
+        assert_eq!(t.events().len(), 1, "one probe burst, not six");
+        // Outside the window the link (and the retry budget) works as before.
+        assert!(t.send(SimTime::from_secs(200), &report(), &mut r).is_delivered());
     }
 
     #[test]

@@ -24,14 +24,19 @@ mod analytics;
 mod bms;
 mod demand;
 mod fault;
+mod health;
 mod message;
 mod transport;
 
 pub use analytics::{DebouncedRoom, MovementAnalytics, RoomTransition};
-pub use bms::{BmsServer, OccupancyEstimator, OccupancyView, RoomLabel, RoomPresence, ServerStats};
+pub use bms::{
+    BmsCheckpoint, BmsServer, IngestOutcome, OccupancyEstimator, OccupancyView, RoomLabel,
+    RoomPresence, ServerStats,
+};
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
 pub use fault::FaultyTransport;
-pub use message::{DeviceId, ObservationReport, SightedBeacon};
+pub use health::{FailoverTransport, LinkHealth, LinkHealthConfig, LinkState};
+pub use message::{DeviceId, ObservationReport, SequenceStamper, SightedBeacon};
 pub use transport::{
     BtRelayTransport, Delivery, QueueingTransport, Retrying, SendOutcome, Transport,
     TransportEvent, TransportKind, WifiTransport,

@@ -38,10 +38,18 @@ pub struct SightedBeacon {
 /// The message a phone sends the server after each ranging cycle: "the list
 /// of all the beacons detected at a certain instant and their respective
 /// distances" (paper Section VI).
+///
+/// Every report carries a per-device monotone sequence number so the
+/// store-and-forward uplink can match acknowledgements unambiguously and the
+/// server can discard retransmitted duplicates: two distinct reports from the
+/// same device never share a `seq`, even if their ranging cycles ended at the
+/// same instant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObservationReport {
     /// Reporting device.
     pub device: DeviceId,
+    /// Per-device monotone sequence number, assigned at report creation.
+    pub seq: u64,
     /// When the ranging cycle ended.
     pub at: SimTime,
     /// The sighted beacons.
@@ -50,9 +58,10 @@ pub struct ObservationReport {
 
 impl ObservationReport {
     /// Serialized size in bytes, for transport air-time modelling: a fixed
-    /// header (device id + timestamp) plus per-beacon identity and distance.
+    /// header (device id + sequence number + timestamp) plus per-beacon
+    /// identity and distance.
     pub fn wire_size_bytes(&self) -> usize {
-        const HEADER: usize = 4 + 8;
+        const HEADER: usize = 4 + 8 + 8;
         const PER_BEACON: usize = 16 + 2 + 2 + 8; // uuid + major + minor + f64
         HEADER + self.beacons.len() * PER_BEACON
     }
@@ -62,11 +71,50 @@ impl fmt::Display for ObservationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} @ {}: {} beacons",
+            "{} seq#{} @ {}: {} beacons",
             self.device,
+            self.seq,
             self.at,
             self.beacons.len()
         )
+    }
+}
+
+/// Hands out per-device monotone sequence numbers for outgoing reports.
+///
+/// One stamper lives on the device side of the uplink; every report created
+/// through [`SequenceStamper::next`] gets the next `seq` for its device. The
+/// counter never repeats or goes backwards, which is what makes the
+/// `(device, seq)` pair a safe dedup and ack-matching key downstream.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{DeviceId, SequenceStamper};
+///
+/// let mut stamper = SequenceStamper::new();
+/// let d = DeviceId::new(7);
+/// assert_eq!(stamper.next(d), 0);
+/// assert_eq!(stamper.next(d), 1);
+/// assert_eq!(stamper.next(DeviceId::new(8)), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SequenceStamper {
+    next: std::collections::BTreeMap<DeviceId, u64>,
+}
+
+impl SequenceStamper {
+    /// Creates a stamper with all device counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next sequence number for `device` and advances its counter.
+    pub fn next(&mut self, device: DeviceId) -> u64 {
+        let counter = self.next.entry(device).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        seq
     }
 }
 
@@ -78,6 +126,7 @@ mod tests {
     fn report(n: usize) -> ObservationReport {
         ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(2),
             beacons: (0..n)
                 .map(|i| SightedBeacon {
@@ -94,13 +143,25 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_beacons() {
-        assert_eq!(report(0).wire_size_bytes(), 12);
-        assert_eq!(report(2).wire_size_bytes(), 12 + 2 * 28);
+        assert_eq!(report(0).wire_size_bytes(), 20);
+        assert_eq!(report(2).wire_size_bytes(), 20 + 2 * 28);
     }
 
     #[test]
     fn display_mentions_device_and_count() {
         let text = report(3).to_string();
         assert!(text.contains("device#1") && text.contains("3 beacons"));
+        assert!(text.contains("seq#0"));
+    }
+
+    #[test]
+    fn stamper_is_monotone_per_device() {
+        let mut stamper = SequenceStamper::new();
+        let a = DeviceId::new(1);
+        let b = DeviceId::new(2);
+        assert_eq!(stamper.next(a), 0);
+        assert_eq!(stamper.next(a), 1);
+        assert_eq!(stamper.next(b), 0);
+        assert_eq!(stamper.next(a), 2);
     }
 }

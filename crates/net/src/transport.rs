@@ -33,12 +33,23 @@ pub enum SendOutcome {
     },
     /// The attempt failed (radio error, relay connection refused).
     Failed,
+    /// The link is in a scheduled outage: the channel refused the connection
+    /// outright. Unlike [`Failed`](SendOutcome::Failed) (a stochastic loss
+    /// that an immediate retry might win), a refusal is correlated — the
+    /// link is *down* — so retry decorators short-circuit instead of burning
+    /// their budget into a dead channel.
+    Refused,
 }
 
 impl SendOutcome {
     /// True when the report arrived.
     pub fn is_delivered(&self) -> bool {
         matches!(self, SendOutcome::Delivered { .. })
+    }
+
+    /// True when the link refused the attempt outright (scheduled outage).
+    pub fn is_refused(&self) -> bool {
+        matches!(self, SendOutcome::Refused)
     }
 }
 
@@ -306,6 +317,11 @@ impl<T: Transport> Transport for Retrying<T> {
         for _ in 0..=self.max_retries {
             match self.inner.send(attempt_at, report, rng) {
                 SendOutcome::Delivered { at } => return SendOutcome::Delivered { at },
+                // A refusal means the link is in a correlated outage: every
+                // remaining immediate retry would be refused too, so stop
+                // after the first instead of burning the budget into probe
+                // bursts. Stochastic failures keep the full retry budget.
+                SendOutcome::Refused => return SendOutcome::Refused,
                 SendOutcome::Failed => {
                     // The retry starts after the failed attempt's burst.
                     let burst = self
@@ -350,6 +366,10 @@ struct QueuedReport {
     report: ObservationReport,
     attempts: u32,
     next_attempt: SimTime,
+    /// True when the report already reached the server once but its ack was
+    /// lost — the queued copy is a retransmission, so a later successful
+    /// send must not count it as a *second* delivered report.
+    delivered_before: bool,
 }
 
 /// Store-and-forward resilience: failed reports wait in a bounded buffer
@@ -383,15 +403,19 @@ pub struct QueueingTransport<T> {
     capacity: usize,
     base_backoff: SimDuration,
     max_backoff: SimDuration,
+    ack_loss: f64,
     queue: std::collections::VecDeque<QueuedReport>,
     offered: u64,
     delivered: u64,
     dropped: u64,
+    retransmits: u64,
 }
 
 impl<T: Transport> QueueingTransport<T> {
     /// Wraps `inner` with a buffer of `capacity` reports and the given base
-    /// backoff (doubled per failed attempt, capped at 64×, jittered).
+    /// backoff (doubled per failed attempt, capped at
+    /// [`max_backoff`](Self::max_backoff) — 64× the base by default —
+    /// jittered).
     ///
     /// # Panics
     ///
@@ -404,11 +428,52 @@ impl<T: Transport> QueueingTransport<T> {
             capacity,
             base_backoff,
             max_backoff: base_backoff * 64,
+            ack_loss: 0.0,
             queue: std::collections::VecDeque::new(),
             offered: 0,
             delivered: 0,
             dropped: 0,
+            retransmits: 0,
         }
+    }
+
+    /// Overrides the backoff ceiling (default: 64× the base backoff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_backoff` is below the base backoff.
+    pub fn with_max_backoff(mut self, max_backoff: SimDuration) -> Self {
+        assert!(
+            max_backoff >= self.base_backoff,
+            "max backoff must be at least the base backoff"
+        );
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Models a lossy acknowledgement channel: with probability `ack_loss`,
+    /// a delivered report's ack never comes back, so the sender re-enqueues
+    /// the report and retransmits it later. The server therefore sees the
+    /// report **at least once** — possibly several times — which is exactly
+    /// the duplicate stream [`BmsServer::ingest`](crate::BmsServer::ingest)
+    /// must dedup. Zero (the default) disables the knob and leaves the
+    /// transport's behaviour bit-for-bit unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn with_ack_loss(mut self, ack_loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ack_loss),
+            "probability must be in [0, 1] (got {ack_loss})"
+        );
+        self.ack_loss = ack_loss;
+        self
+    }
+
+    /// The configured backoff ceiling.
+    pub fn max_backoff(&self) -> SimDuration {
+        self.max_backoff
     }
 
     /// The wrapped transport.
@@ -441,6 +506,12 @@ impl<T: Transport> QueueingTransport<T> {
         self.dropped
     }
 
+    /// Deliveries whose ack was lost, forcing a retransmission (only
+    /// non-zero when [`with_ack_loss`](Self::with_ack_loss) is set).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
     /// End-to-end *report* delivery rate: delivered / offered, or `None`
     /// before any report was offered. Distinct from
     /// [`delivery_rate`](Transport::delivery_rate), which counts radio
@@ -455,13 +526,11 @@ impl<T: Transport> QueueingTransport<T> {
     }
 
     fn backoff_for<R: Rng + ?Sized>(&self, attempts: u32, rng: &mut R) -> SimDuration {
-        let doubling = attempts.saturating_sub(1).min(16);
-        let scaled = self.base_backoff * (1u64 << doubling);
-        let capped = if scaled > self.max_backoff {
-            self.max_backoff
-        } else {
-            scaled
-        };
+        // Saturate the doubling instead of hard-coding a shift cap: the
+        // ceiling is `max_backoff`, whatever the constructor chose.
+        let doubling = attempts.saturating_sub(1).min(63);
+        let scaled_ms = self.base_backoff.as_millis().saturating_mul(1u64 << doubling);
+        let capped = self.max_backoff.min(SimDuration::from_millis(scaled_ms));
         // Full jitter on top of the exponential floor de-synchronises the
         // fleet when a shared outage lifts.
         capped + SimDuration::from_millis(rng.gen_range(0..=self.base_backoff.as_millis()))
@@ -472,6 +541,7 @@ impl<T: Transport> QueueingTransport<T> {
         report: ObservationReport,
         attempts: u32,
         at: SimTime,
+        delivered_before: bool,
         rng: &mut R,
     ) {
         if self.queue.len() == self.capacity {
@@ -483,6 +553,7 @@ impl<T: Transport> QueueingTransport<T> {
             report,
             attempts,
             next_attempt,
+            delivered_before,
         });
     }
 
@@ -498,13 +569,29 @@ impl<T: Transport> QueueingTransport<T> {
             }
             match self.inner.send(at, &entry.report, rng) {
                 SendOutcome::Delivered { at: arrived } => {
-                    self.delivered += 1;
-                    deliveries.push(Delivery {
-                        report: entry.report,
-                        at: arrived,
-                    });
+                    if !entry.delivered_before {
+                        self.delivered += 1;
+                    }
+                    if self.ack_lost(rng) {
+                        // The server got the report but the ack vanished:
+                        // keep the entry queued for a retransmission.
+                        self.retransmits += 1;
+                        entry.attempts += 1;
+                        entry.next_attempt = at + self.backoff_for(entry.attempts, rng);
+                        entry.delivered_before = true;
+                        deliveries.push(Delivery {
+                            report: entry.report.clone(),
+                            at: arrived,
+                        });
+                        still_waiting.push_back(entry);
+                    } else {
+                        deliveries.push(Delivery {
+                            report: entry.report,
+                            at: arrived,
+                        });
+                    }
                 }
-                SendOutcome::Failed => {
+                SendOutcome::Failed | SendOutcome::Refused => {
                     entry.attempts += 1;
                     entry.next_attempt = at + self.backoff_for(entry.attempts, rng);
                     still_waiting.push_back(entry);
@@ -513,6 +600,12 @@ impl<T: Transport> QueueingTransport<T> {
         }
         self.queue = still_waiting;
         deliveries
+    }
+
+    /// Draws the ack-loss coin — only when the knob is armed, so the default
+    /// configuration consumes exactly the same RNG stream as before.
+    fn ack_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.ack_loss > 0.0 && rng.gen::<f64>() < self.ack_loss
     }
 
     /// Offers a new report: first drains due queue entries, then attempts
@@ -529,12 +622,23 @@ impl<T: Transport> QueueingTransport<T> {
         match self.inner.send(at, &report, rng) {
             SendOutcome::Delivered { at: arrived } => {
                 self.delivered += 1;
-                deliveries.push(Delivery {
-                    report,
-                    at: arrived,
-                });
+                if self.ack_lost(rng) {
+                    self.retransmits += 1;
+                    deliveries.push(Delivery {
+                        report: report.clone(),
+                        at: arrived,
+                    });
+                    self.enqueue(report, 2, at, true, rng);
+                } else {
+                    deliveries.push(Delivery {
+                        report,
+                        at: arrived,
+                    });
+                }
             }
-            SendOutcome::Failed => self.enqueue(report, 1, at, rng),
+            SendOutcome::Failed | SendOutcome::Refused => {
+                self.enqueue(report, 1, at, false, rng)
+            }
         }
         deliveries
     }
@@ -551,12 +655,15 @@ impl<T: Transport> Transport for QueueingTransport<T> {
         report: &ObservationReport,
         rng: &mut R,
     ) -> SendOutcome {
+        // Match on `(device, seq)`: the sequence number is unique per
+        // device, so a queued backlog report that happens to share this
+        // report's timestamp can never alias it.
         let device = report.device;
-        let sent_at = report.at;
+        let seq = report.seq;
         let deliveries = self.offer(at, report.clone(), rng);
         deliveries
             .iter()
-            .find(|d| d.report.device == device && d.report.at == sent_at)
+            .find(|d| d.report.device == device && d.report.seq == seq)
             .map(|d| SendOutcome::Delivered { at: d.at })
             .unwrap_or(SendOutcome::Failed)
     }
@@ -593,6 +700,7 @@ mod tests {
     fn report() -> ObservationReport {
         ObservationReport {
             device: DeviceId::new(1),
+            seq: 0,
             at: SimTime::from_secs(2),
             beacons: vec![SightedBeacon {
                 identity: BeaconIdentity {
@@ -733,6 +841,7 @@ mod tests {
 
     fn stamped_report(at_secs: u64) -> ObservationReport {
         ObservationReport {
+            seq: at_secs,
             at: SimTime::from_secs(at_secs),
             ..report()
         }
@@ -856,5 +965,160 @@ mod tests {
             assert_eq!(a.is_delivered(), b.is_delivered());
         }
         assert_eq!(wrapped.events().len(), bare.events().len());
+    }
+
+    /// A test transport that plays back a script of per-send outcomes, so
+    /// the delivery-matching logic can be pinned down deterministically.
+    struct Scripted {
+        outcomes: std::collections::VecDeque<bool>,
+        events: Vec<TransportEvent>,
+    }
+
+    impl Scripted {
+        fn new(outcomes: &[bool]) -> Self {
+            Scripted {
+                outcomes: outcomes.iter().copied().collect(),
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl Transport for Scripted {
+        fn send<R: Rng + ?Sized>(
+            &mut self,
+            at: SimTime,
+            _report: &ObservationReport,
+            _rng: &mut R,
+        ) -> SendOutcome {
+            let delivered = self.outcomes.pop_front().expect("script exhausted");
+            self.events.push(TransportEvent {
+                kind: TransportKind::Wifi,
+                start: at,
+                active: SimDuration::from_millis(50),
+                delivered,
+            });
+            if delivered {
+                SendOutcome::Delivered {
+                    at: at + SimDuration::from_millis(50),
+                }
+            } else {
+                SendOutcome::Failed
+            }
+        }
+
+        fn events(&self) -> &[TransportEvent] {
+            &self.events
+        }
+
+        fn kind(&self) -> TransportKind {
+            TransportKind::Wifi
+        }
+    }
+
+    #[test]
+    fn queueing_send_matches_on_seq_not_timestamp() {
+        // Regression for the `(device, at)` aliasing bug. Script: the first
+        // report (seq=1, t=5s) fails and is queued. On the second call the
+        // backlog retry *succeeds* but the fresh report (seq=2) — stamped
+        // with the identical `(device, at)` — *fails*. The old timestamp
+        // match saw the backlog delivery and reported the fresh report as
+        // delivered; the seq key must report it Failed (it is queued).
+        let mut q = QueueingTransport::new(Scripted::new(&[false, true, false]), 8, SimDuration::from_secs(1));
+        let mut r = rng::for_component(15, "queue-seq");
+        let twin = |seq: u64| ObservationReport {
+            seq,
+            at: SimTime::from_secs(5),
+            ..report()
+        };
+        assert!(!q.send(SimTime::from_secs(5), &twin(1), &mut r).is_delivered());
+        assert_eq!(q.pending(), 1);
+        let outcome = q.send(SimTime::from_secs(200), &twin(2), &mut r);
+        assert!(
+            !outcome.is_delivered(),
+            "fresh seq=2 failed; backlog seq=1's delivery must not alias it"
+        );
+        // The backlog report did get through, and seq=2 is now queued.
+        assert_eq!(q.delivered_reports(), 1);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn queueing_max_backoff_knob_caps_the_doubling() {
+        let base = SimDuration::from_secs(1);
+        let q = QueueingTransport::new(
+            BtRelayTransport::new(0.0, SimDuration::from_millis(400)),
+            8,
+            base,
+        )
+        .with_max_backoff(SimDuration::from_secs(4));
+        assert_eq!(q.max_backoff(), SimDuration::from_secs(4));
+        let mut r = rng::for_component(16, "backoff-cap");
+        // Jitter adds at most one extra base_backoff on top of the ceiling.
+        for attempts in [1u32, 2, 3, 10, 1000, u32::MAX] {
+            let wait = q.backoff_for(attempts, &mut r);
+            assert!(
+                wait <= SimDuration::from_secs(4) + base,
+                "attempts={attempts} wait={wait}"
+            );
+        }
+        // Default ceiling unchanged: 64x the base.
+        let default_q = QueueingTransport::new(
+            BtRelayTransport::new(0.0, SimDuration::from_millis(400)),
+            8,
+            base,
+        );
+        assert_eq!(default_q.max_backoff(), base * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the base backoff")]
+    fn max_backoff_below_base_panics() {
+        let _ = QueueingTransport::new(
+            BtRelayTransport::default(),
+            8,
+            SimDuration::from_secs(2),
+        )
+        .with_max_backoff(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn ack_loss_retransmits_duplicates_without_losing_reports() {
+        // A perfect link with a very lossy ack channel: every report is
+        // delivered at least once, some several times, and the duplicate
+        // copies carry the same `(device, seq)` so the server can dedup.
+        let mut q = QueueingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            64,
+            SimDuration::from_secs(1),
+        )
+        .with_ack_loss(0.5);
+        let mut r = rng::for_component(17, "ack-loss");
+        let mut deliveries = Vec::new();
+        for i in 0..100u64 {
+            deliveries.extend(q.offer(SimTime::from_secs(i * 4), stamped_report(i * 4), &mut r));
+        }
+        // Drain whatever is still queued for retransmission.
+        let mut t = 400u64;
+        while q.pending() > 0 {
+            t += 600;
+            deliveries.extend(q.flush(SimTime::from_secs(t), &mut r));
+        }
+        assert!(q.retransmits() > 10, "retransmits {}", q.retransmits());
+        assert!(deliveries.len() > 100, "deliveries {}", deliveries.len());
+        // Report-level accounting stays exactly-once per offered report.
+        assert_eq!(q.offered(), 100);
+        assert_eq!(q.delivered_reports(), 100);
+        // Every offered seq arrived at least once.
+        let mut seqs: Vec<u64> = deliveries.iter().map(|d| d.report.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 100);
+    }
+
+    #[test]
+    fn refused_is_not_delivered() {
+        assert!(!SendOutcome::Refused.is_delivered());
+        assert!(SendOutcome::Refused.is_refused());
+        assert!(!SendOutcome::Failed.is_refused());
     }
 }

@@ -7,7 +7,9 @@
 # paths) and once at the default parallelism, so a scheduling-dependent
 # bug cannot hide behind whichever mode the CI host happens to pick.
 # The bench arm then regenerates BENCH_PR2.json and asserts the parallel
-# outputs are bit-for-bit identical to the sequential ones.
+# outputs are bit-for-bit identical to the sequential ones, and the chaos
+# arm (reliable-delivery sweep) must produce the same result checksum
+# under a single worker and under the default parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +19,15 @@ cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 ./target/release/repro bench
 
-echo "check.sh: build + tests (threads=1 and default) + clippy + bench all green"
+chaos_sum() {
+    sed -n 's/.*sweep checksum: \([0-9a-f]*\).*/\1/p'
+}
+seq_sum=$(ROOMSENSE_THREADS=1 ./target/release/repro chaos | chaos_sum)
+par_sum=$(env -u ROOMSENSE_THREADS ./target/release/repro chaos | chaos_sum)
+if [ -z "$seq_sum" ] || [ "$seq_sum" != "$par_sum" ]; then
+    echo "check.sh: chaos sweep diverged across thread counts ($seq_sum vs $par_sum)" >&2
+    exit 1
+fi
+echo "chaos sweep checksum $seq_sum identical at threads=1 and default"
+
+echo "check.sh: build + tests (threads=1 and default) + clippy + bench + chaos all green"

@@ -22,6 +22,7 @@ fn synthetic_reports() -> Vec<ObservationReport> {
     (0..120u64)
         .map(|i| ObservationReport {
             device: DeviceId::new(1 + (i % 2) as u32),
+            seq: i / 2,
             at: SimTime::from_secs(5 * i),
             beacons: vec![SightedBeacon {
                 identity: BeaconIdentity {

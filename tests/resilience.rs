@@ -21,6 +21,7 @@ const SEED: u64 = 77;
 fn report_at(at: SimTime) -> ObservationReport {
     ObservationReport {
         device: DeviceId::new(9),
+        seq: at.as_millis(),
         at,
         beacons: vec![SightedBeacon {
             identity: BeaconIdentity {
