@@ -14,7 +14,7 @@ use roomsense::experiments::{
     chaos_experiment, classification_cross_validation, classification_experiment,
     coefficient_sweep, device_comparison, dynamic_walk, energy_experiment, faults_experiment,
     run_tx_power_calibration, multifloor_experiment, sampling_comparison, scaling_experiment,
-    static_capture, tracking_experiment,
+    static_capture, telemetry_experiment, tracking_experiment,
 };
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
@@ -49,6 +49,7 @@ fn main() {
         "floors" => floors(),
         "faults" => faults(),
         "chaos" => chaos(),
+        "telemetry" => telemetry(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -67,11 +68,12 @@ fn main() {
             floors();
             faults();
             chaos();
+            telemetry();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|bench|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|bench|all]"
             );
             std::process::exit(2);
         }
@@ -432,6 +434,60 @@ fn chaos() {
     println!(
         "  sweep checksum: {:016x} (threads: {})",
         fnv1a(&format!("{result:?}")),
+        exec::thread_count()
+    );
+}
+
+/// Telemetry arm: one instrumented end-to-end run, printed as a
+/// metric-to-figure table plus the recorder checksum that
+/// `scripts/check.sh` diffs across thread counts.
+fn telemetry() {
+    use roomsense_telemetry::keys;
+
+    header("telemetry: one recorder across fleet, filter, uplink, BMS, and energy");
+    let result = telemetry_experiment(SEED);
+    let r = &result.recorder;
+    let count_of = |k| r.histogram(k).map_or(0, |h| h.count());
+    let mean_of = |k| r.histogram(k).and_then(|h| h.mean()).unwrap_or(0.0);
+    println!("  metric                       value      paper artifact");
+    let counters: [(&str, u64, &str); 12] = [
+        ("scan.cycles", r.counter(keys::SCAN_CYCLES), "Section V scan loop"),
+        ("scan.stalls", r.counter(keys::SCAN_STALLS), "Fig 5 Android stalls"),
+        ("scan.samples", r.counter(keys::SCAN_SAMPLES), "Section V (5 samples/cycle)"),
+        ("scan.samples_dropped", r.counter(keys::SCAN_SAMPLES_DROPPED), "fault-layer loss"),
+        ("filter.holds", r.counter(keys::FILTER_HOLDS), "Section V loss policy"),
+        ("filter.drops", r.counter(keys::FILTER_DROPS), "Section V loss policy"),
+        ("radio.rx.lost", r.counter(keys::RADIO_RX_LOST), "Fig 5 loss rate"),
+        ("net.queue.retransmits", r.counter(keys::NET_QUEUE_RETRANSMITS), "uplink reliability"),
+        ("net.failover.sends", r.counter(keys::NET_FAILOVER_SENDS), "Wi-Fi->BT failover"),
+        ("bms.ingest.duplicates", r.counter(keys::BMS_INGEST_DUPLICATES), "exactly-once ingest"),
+        ("bms.ingest.accepted", r.counter(keys::BMS_INGEST_ACCEPTED), "occupancy table input"),
+        ("bms.checkpoints", r.counter(keys::BMS_CHECKPOINTS), "crash/restore"),
+    ];
+    for (name, value, artifact) in counters {
+        println!("  {name:<28} {value:>8}   {artifact}");
+    }
+    println!(
+        "  {:<28} {:>8}   Fig 9 decision margins (mean {:+.2})",
+        "ml.svm.margin",
+        count_of(keys::ML_SVM_MARGIN),
+        mean_of(keys::ML_SVM_MARGIN),
+    );
+    println!(
+        "  {:<28} {:>8.0}   Figs 8-10 energy account (mJ)",
+        "energy.total_mj",
+        r.gauge(keys::ENERGY_TOTAL_MJ).unwrap_or(0.0),
+    );
+    println!(
+        "  uplink: {}/{} reports delivered; journal holds {} events ({} dropped past capacity)",
+        result.delivered,
+        result.offered,
+        r.journal().count(),
+        r.journal_dropped(),
+    );
+    println!(
+        "  telemetry checksum: {:016x} (threads: {})",
+        r.checksum(),
         exec::thread_count()
     );
 }

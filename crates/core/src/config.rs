@@ -99,11 +99,22 @@ impl PipelineConfig {
         }
     }
 
-    /// Returns the config with a different scan period.
+    /// Returns the config with a different scan period. Only the period
+    /// changes — any other [`ScanConfig`] field keeps its current value.
     pub fn with_scan_period(mut self, period: SimDuration) -> Self {
-        self.scan = ScanConfig {
-            scan_period: period,
-        };
+        self.scan.scan_period = period;
+        self
+    }
+
+    /// Returns the config with a different OS scanner model.
+    pub fn with_scanner(mut self, scanner: ScannerKind) -> Self {
+        self.scanner = scanner;
+        self
+    }
+
+    /// Returns the config with a different per-cycle sample aggregation.
+    pub fn with_aggregation(mut self, aggregation: AggregateMethod) -> Self {
+        self.aggregation = aggregation;
         self
     }
 
@@ -162,10 +173,25 @@ mod tests {
         let cfg = PipelineConfig::paper_android()
             .with_scan_period(SimDuration::from_secs(5))
             .with_coefficient(0.3)
-            .with_device(DeviceRxProfile::nexus_5());
+            .with_device(DeviceRxProfile::nexus_5())
+            .with_scanner(ScannerKind::Ios)
+            .with_aggregation(AggregateMethod::MedianDbm);
         assert_eq!(cfg.scan.scan_period, SimDuration::from_secs(5));
         assert_eq!(cfg.filter_coefficient, 0.3);
         assert!(cfg.device.model.contains("Nexus"));
+        assert_eq!(cfg.scanner, ScannerKind::Ios);
+        assert_eq!(cfg.aggregation, AggregateMethod::MedianDbm);
+    }
+
+    #[test]
+    fn with_scan_period_updates_in_place() {
+        // The builder must mutate the existing ScanConfig, not rebuild it
+        // from a single field (which would silently reset anything else).
+        let mut cfg = PipelineConfig::paper_android();
+        let mut expected = cfg.scan;
+        expected.scan_period = SimDuration::from_secs(7);
+        cfg = cfg.with_scan_period(SimDuration::from_secs(7));
+        assert_eq!(cfg.scan, expected);
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! downstream consumers (server, demand-response controller) process events
 //! exactly once, in order, regardless of how many devices there are.
 
-use crate::{run_pipeline, run_pipeline_faulted, CycleRecord, FaultPlan, PipelineConfig, Scenario};
+use crate::{
+    run_pipeline_faulted_recorded, run_pipeline_recorded, CycleRecord, FaultPlan, PipelineConfig,
+    Scenario,
+};
 use roomsense_building::mobility::MobilityModel;
 use roomsense_net::DeviceId;
 use roomsense_sim::SimDuration;
 use roomsense_sim::SimTime;
+use roomsense_telemetry::Recorder;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -58,9 +62,39 @@ pub fn run_fleet(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<FleetEvent> {
-    merge_fleet(occupants, |mobility, device_seed| {
-        run_pipeline(scenario, config, mobility, duration, device_seed)
-    }, seed)
+    run_fleet_recorded(
+        scenario,
+        config,
+        occupants,
+        duration,
+        seed,
+        &mut Recorder::default(),
+    )
+}
+
+/// [`run_fleet`] recording per-device pipeline telemetry into `telemetry`.
+///
+/// Each device records into its own child [`Recorder`] (forked per
+/// parallel task) and the children are merged into `telemetry` in device
+/// order after the join, so the merged snapshot is bitwise identical at
+/// any `ROOMSENSE_THREADS` value. Recording never draws from any RNG, so
+/// the returned events match [`run_fleet`] exactly.
+pub fn run_fleet_recorded(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    telemetry: &mut Recorder,
+) -> Vec<FleetEvent> {
+    merge_fleet(
+        occupants,
+        |mobility, device_seed, recorder| {
+            run_pipeline_recorded(scenario, config, mobility, duration, device_seed, recorder)
+        },
+        seed,
+        telemetry,
+    )
 }
 
 /// [`run_fleet`] with a shared [`FaultPlan`]: every device suffers the same
@@ -76,9 +110,44 @@ pub fn run_fleet_faulted(
     seed: u64,
     faults: &FaultPlan,
 ) -> Vec<FleetEvent> {
-    merge_fleet(occupants, |mobility, device_seed| {
-        run_pipeline_faulted(scenario, config, mobility, duration, device_seed, faults)
-    }, seed)
+    run_fleet_faulted_recorded(
+        scenario,
+        config,
+        occupants,
+        duration,
+        seed,
+        faults,
+        &mut Recorder::default(),
+    )
+}
+
+/// [`run_fleet_faulted`] recording per-device telemetry, with the same
+/// index-order merge guarantee as [`run_fleet_recorded`].
+pub fn run_fleet_faulted_recorded(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+    telemetry: &mut Recorder,
+) -> Vec<FleetEvent> {
+    merge_fleet(
+        occupants,
+        |mobility, device_seed, recorder| {
+            run_pipeline_faulted_recorded(
+                scenario,
+                config,
+                mobility,
+                duration,
+                device_seed,
+                faults,
+                recorder,
+            )
+        },
+        seed,
+        telemetry,
+    )
 }
 
 /// Runs one pipeline per occupant — in parallel, one worker per core —
@@ -91,17 +160,33 @@ pub fn run_fleet_faulted(
 /// [`rng::derive_indexed_seed`](roomsense_sim::rng::derive_indexed_seed),
 /// which keys on both the fleet seed and the device index without the
 /// cross-pair collisions a XOR of independent seeds would allow.
+///
+/// Telemetry keeps the same guarantee: every parallel task records into a
+/// fresh child [`Recorder`], and the children are folded into `telemetry`
+/// **in device-index order after the join**. Merge order — not completion
+/// order — determines journal interleaving and counter totals, so the
+/// snapshot is bitwise identical no matter how the tasks were scheduled.
 fn merge_fleet(
     occupants: &[&dyn MobilityModel],
-    run: impl Fn(&dyn MobilityModel, u64) -> Vec<CycleRecord> + Sync,
+    run: impl Fn(&dyn MobilityModel, u64, &mut Recorder) -> Vec<CycleRecord> + Sync,
     seed: u64,
+    telemetry: &mut Recorder,
 ) -> Vec<FleetEvent> {
-    let per_device: Vec<Vec<CycleRecord>> =
+    let per_device: Vec<(Vec<CycleRecord>, Recorder)> =
         roomsense_sim::exec::par_map_indexed(occupants, |index, mobility| {
             let device_seed =
                 roomsense_sim::rng::derive_indexed_seed(seed, "fleet-device", index as u64);
-            run(*mobility, device_seed)
+            let mut child = Recorder::default();
+            let records = run(*mobility, device_seed, &mut child);
+            (records, child)
         });
+    let per_device: Vec<Vec<CycleRecord>> = per_device
+        .into_iter()
+        .map(|(records, child)| {
+            telemetry.merge_child(child);
+            records
+        })
+        .collect();
 
     // Each pipeline returns chronologically ordered cycles, so the merge
     // is a k-way merge over sorted runs: a min-heap holds one candidate
@@ -225,6 +310,47 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorded_fleet_matches_plain_and_merge_order_is_thread_invariant() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(9.0, 1.0));
+        let c = StaticPosition::new(Point::new(6.0, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b, &c];
+        let config = PipelineConfig::paper_android();
+        let duration = SimDuration::from_secs(20);
+
+        let plain = run_fleet(&scenario, &config, &occupants, duration, 5);
+        let snapshot_at = |threads: usize| {
+            roomsense_sim::exec::with_thread_override(threads, || {
+                let mut telemetry = Recorder::default();
+                let events = run_fleet_recorded(
+                    &scenario,
+                    &config,
+                    &occupants,
+                    duration,
+                    5,
+                    &mut telemetry,
+                );
+                (events, telemetry)
+            })
+        };
+        let (seq_events, seq_rec) = snapshot_at(1);
+        let (par_events, par_rec) = snapshot_at(4);
+        // Recording changes no output.
+        assert_eq!(plain, seq_events);
+        assert_eq!(plain, par_events);
+        // The merged snapshot is bitwise identical across thread counts.
+        assert_eq!(seq_rec.checksum(), par_rec.checksum());
+        assert_eq!(seq_rec.prometheus_text(), par_rec.prometheus_text());
+        assert_eq!(seq_rec.journal_jsonl(), par_rec.journal_jsonl());
+        // And it actually saw the fleet: 3 devices x 10 cycles each.
+        assert_eq!(
+            seq_rec.counter(roomsense_telemetry::keys::SCAN_CYCLES),
+            30
+        );
     }
 
     #[test]

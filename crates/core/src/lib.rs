@@ -66,9 +66,14 @@ mod scenario;
 pub use app_run::{run_app, AppRun};
 pub use collect::{collect_dataset, features_from_snapshots, LabelledDataset, MISSING_DISTANCE};
 pub use fault::FaultPlan;
-pub use fleet::{run_fleet, run_fleet_faulted, FleetEvent};
+pub use fleet::{
+    run_fleet, run_fleet_faulted, run_fleet_faulted_recorded, run_fleet_recorded, FleetEvent,
+};
 pub use multifloor::{MultiFloorScenario, SLAB_ATTENUATION_DB};
 pub use config::{PipelineConfig, ScannerKind};
 pub use occupancy::{OccupancyModel, TrainOccupancyError};
-pub use pipeline::{run_pipeline, run_pipeline_faulted, CycleRecord};
+pub use pipeline::{
+    run_pipeline, run_pipeline_faulted, run_pipeline_faulted_recorded, run_pipeline_recorded,
+    CycleRecord,
+};
 pub use scenario::Scenario;

@@ -9,9 +9,10 @@ use roomsense_signal::{
 };
 use roomsense_sim::{rng, SimDuration, SimTime};
 use roomsense_stack::{
-    run_scan, simulate_receptions, simulate_receptions_faulty, AndroidLScanner, AndroidScanner,
-    FaultyScanner, IosScanner,
+    run_scan_recorded, simulate_receptions_faulty_recorded, simulate_receptions_recorded,
+    AndroidLScanner, AndroidScanner, FaultyScanner, IosScanner,
 };
+use roomsense_telemetry::{keys, Recorder, SpanTimer};
 use std::fmt;
 
 /// The output of one scan cycle with ground truth attached.
@@ -59,10 +60,35 @@ pub fn run_pipeline<M: MobilityModel + ?Sized>(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<CycleRecord> {
+    run_pipeline_recorded(
+        scenario,
+        config,
+        mobility,
+        duration,
+        seed,
+        &mut Recorder::default(),
+    )
+}
+
+/// Like [`run_pipeline`], but recording pipeline telemetry into `telemetry`:
+/// radio reception counts, scanner windows/stalls/dedup, filter holds and
+/// drops, and the simulated span each stage covered (`stage.*_ms`).
+///
+/// Recording never draws from the seeded RNG streams, so the records are
+/// bit-identical to [`run_pipeline`] for the same seed.
+pub fn run_pipeline_recorded<M: MobilityModel + ?Sized>(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &M,
+    duration: SimDuration,
+    seed: u64,
+    telemetry: &mut Recorder,
+) -> Vec<CycleRecord> {
     let from = SimTime::ZERO;
     let until = from + duration;
     let mut radio_rng = rng::for_indexed(seed, "pipeline-radio", scenario.seed());
-    let receptions = simulate_receptions(
+    let radio_span = SpanTimer::start(keys::STAGE_RADIO_MS, from);
+    let receptions = simulate_receptions_recorded(
         scenario.channel(),
         scenario.advertisers(),
         &config.device,
@@ -70,35 +96,45 @@ pub fn run_pipeline<M: MobilityModel + ?Sized>(
         from,
         until,
         &mut radio_rng,
+        telemetry,
     );
+    radio_span.stop(telemetry, until);
     let mut scan_rng = rng::for_indexed(seed, "pipeline-scan", scenario.seed());
+    let scan_span = SpanTimer::start(keys::STAGE_SCAN_MS, from);
     let cycles = match config.scanner {
-        ScannerKind::Android { stall_probability } => run_scan(
+        ScannerKind::Android { stall_probability } => run_scan_recorded(
             &receptions,
             &AndroidScanner::new(stall_probability),
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
-        ScannerKind::AndroidL => run_scan(
+        ScannerKind::AndroidL => run_scan_recorded(
             &receptions,
             &AndroidLScanner::low_latency(),
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
-        ScannerKind::Ios => run_scan(
+        ScannerKind::Ios => run_scan_recorded(
             &receptions,
             &IosScanner,
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
     };
-    records_from_cycles(scenario, config, mobility, &cycles)
+    scan_span.stop(telemetry, until);
+    let track_span = SpanTimer::start(keys::STAGE_TRACK_MS, from);
+    let records = records_from_cycles_recorded(scenario, config, mobility, &cycles, telemetry);
+    track_span.stop(telemetry, until);
+    records
 }
 
 /// Like [`run_pipeline`], but with a [`FaultPlan`] injected at every layer:
@@ -122,10 +158,43 @@ pub fn run_pipeline_faulted<M: MobilityModel + ?Sized>(
     seed: u64,
     faults: &FaultPlan,
 ) -> Vec<CycleRecord> {
+    run_pipeline_faulted_recorded(
+        scenario,
+        config,
+        mobility,
+        duration,
+        seed,
+        faults,
+        &mut Recorder::default(),
+    )
+}
+
+/// Like [`run_pipeline_faulted`], but recording pipeline telemetry into
+/// `telemetry` — including the fault layer's dropped-sample counts
+/// (`scan.samples_dropped`) on top of everything
+/// [`run_pipeline_recorded`] records.
+///
+/// Recording never draws from the seeded RNG streams, so the records are
+/// bit-identical to [`run_pipeline_faulted`] for the same seed.
+///
+/// # Panics
+///
+/// Panics if the plan's transmitter list does not match the scenario's
+/// beacon count.
+pub fn run_pipeline_faulted_recorded<M: MobilityModel + ?Sized>(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &M,
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+    telemetry: &mut Recorder,
+) -> Vec<CycleRecord> {
     let from = SimTime::ZERO;
     let until = from + duration;
     let mut radio_rng = rng::for_indexed(seed, "pipeline-radio", scenario.seed());
-    let receptions = simulate_receptions_faulty(
+    let radio_span = SpanTimer::start(keys::STAGE_RADIO_MS, from);
+    let receptions = simulate_receptions_faulty_recorded(
         scenario.channel(),
         scenario.advertisers(),
         &faults.transmitter,
@@ -134,7 +203,9 @@ pub fn run_pipeline_faulted<M: MobilityModel + ?Sized>(
         from,
         until,
         &mut radio_rng,
+        telemetry,
     );
+    radio_span.stop(telemetry, until);
     let mut scan_rng = rng::for_indexed(seed, "pipeline-scan", scenario.seed());
     fn faulty<M: roomsense_stack::ScannerModel>(inner: M, plan: &FaultPlan) -> FaultyScanner<M> {
         FaultyScanner::new(
@@ -144,40 +215,49 @@ pub fn run_pipeline_faulted<M: MobilityModel + ?Sized>(
             plan.storm_loss,
         )
     }
+    let scan_span = SpanTimer::start(keys::STAGE_SCAN_MS, from);
     let cycles = match config.scanner {
-        ScannerKind::Android { stall_probability } => run_scan(
+        ScannerKind::Android { stall_probability } => run_scan_recorded(
             &receptions,
             &faulty(AndroidScanner::new(stall_probability), faults),
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
-        ScannerKind::AndroidL => run_scan(
+        ScannerKind::AndroidL => run_scan_recorded(
             &receptions,
             &faulty(AndroidLScanner::low_latency(), faults),
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
-        ScannerKind::Ios => run_scan(
+        ScannerKind::Ios => run_scan_recorded(
             &receptions,
             &faulty(IosScanner, faults),
             config.scan,
             from,
             until,
             &mut scan_rng,
+            telemetry,
         ),
     };
-    records_from_cycles(scenario, config, mobility, &cycles)
+    scan_span.stop(telemetry, until);
+    let track_span = SpanTimer::start(keys::STAGE_TRACK_MS, from);
+    let records = records_from_cycles_recorded(scenario, config, mobility, &cycles, telemetry);
+    track_span.stop(telemetry, until);
+    records
 }
 
-fn records_from_cycles<M: MobilityModel + ?Sized>(
+fn records_from_cycles_recorded<M: MobilityModel + ?Sized>(
     scenario: &Scenario,
     config: &PipelineConfig,
     mobility: &M,
     cycles: &[roomsense_stack::ScanCycleReport],
+    telemetry: &mut Recorder,
 ) -> Vec<CycleRecord> {
     let ranging = scenario.ranging_config();
     let mut tracks = TrackManager::new(EwmaFilter::new(
@@ -187,7 +267,7 @@ fn records_from_cycles<M: MobilityModel + ?Sized>(
     let mut records = Vec::with_capacity(cycles.len());
     for cycle in cycles {
         let observations = aggregate_cycle(cycle, config.aggregation, &ranging);
-        let snapshots = tracks.update_cycle(cycle.end, &observations);
+        let snapshots = tracks.update_cycle_recorded(cycle.end, &observations, telemetry);
         let true_position = mobility.position_at(cycle.end);
         records.push(CycleRecord {
             at: cycle.end,
@@ -380,6 +460,39 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorded_pipeline_matches_plain_and_fills_telemetry() {
+        let scenario = corridor_scenario();
+        let position = StaticPosition::new(Point::new(2.0, 1.0));
+        let plain = run_pipeline(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &position,
+            SimDuration::from_secs(30),
+            9,
+        );
+        let mut telemetry = Recorder::default();
+        let recorded = run_pipeline_recorded(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &position,
+            SimDuration::from_secs(30),
+            9,
+            &mut telemetry,
+        );
+        // Recording must not perturb any RNG stream.
+        assert_eq!(plain, recorded);
+        assert_eq!(telemetry.counter(keys::SCAN_CYCLES), 15);
+        assert!(telemetry.counter(keys::RADIO_RX_RECEIVED) > 0);
+        assert!(telemetry.counter(keys::SCAN_WINDOWS) > 0);
+        // Each stage covered the full 30 s simulated span exactly once.
+        for key in [keys::STAGE_RADIO_MS, keys::STAGE_SCAN_MS, keys::STAGE_TRACK_MS] {
+            let span = telemetry.histogram(key).expect("stage span recorded");
+            assert_eq!(span.count(), 1);
+            assert_eq!(span.sum(), 30_000.0);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::{PowerProfile, UplinkArchitecture};
 use roomsense_net::{TransportEvent, TransportKind};
 use roomsense_sim::SimDuration;
+use roomsense_telemetry::{keys, Recorder};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -122,6 +123,40 @@ impl EnergyLedger {
             self.totals_mj.iter().map(|(k, v)| (*k, *v)).collect();
         items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite energies"));
         items
+    }
+
+    /// Publishes the ledger into `telemetry` as `energy.*_mj` gauges (one
+    /// per component, plus the total).
+    pub fn record_into(&self, telemetry: &mut Recorder) {
+        telemetry.set_gauge(
+            keys::ENERGY_BASELINE_MJ,
+            self.energy_mj(ComponentKind::Baseline),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_CPU_SERVICE_MJ,
+            self.energy_mj(ComponentKind::CpuService),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_BLE_SCAN_MJ,
+            self.energy_mj(ComponentKind::BleScan),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_WIFI_IDLE_MJ,
+            self.energy_mj(ComponentKind::WifiIdle),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_WIFI_ACTIVE_MJ,
+            self.energy_mj(ComponentKind::WifiActive),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_WIFI_TAIL_MJ,
+            self.energy_mj(ComponentKind::WifiTail),
+        );
+        telemetry.set_gauge(
+            keys::ENERGY_BT_CONNECTION_MJ,
+            self.energy_mj(ComponentKind::BtConnection),
+        );
+        telemetry.set_gauge(keys::ENERGY_TOTAL_MJ, self.total_mj());
     }
 }
 
@@ -303,6 +338,30 @@ mod tests {
         assert!(
             (9.0..=12.5).contains(&lifetime_h),
             "lifetime {lifetime_h} h not around 10 h"
+        );
+    }
+
+    #[test]
+    fn record_into_publishes_component_gauges() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let events = vec![
+            event(TransportKind::Wifi, 10, 80),
+            event(TransportKind::BluetoothRelay, 20, 500),
+        ];
+        let ledger = account(&profile, &hour_timeline(events), UplinkArchitecture::Failover);
+        let mut telemetry = Recorder::default();
+        ledger.record_into(&mut telemetry);
+        assert_eq!(
+            telemetry.gauge(keys::ENERGY_TOTAL_MJ),
+            Some(ledger.total_mj())
+        );
+        assert_eq!(
+            telemetry.gauge(keys::ENERGY_BLE_SCAN_MJ),
+            Some(ledger.energy_mj(ComponentKind::BleScan))
+        );
+        assert_eq!(
+            telemetry.gauge(keys::ENERGY_BT_CONNECTION_MJ),
+            Some(ledger.energy_mj(ComponentKind::BtConnection))
         );
     }
 

@@ -14,6 +14,7 @@
 use crate::{DeviceId, ObservationReport};
 use parking_lot::Mutex;
 use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -195,6 +196,9 @@ struct ServerState {
     /// Per-device dedup windows for the `ingest` path.
     dedup: BTreeMap<DeviceId, DedupWindow>,
     stats: ServerStats,
+    /// Server-side metrics and structured event journal; snapshotted and
+    /// restored along with the rest of the state.
+    telemetry: Recorder,
 }
 
 /// An opaque snapshot of a [`BmsServer`]'s full state, produced by
@@ -278,6 +282,7 @@ impl BmsServer {
         let room = self.estimator.classify(&report);
         let mut state = self.state.lock();
         state.stats.reports_stored += 1;
+        state.telemetry.incr(keys::BMS_INGEST_ACCEPTED);
         match room {
             Some(label) => {
                 let entry = state
@@ -323,9 +328,15 @@ impl BmsServer {
             .check_and_insert(report.seq, capacity);
         if !is_new {
             state.stats.reports_duplicate += 1;
+            state.telemetry.incr(keys::BMS_INGEST_DUPLICATES);
+            state.telemetry.record_event(TelemetryEvent::DedupHit {
+                device: report.device.value(),
+                seq: report.seq,
+            });
             return IngestOutcome::Duplicate;
         }
         state.stats.reports_stored += 1;
+        state.telemetry.incr(keys::BMS_INGEST_ACCEPTED);
         match room {
             Some(label) => {
                 let entry = state
@@ -354,8 +365,14 @@ impl BmsServer {
     /// from overlap are dropped, so replay converges to exactly the
     /// no-crash state.
     pub fn checkpoint(&self) -> BmsCheckpoint {
+        let mut state = self.state.lock();
+        let reports = state.log.len() as u64;
+        state.telemetry.incr(keys::BMS_CHECKPOINTS);
+        state
+            .telemetry
+            .record_event(TelemetryEvent::Checkpoint { reports });
         BmsCheckpoint {
-            state: self.state.lock().clone(),
+            state: state.clone(),
         }
     }
 
@@ -461,6 +478,12 @@ impl BmsServer {
     /// Server counters.
     pub fn stats(&self) -> ServerStats {
         self.state.lock().stats
+    }
+
+    /// A clone of the server's telemetry recorder (counters + dedup/
+    /// checkpoint journal), ready to merge into a run-wide recorder.
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        self.state.lock().telemetry.clone()
     }
 
     /// The classified `(time, room)` history of one device, in arrival
@@ -678,6 +701,15 @@ mod tests {
         assert_eq!(server.stats().reports_duplicate, 2);
         assert_eq!(server.assignment_history(DeviceId::new(1)).len(), 1);
         assert_eq!(server.occupancy().get(&3), Some(&1));
+        // The telemetry recorder mirrors the stats and journals each hit.
+        let telemetry = server.telemetry_snapshot();
+        assert_eq!(telemetry.counter(keys::BMS_INGEST_ACCEPTED), 1);
+        assert_eq!(telemetry.counter(keys::BMS_INGEST_DUPLICATES), 2);
+        let hits = telemetry
+            .journal()
+            .filter(|e| matches!(e, TelemetryEvent::DedupHit { device: 1, seq: 10 }))
+            .count();
+        assert_eq!(hits, 2);
     }
 
     #[test]
@@ -769,6 +801,14 @@ mod tests {
             live.assignment_history(DeviceId::new(1))
         );
         assert_eq!(restored.stats().reports_duplicate, 10);
+        // The restored recorder carries the checkpoint marker and counts
+        // the replay overlap as dedup hits.
+        let telemetry = restored.telemetry_snapshot();
+        assert_eq!(telemetry.counter(keys::BMS_CHECKPOINTS), 1);
+        assert_eq!(telemetry.counter(keys::BMS_INGEST_DUPLICATES), 10);
+        assert!(telemetry
+            .journal()
+            .any(|e| matches!(e, TelemetryEvent::Checkpoint { reports: 10 })));
     }
 
     #[test]

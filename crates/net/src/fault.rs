@@ -15,9 +15,14 @@
 use crate::{ObservationReport, SendOutcome, Transport, TransportEvent};
 use rand::Rng;
 use roomsense_sim::{FaultSchedule, SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder};
 use std::fmt;
 
 /// Wraps a transport with scheduled outage windows.
+///
+/// Refused probe bursts are priced into the *inner* transport's recorder
+/// (the layer owns no sink of its own), so nesting outage layers keeps one
+/// merged burst log at the base of the stack.
 ///
 /// # Examples
 ///
@@ -36,7 +41,6 @@ use std::fmt;
 pub struct FaultyTransport<T> {
     inner: T,
     outages: FaultSchedule,
-    events: Vec<TransportEvent>,
     refusals: u64,
 }
 
@@ -46,7 +50,6 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             outages,
-            events: Vec::new(),
             refusals: 0,
         }
     }
@@ -86,25 +89,28 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             // transfer, but not free.
             self.refusals += 1;
             let active = SimDuration::from_millis(80 + rng.gen_range(0..40));
-            self.events.push(TransportEvent {
+            let probe = TransportEvent {
                 kind: self.inner.kind(),
                 start: at,
                 active,
                 delivered: false,
-            });
+            };
+            let telemetry = self.inner.telemetry_mut();
+            telemetry.record_send(probe);
+            telemetry.incr(keys::NET_TX_REFUSED);
             // Refused, not Failed: the loss is correlated (the peer is
             // down), so retry decorators should stop probing immediately.
             return SendOutcome::Refused;
         }
-        let outcome = self.inner.send(at, report, rng);
-        if let Some(event) = self.inner.events().last() {
-            self.events.push(*event);
-        }
-        outcome
+        self.inner.send(at, report, rng)
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        &self.events
+    fn telemetry(&self) -> &Recorder {
+        self.inner.telemetry()
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        self.inner.telemetry_mut()
     }
 
     fn kind(&self) -> crate::TransportKind {
@@ -161,13 +167,16 @@ mod tests {
         assert!(!t.send(SimTime::from_secs(15), &report(), &mut r).is_delivered());
         assert!(t.send(SimTime::from_secs(25), &report(), &mut r).is_delivered());
         assert_eq!(t.outage_refusals(), 1);
-        // All three attempts appear in the merged event log, including the
+        // All three attempts appear in the merged burst log, including the
         // refused probe burst.
-        assert_eq!(t.events().len(), 3);
-        assert!(!t.events()[1].delivered);
-        assert!(t.events()[1].active >= SimDuration::from_millis(80));
+        let events = t.telemetry().transport_events();
+        assert_eq!(events.len(), 3);
+        assert!(!events[1].delivered);
+        assert!(events[1].active >= SimDuration::from_millis(80));
         // The probe is cheaper than a real transfer would have been.
-        assert!(t.events()[1].active < t.events()[0].active + SimDuration::from_millis(100));
+        assert!(events[1].active < events[0].active + SimDuration::from_millis(100));
+        // And the refusal counter mirrors the accessor.
+        assert_eq!(t.telemetry().counter(keys::NET_TX_REFUSED), 1);
     }
 
     #[test]
@@ -183,7 +192,7 @@ mod tests {
                 bare.send(at, &report(), &mut r2)
             );
         }
-        assert_eq!(wrapped.events(), bare.events());
+        assert_eq!(wrapped.telemetry(), bare.telemetry());
         assert_eq!(wrapped.outage_refusals(), 0);
     }
 
@@ -208,7 +217,11 @@ mod tests {
         let mut r = rng::for_component(5, "retry-refused");
         let outcome = t.send(SimTime::from_secs(50), &report(), &mut r);
         assert!(outcome.is_refused());
-        assert_eq!(t.events().len(), 1, "one probe burst, not six");
+        assert_eq!(
+            t.telemetry().transport_events().len(),
+            1,
+            "one probe burst, not six"
+        );
         // Outside the window the link (and the retry budget) works as before.
         assert!(t.send(SimTime::from_secs(200), &report(), &mut r).is_delivered());
     }
@@ -222,7 +235,7 @@ mod tests {
         assert!(!both.send(SimTime::from_secs(5), &report(), &mut r).is_delivered());
         assert!(both.send(SimTime::from_secs(15), &report(), &mut r).is_delivered());
         assert!(!both.send(SimTime::from_secs(25), &report(), &mut r).is_delivered());
-        assert_eq!(both.events().len(), 3);
+        assert_eq!(both.telemetry().transport_events().len(), 3);
         assert_eq!(both.delivery_rate(), Some(1.0 / 3.0));
     }
 }

@@ -14,12 +14,13 @@
 //! `LinkHealth`: it prefers the primary, routes traffic to the secondary
 //! while the primary is Down, and periodically probes the primary with real
 //! traffic to detect recovery. Every burst — including probes that fail —
-//! lands in the merged [`TransportEvent`] log, so the energy ledger prices
-//! resilience exactly like any other radio activity.
+//! lands in the router's own merged telemetry [`Recorder`], so the energy
+//! ledger prices resilience exactly like any other radio activity.
 
-use crate::{ObservationReport, SendOutcome, Transport, TransportEvent, TransportKind};
+use crate::{ObservationReport, SendOutcome, Transport, TransportKind};
 use rand::Rng;
 use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -260,9 +261,11 @@ impl fmt::Display for LinkHealth {
 ///   bursts), then on the secondary if the probe failed.
 /// * primary Down, probe not due — straight to the secondary.
 ///
-/// Both transports' bursts land in one merged event log with their own
-/// [`TransportKind`], so the energy ledger prices Wi-Fi bursts as Wi-Fi and
-/// BT bursts as BT — resilience has an explicit energy bill.
+/// Both transports' bursts are copied into the router's own recorder with
+/// their own [`TransportKind`], so the energy ledger prices Wi-Fi bursts as
+/// Wi-Fi and BT bursts as BT — resilience has an explicit energy bill. The
+/// router additionally counts `net.failover.sends` / `net.failover.probes`
+/// and journals a [`TelemetryEvent::Failover`] per secondary send.
 ///
 /// # Examples
 ///
@@ -283,7 +286,7 @@ pub struct FailoverTransport<P, S> {
     primary: P,
     secondary: S,
     health: LinkHealth,
-    events: Vec<TransportEvent>,
+    telemetry: Recorder,
     failover_sends: u64,
     probes: u64,
 }
@@ -295,10 +298,16 @@ impl<P: Transport, S: Transport> FailoverTransport<P, S> {
             primary,
             secondary,
             health: LinkHealth::new(config),
-            events: Vec::new(),
+            telemetry: Recorder::new(),
             failover_sends: 0,
             probes: 0,
         }
+    }
+
+    /// Injects a pre-configured recorder as the router's merged sink.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 
     /// The primary link's health.
@@ -328,8 +337,8 @@ impl<P: Transport, S: Transport> FailoverTransport<P, S> {
     }
 
     fn copy_last_primary_event(&mut self) {
-        if let Some(event) = self.primary.events().last() {
-            self.events.push(*event);
+        if let Some(event) = self.primary.telemetry().last_transport_event() {
+            self.telemetry.record_send(event);
         }
     }
 
@@ -340,9 +349,14 @@ impl<P: Transport, S: Transport> FailoverTransport<P, S> {
         rng: &mut R,
     ) -> SendOutcome {
         self.failover_sends += 1;
+        self.telemetry.incr(keys::NET_FAILOVER_SENDS);
+        self.telemetry.record_event(TelemetryEvent::Failover {
+            at,
+            kind: self.secondary.kind(),
+        });
         let outcome = self.secondary.send(at, report, rng);
-        if let Some(event) = self.secondary.events().last() {
-            self.events.push(*event);
+        if let Some(event) = self.secondary.telemetry().last_transport_event() {
+            self.telemetry.record_send(event);
         }
         outcome
     }
@@ -368,6 +382,7 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
         }
         if self.health.probe_due(at) {
             self.probes += 1;
+            self.telemetry.incr(keys::NET_FAILOVER_PROBES);
             let outcome = self.primary.send(at, report, rng);
             self.copy_last_primary_event();
             self.health.record_probe(at, outcome.is_delivered());
@@ -378,8 +393,12 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
         self.send_secondary(at, report, rng)
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        &self.events
+    fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
     }
 
     /// The channel currently carrying regular traffic.
@@ -534,9 +553,26 @@ mod tests {
         // (each of those still got a secondary retry, so in fact none are).
         assert_eq!(delivered, 120);
         // Both radio kinds show up in the merged log for the energy model.
-        let kinds: std::collections::BTreeSet<String> =
-            t.events().iter().map(|e| e.kind.to_string()).collect();
+        let kinds: std::collections::BTreeSet<String> = t
+            .telemetry()
+            .transport_events()
+            .iter()
+            .map(|e| e.kind.to_string())
+            .collect();
         assert_eq!(kinds.len(), 2);
+        // Counters mirror the accessors, and each failover send journalled
+        // a Failover event.
+        assert_eq!(
+            t.telemetry().counter(keys::NET_FAILOVER_SENDS),
+            t.failover_sends()
+        );
+        assert_eq!(t.telemetry().counter(keys::NET_FAILOVER_PROBES), t.probes());
+        let failover_events = t
+            .telemetry()
+            .journal()
+            .filter(|e| matches!(e, TelemetryEvent::Failover { .. }))
+            .count() as u64;
+        assert_eq!(failover_events, t.failover_sends());
     }
 
     #[test]

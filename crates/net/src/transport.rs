@@ -1,27 +1,20 @@
 //! The two uplink channels and their reliability/latency/energy footprints.
+//!
+//! Every transport reports through an injected [`Recorder`]
+//! ([`Transport::telemetry`]): each radio burst lands there as a
+//! [`TelemetryEvent::Send`](roomsense_telemetry::TelemetryEvent::Send) plus
+//! attempt/delivery counters, replacing the old per-transport
+//! `Vec<TransportEvent>` logs. Decorators share the recorder rooted at the
+//! transport they wrap, so a whole stack (queue → fault layer → failover →
+//! radios) prices into one sink.
 
 use crate::ObservationReport;
 use rand::Rng;
 use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::fmt;
 
-/// Which physical channel carried (or tried to carry) a report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TransportKind {
-    /// HTTP over the phone's Wi-Fi adapter.
-    Wifi,
-    /// Bluetooth connection to the room's beacon transmitter, relayed.
-    BluetoothRelay,
-}
-
-impl fmt::Display for TransportKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TransportKind::Wifi => f.write_str("wifi"),
-            TransportKind::BluetoothRelay => f.write_str("bt-relay"),
-        }
-    }
-}
+pub use roomsense_telemetry::{TransportEvent, TransportKind};
 
 /// The result of one send attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,24 +46,10 @@ impl SendOutcome {
     }
 }
 
-/// One radio activity burst caused by a send attempt — the unit the energy
-/// model prices.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TransportEvent {
-    /// Which radio was active.
-    pub kind: TransportKind,
-    /// When the burst started.
-    pub start: SimTime,
-    /// How long the radio was actively transmitting/connecting.
-    pub active: SimDuration,
-    /// Whether the report got through.
-    pub delivered: bool,
-}
-
 /// A channel that can carry observation reports to the server.
 pub trait Transport {
-    /// Attempts to send a report at time `at`. Returns the outcome and logs
-    /// a [`TransportEvent`] retrievable via [`events`](Self::events).
+    /// Attempts to send a report at time `at`. Returns the outcome and
+    /// records the radio burst into [`telemetry`](Self::telemetry).
     fn send<R: Rng + ?Sized>(
         &mut self,
         at: SimTime,
@@ -78,21 +57,39 @@ pub trait Transport {
         rng: &mut R,
     ) -> SendOutcome;
 
-    /// The activity log (in send order).
-    fn events(&self) -> &[TransportEvent];
+    /// The telemetry sink this transport records into. Decorators delegate
+    /// to the transport they wrap, so an entire decorator stack exposes one
+    /// recorder (the energy model prices its
+    /// [`transport_events`](Recorder::transport_events)).
+    fn telemetry(&self) -> &Recorder;
+
+    /// Mutable access to the telemetry sink (decorators price probe bursts
+    /// and mirror queue counters through this).
+    fn telemetry_mut(&mut self) -> &mut Recorder;
 
     /// The channel this transport uses.
     fn kind(&self) -> TransportKind;
 
-    /// Delivered / attempted bursts, or `None` when nothing was attempted
-    /// yet. The distinction matters in fault sweeps: a link that was down
-    /// the whole run (zero attempts) must not masquerade as a perfect one.
+    /// The activity log (in send order), rebuilt from the telemetry
+    /// journal.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read `telemetry().transport_events()` (or the net.tx.* counters) instead"
+    )]
+    fn events(&self) -> Vec<TransportEvent> {
+        self.telemetry().transport_events()
+    }
+
+    /// Delivered / attempted bursts, derived from the recorder's counters
+    /// (no event-log scan), or `None` when nothing was attempted yet. The
+    /// distinction matters in fault sweeps: a link that was down the whole
+    /// run (zero attempts) must not masquerade as a perfect one.
     fn delivery_rate(&self) -> Option<f64> {
-        let events = self.events();
-        if events.is_empty() {
+        let attempts = self.telemetry().counter(keys::NET_TX_ATTEMPTS);
+        if attempts == 0 {
             return None;
         }
-        Some(events.iter().filter(|e| e.delivered).count() as f64 / events.len() as f64)
+        Some(self.telemetry().counter(keys::NET_TX_DELIVERED) as f64 / attempts as f64)
     }
 }
 
@@ -103,11 +100,11 @@ pub trait Transport {
 pub struct WifiTransport {
     success_probability: f64,
     base_latency: SimDuration,
-    events: Vec<TransportEvent>,
+    telemetry: Recorder,
 }
 
 impl WifiTransport {
-    /// Creates a Wi-Fi transport.
+    /// Creates a Wi-Fi transport recording into a fresh [`Recorder`].
     ///
     /// # Panics
     ///
@@ -120,8 +117,15 @@ impl WifiTransport {
         WifiTransport {
             success_probability,
             base_latency,
-            events: Vec::new(),
+            telemetry: Recorder::new(),
         }
+    }
+
+    /// Injects a pre-configured recorder (e.g. a custom journal capacity)
+    /// as the telemetry sink.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 }
 
@@ -144,7 +148,7 @@ impl Transport for WifiTransport {
         let jitter_ms = rng.gen_range(0..30);
         let active = self.base_latency + SimDuration::from_millis(payload_ms + jitter_ms);
         let delivered = rng.gen::<f64>() < self.success_probability;
-        self.events.push(TransportEvent {
+        self.telemetry.record_send(TransportEvent {
             kind: TransportKind::Wifi,
             start: at,
             active,
@@ -157,8 +161,12 @@ impl Transport for WifiTransport {
         }
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        &self.events
+    fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
     }
 
     fn kind(&self) -> TransportKind {
@@ -172,7 +180,7 @@ impl fmt::Display for WifiTransport {
             f,
             "wifi transport (p={:.3}, {} sends)",
             self.success_probability,
-            self.events.len()
+            self.telemetry.counter(keys::NET_TX_ATTEMPTS)
         )
     }
 }
@@ -185,11 +193,12 @@ impl fmt::Display for WifiTransport {
 pub struct BtRelayTransport {
     success_probability: f64,
     connect_latency: SimDuration,
-    events: Vec<TransportEvent>,
+    telemetry: Recorder,
 }
 
 impl BtRelayTransport {
-    /// Creates a Bluetooth relay transport.
+    /// Creates a Bluetooth relay transport recording into a fresh
+    /// [`Recorder`].
     ///
     /// # Panics
     ///
@@ -202,8 +211,14 @@ impl BtRelayTransport {
         BtRelayTransport {
             success_probability,
             connect_latency,
-            events: Vec::new(),
+            telemetry: Recorder::new(),
         }
+    }
+
+    /// Injects a pre-configured recorder as the telemetry sink.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 }
 
@@ -228,7 +243,7 @@ impl Transport for BtRelayTransport {
         let active = self.connect_latency + SimDuration::from_millis(payload_ms + jitter_ms);
         let delivered = rng.gen::<f64>() < self.success_probability;
         // A failed attempt still burns (most of) the connect time.
-        self.events.push(TransportEvent {
+        self.telemetry.record_send(TransportEvent {
             kind: TransportKind::BluetoothRelay,
             start: at,
             active,
@@ -241,8 +256,12 @@ impl Transport for BtRelayTransport {
         }
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        &self.events
+    fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
     }
 
     fn kind(&self) -> TransportKind {
@@ -256,7 +275,7 @@ impl fmt::Display for BtRelayTransport {
             f,
             "bt-relay transport (p={:.2}, {} sends)",
             self.success_probability,
-            self.events.len()
+            self.telemetry.counter(keys::NET_TX_ATTEMPTS)
         )
     }
 }
@@ -265,8 +284,8 @@ impl fmt::Display for BtRelayTransport {
 ///
 /// The paper observes the Bluetooth channel is "less stable than the Wi-Fi
 /// solution due to bugs in the BLE Android API"; the pragmatic fix is to
-/// retry. Each attempt burns its own radio burst (logged in the inner
-/// transport's events), so the energy model automatically prices the
+/// retry. Each attempt burns its own radio burst (recorded in the inner
+/// transport's telemetry), so the energy model automatically prices the
 /// reliability gain.
 ///
 /// # Examples
@@ -300,7 +319,7 @@ impl<T: Transport> Retrying<T> {
         &self.inner
     }
 
-    /// Unwraps the inner transport (and its event log).
+    /// Unwraps the inner transport (and its recorder).
     pub fn into_inner(self) -> T {
         self.inner
     }
@@ -326,8 +345,8 @@ impl<T: Transport> Transport for Retrying<T> {
                     // The retry starts after the failed attempt's burst.
                     let burst = self
                         .inner
-                        .events()
-                        .last()
+                        .telemetry()
+                        .last_transport_event()
                         .map(|e| e.active)
                         .unwrap_or(SimDuration::ZERO);
                     attempt_at += burst;
@@ -337,8 +356,12 @@ impl<T: Transport> Transport for Retrying<T> {
         SendOutcome::Failed
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        self.inner.events()
+    fn telemetry(&self) -> &Recorder {
+        self.inner.telemetry()
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        self.inner.telemetry_mut()
     }
 
     fn kind(&self) -> TransportKind {
@@ -378,8 +401,10 @@ struct QueuedReport {
 /// Where [`Retrying`] burns its whole retry budget *immediately* — which is
 /// hopeless against a correlated outage measured in minutes — this decorator
 /// holds reports across the outage and drains them once the link returns.
-/// Every actual radio burst still lands in [`events`](Transport::events), so
-/// the energy model automatically prices the resilience.
+/// Every actual radio burst still lands in the shared telemetry recorder, so
+/// the energy model automatically prices the resilience; the queue also
+/// mirrors its own counters (`net.queue.*`) and journals a
+/// [`TelemetryEvent::Retransmit`] per lost ack.
 ///
 /// When the buffer is full the *oldest* queued report is dropped (the
 /// freshest observation is the most valuable to the BMS).
@@ -481,7 +506,7 @@ impl<T: Transport> QueueingTransport<T> {
         &self.inner
     }
 
-    /// Unwraps the inner transport (and its event log).
+    /// Unwraps the inner transport (and its recorder).
     pub fn into_inner(self) -> T {
         self.inner
     }
@@ -547,6 +572,7 @@ impl<T: Transport> QueueingTransport<T> {
         if self.queue.len() == self.capacity {
             self.queue.pop_front();
             self.dropped += 1;
+            self.inner.telemetry_mut().incr(keys::NET_QUEUE_DROPPED);
         }
         let next_attempt = at + self.backoff_for(attempts, rng);
         self.queue.push_back(QueuedReport {
@@ -555,6 +581,18 @@ impl<T: Transport> QueueingTransport<T> {
             next_attempt,
             delivered_before,
         });
+    }
+
+    fn record_delivered_report(&mut self) {
+        self.delivered += 1;
+        self.inner.telemetry_mut().incr(keys::NET_QUEUE_DELIVERED);
+    }
+
+    fn record_retransmit(&mut self, at: SimTime, seq: u64) {
+        self.retransmits += 1;
+        let telemetry = self.inner.telemetry_mut();
+        telemetry.incr(keys::NET_QUEUE_RETRANSMITS);
+        telemetry.record_event(TelemetryEvent::Retransmit { at, seq });
     }
 
     /// Retries every queued report whose backoff has expired by `at`;
@@ -570,12 +608,12 @@ impl<T: Transport> QueueingTransport<T> {
             match self.inner.send(at, &entry.report, rng) {
                 SendOutcome::Delivered { at: arrived } => {
                     if !entry.delivered_before {
-                        self.delivered += 1;
+                        self.record_delivered_report();
                     }
                     if self.ack_lost(rng) {
                         // The server got the report but the ack vanished:
                         // keep the entry queued for a retransmission.
-                        self.retransmits += 1;
+                        self.record_retransmit(at, entry.report.seq);
                         entry.attempts += 1;
                         entry.next_attempt = at + self.backoff_for(entry.attempts, rng);
                         entry.delivered_before = true;
@@ -619,11 +657,12 @@ impl<T: Transport> QueueingTransport<T> {
     ) -> Vec<Delivery> {
         let mut deliveries = self.flush(at, rng);
         self.offered += 1;
+        self.inner.telemetry_mut().incr(keys::NET_QUEUE_OFFERED);
         match self.inner.send(at, &report, rng) {
             SendOutcome::Delivered { at: arrived } => {
-                self.delivered += 1;
+                self.record_delivered_report();
                 if self.ack_lost(rng) {
-                    self.retransmits += 1;
+                    self.record_retransmit(at, report.seq);
                     deliveries.push(Delivery {
                         report: report.clone(),
                         at: arrived,
@@ -668,8 +707,12 @@ impl<T: Transport> Transport for QueueingTransport<T> {
             .unwrap_or(SendOutcome::Failed)
     }
 
-    fn events(&self) -> &[TransportEvent] {
-        self.inner.events()
+    fn telemetry(&self) -> &Recorder {
+        self.inner.telemetry()
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        self.inner.telemetry_mut()
     }
 
     fn kind(&self) -> TransportKind {
@@ -744,7 +787,13 @@ mod tests {
             events.iter().map(|e| e.active.as_millis()).sum::<u64>() as f64
                 / events.len() as f64
         };
-        assert!(mean(bt.events()) > 2.0 * mean(wifi.events()));
+        assert!(
+            mean(&bt.telemetry().transport_events())
+                > 2.0 * mean(&wifi.telemetry().transport_events())
+        );
+        // The burst histograms agree with the journal.
+        let wifi_hist = wifi.telemetry().histogram(keys::NET_TX_BURST_MS).unwrap();
+        assert_eq!(wifi_hist.count(), 500);
     }
 
     #[test]
@@ -768,9 +817,10 @@ mod tests {
         let mut r = rng::for_component(4, "fail");
         let outcome = never.send(SimTime::ZERO, &report(), &mut r);
         assert_eq!(outcome, SendOutcome::Failed);
-        assert_eq!(never.events().len(), 1);
-        assert!(!never.events()[0].delivered);
-        assert!(never.events()[0].active >= SimDuration::from_millis(400));
+        let events = never.telemetry().transport_events();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].delivered);
+        assert!(events[0].active >= SimDuration::from_millis(400));
     }
 
     #[test]
@@ -798,6 +848,34 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_events_shim_rebuilds_the_burst_log() {
+        let mut wifi = WifiTransport::new(1.0, SimDuration::from_millis(50));
+        let mut r = rng::for_component(30, "shim");
+        wifi.send(SimTime::from_secs(1), &report(), &mut r);
+        wifi.send(SimTime::from_secs(2), &report(), &mut r);
+        assert_eq!(wifi.events(), wifi.telemetry().transport_events());
+        assert_eq!(wifi.events().len(), 2);
+    }
+
+    #[test]
+    fn injected_recorder_is_the_sink() {
+        let recorder = Recorder::new().with_journal_capacity(4);
+        let mut wifi =
+            WifiTransport::new(1.0, SimDuration::from_millis(50)).with_recorder(recorder);
+        let mut r = rng::for_component(31, "inject");
+        for i in 0..10 {
+            wifi.send(SimTime::from_secs(i), &report(), &mut r);
+        }
+        // The injected journal capacity applies: only 4 events survive but
+        // the counters keep the full history.
+        assert_eq!(wifi.telemetry().transport_events().len(), 4);
+        assert_eq!(wifi.telemetry().journal_dropped(), 6);
+        assert_eq!(wifi.telemetry().counter(keys::NET_TX_ATTEMPTS), 10);
+        assert_eq!(wifi.delivery_rate(), Some(1.0));
+    }
+
+    #[test]
     fn retrying_lifts_bt_delivery_rate() {
         let mut bare = BtRelayTransport::default();
         let mut retried = Retrying::new(BtRelayTransport::default(), 2);
@@ -821,7 +899,7 @@ mod tests {
         assert!(bare_rate < 0.94, "bare {bare_rate}");
         assert!(retried_rate > 0.99, "retried {retried_rate}");
         // And the energy ledger sees the extra bursts.
-        assert!(retried.events().len() > n as usize);
+        assert!(retried.telemetry().counter(keys::NET_TX_ATTEMPTS) > n);
     }
 
     #[test]
@@ -833,9 +911,10 @@ mod tests {
         let mut r = rng::for_component(8, "retry-never");
         let outcome = never.send(SimTime::ZERO, &report(), &mut r);
         assert_eq!(outcome, SendOutcome::Failed);
-        assert_eq!(never.events().len(), 4); // original + 3 retries
+        let events = never.telemetry().transport_events();
+        assert_eq!(events.len(), 4); // original + 3 retries
         // Attempts are spaced by the previous burst, not simultaneous.
-        let starts: Vec<u64> = never.events().iter().map(|e| e.start.as_millis()).collect();
+        let starts: Vec<u64> = events.iter().map(|e| e.start.as_millis()).collect();
         assert!(starts.windows(2).all(|w| w[1] > w[0]), "starts {starts:?}");
     }
 
@@ -876,6 +955,10 @@ mod tests {
         assert_eq!(q.dropped(), 0);
         assert_eq!(delivered.len(), 60);
         assert_eq!(q.report_delivery_rate(), Some(1.0));
+        // The mirrored telemetry counters agree with the accessors.
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_OFFERED), 60);
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_DELIVERED), 60);
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_DROPPED), 0);
         // Every distinct report made it out exactly once (retry order is
         // staggered by backoff, so only completeness is guaranteed).
         let mut sent_times: Vec<u64> = delivered.iter().map(|d| d.report.at.as_millis()).collect();
@@ -895,13 +978,13 @@ mod tests {
         q.offer(SimTime::ZERO, stamped_report(0), &mut r);
         assert_eq!(q.pending(), 1);
         // Flushing before the backoff expires does not attempt the send.
-        let before = q.events().len();
+        let before = q.telemetry().counter(keys::NET_TX_ATTEMPTS);
         assert!(q.flush(SimTime::from_millis(500), &mut r).is_empty());
-        assert_eq!(q.events().len(), before);
+        assert_eq!(q.telemetry().counter(keys::NET_TX_ATTEMPTS), before);
         // Well after the (jittered) backoff, the retry happens and fails
         // again with a longer next wait.
         assert!(q.flush(SimTime::from_secs(3), &mut r).is_empty());
-        assert_eq!(q.events().len(), before + 1);
+        assert_eq!(q.telemetry().counter(keys::NET_TX_ATTEMPTS), before + 1);
         assert_eq!(q.pending(), 1);
     }
 
@@ -918,6 +1001,7 @@ mod tests {
         }
         assert_eq!(q.pending(), 4);
         assert_eq!(q.dropped(), 6);
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_DROPPED), 6);
         assert_eq!(q.report_delivery_rate(), Some(0.0));
     }
 
@@ -964,21 +1048,24 @@ mod tests {
             let b = bare.send(at, &report(), &mut r2);
             assert_eq!(a.is_delivered(), b.is_delivered());
         }
-        assert_eq!(wrapped.events().len(), bare.events().len());
+        assert_eq!(
+            wrapped.telemetry().counter(keys::NET_TX_ATTEMPTS),
+            bare.telemetry().counter(keys::NET_TX_ATTEMPTS)
+        );
     }
 
     /// A test transport that plays back a script of per-send outcomes, so
     /// the delivery-matching logic can be pinned down deterministically.
     struct Scripted {
         outcomes: std::collections::VecDeque<bool>,
-        events: Vec<TransportEvent>,
+        telemetry: Recorder,
     }
 
     impl Scripted {
         fn new(outcomes: &[bool]) -> Self {
             Scripted {
                 outcomes: outcomes.iter().copied().collect(),
-                events: Vec::new(),
+                telemetry: Recorder::new(),
             }
         }
     }
@@ -991,7 +1078,7 @@ mod tests {
             _rng: &mut R,
         ) -> SendOutcome {
             let delivered = self.outcomes.pop_front().expect("script exhausted");
-            self.events.push(TransportEvent {
+            self.telemetry.record_send(TransportEvent {
                 kind: TransportKind::Wifi,
                 start: at,
                 active: SimDuration::from_millis(50),
@@ -1006,8 +1093,12 @@ mod tests {
             }
         }
 
-        fn events(&self) -> &[TransportEvent] {
-            &self.events
+        fn telemetry(&self) -> &Recorder {
+            &self.telemetry
+        }
+
+        fn telemetry_mut(&mut self) -> &mut Recorder {
+            &mut self.telemetry
         }
 
         fn kind(&self) -> TransportKind {
@@ -1108,6 +1199,17 @@ mod tests {
         // Report-level accounting stays exactly-once per offered report.
         assert_eq!(q.offered(), 100);
         assert_eq!(q.delivered_reports(), 100);
+        // The telemetry mirror journals one Retransmit per lost ack.
+        assert_eq!(
+            q.telemetry().counter(keys::NET_QUEUE_RETRANSMITS),
+            q.retransmits()
+        );
+        let journal_retransmits = q
+            .telemetry()
+            .journal()
+            .filter(|e| matches!(e, TelemetryEvent::Retransmit { .. }))
+            .count() as u64;
+        assert_eq!(journal_retransmits, q.retransmits());
         // Every offered seq arrived at least once.
         let mut seqs: Vec<u64> = deliveries.iter().map(|d| d.report.seq).collect();
         seqs.sort_unstable();

@@ -7,6 +7,7 @@ use crate::{AdvChannel, DeviceRxProfile, Environment};
 use rand::Rng;
 use roomsense_geom::Point;
 use roomsense_sim::SimTime;
+use roomsense_telemetry::{keys, Recorder};
 use std::fmt;
 
 /// RF characteristics of a transmitter (the beacon side of the link).
@@ -186,6 +187,31 @@ impl Channel {
         } else {
             Some(rssi)
         }
+    }
+
+    /// Like [`sample_rssi_on_at`](Self::sample_rssi_on_at), but counts the
+    /// outcome (`radio.rx.received` / `radio.rx.lost`) into `telemetry`.
+    ///
+    /// Recording never draws from `rng`, so the returned sample is
+    /// bit-identical to the unrecorded call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_rssi_on_at_recorded<R: Rng + ?Sized>(
+        &self,
+        at: SimTime,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        adv_channel: AdvChannel,
+        rng: &mut R,
+        telemetry: &mut Recorder,
+    ) -> Option<f64> {
+        let sample = self.sample_rssi_on_at(at, tx, tx_pos, rx, rx_pos, adv_channel, rng);
+        telemetry.incr(match sample {
+            Some(_) => keys::RADIO_RX_RECEIVED,
+            None => keys::RADIO_RX_LOST,
+        });
+        sample
     }
 }
 
@@ -408,5 +434,43 @@ mod tests {
         }
         assert!(means[0] > means[2], "ch37 {} ch39 {}", means[0], means[2]);
         assert!((means[0] - means[2]).abs() < 2.0);
+    }
+
+    #[test]
+    fn recorded_sampling_counts_without_changing_the_draw() {
+        use roomsense_telemetry::{keys, Recorder};
+        let channel = Channel::new(Environment::free_space(), 11);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::new("lossy", 0.0, 0.0, 0.5, -120.0);
+        let mut plain_rng = rng::for_component(11, "recorded");
+        let mut recorded_rng = rng::for_component(11, "recorded");
+        let mut telemetry = Recorder::default();
+        for i in 0..500u64 {
+            let at = SimTime::from_millis(i * 20);
+            let plain = channel.sample_rssi_on_at(
+                at,
+                &tx,
+                Point::new(0.0, 0.0),
+                &rx,
+                Point::new(2.0, 0.0),
+                AdvChannel::Ch38,
+                &mut plain_rng,
+            );
+            let recorded = channel.sample_rssi_on_at_recorded(
+                at,
+                &tx,
+                Point::new(0.0, 0.0),
+                &rx,
+                Point::new(2.0, 0.0),
+                AdvChannel::Ch38,
+                &mut recorded_rng,
+                &mut telemetry,
+            );
+            assert_eq!(plain, recorded);
+        }
+        let received = telemetry.counter(keys::RADIO_RX_RECEIVED);
+        let lost = telemetry.counter(keys::RADIO_RX_LOST);
+        assert_eq!(received + lost, 500);
+        assert!(received > 0 && lost > 0);
     }
 }

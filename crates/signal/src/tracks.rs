@@ -3,6 +3,7 @@
 use crate::{DistanceFilter, EwmaFilter, Observation};
 use roomsense_ibeacon::BeaconIdentity;
 use roomsense_sim::SimTime;
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -82,6 +83,20 @@ impl TrackManager {
     /// receive a loss; tracks dropped by their filter are removed. Returns
     /// the live snapshots, sorted by identity.
     pub fn update_cycle(&mut self, at: SimTime, observations: &[Observation]) -> Vec<TrackSnapshot> {
+        self.update_cycle_recorded(at, observations, &mut Recorder::default())
+    }
+
+    /// Like [`update_cycle`](Self::update_cycle), but recording each hold
+    /// (`filter.holds`, a track carried across a missed observation) and
+    /// drop (`filter.drops`, a track reset after too many misses) into
+    /// `telemetry`. Recording is side-effect-free on the tracks, so the
+    /// snapshots are bit-identical to the unrecorded call.
+    pub fn update_cycle_recorded(
+        &mut self,
+        at: SimTime,
+        observations: &[Observation],
+        telemetry: &mut Recorder,
+    ) -> Vec<TrackSnapshot> {
         // Start new tracks for beacons never seen before.
         for obs in observations {
             self.tracks
@@ -97,12 +112,22 @@ impl TrackManager {
                 .find(|o| o.identity == *identity)
                 .map(|o| o.distance_m);
             match filter.update(obs) {
-                Some(distance_m) => snaps.push(TrackSnapshot {
-                    identity: *identity,
-                    distance_m,
-                    at,
-                }),
-                None => dropped.push(*identity),
+                Some(distance_m) => {
+                    if obs.is_none() {
+                        telemetry.incr(keys::FILTER_HOLDS);
+                        telemetry.record_event(TelemetryEvent::FilterHold { at });
+                    }
+                    snaps.push(TrackSnapshot {
+                        identity: *identity,
+                        distance_m,
+                        at,
+                    });
+                }
+                None => {
+                    telemetry.incr(keys::FILTER_DROPS);
+                    telemetry.record_event(TelemetryEvent::FilterReset { at });
+                    dropped.push(*identity);
+                }
             }
         }
         for id in dropped {
@@ -156,14 +181,27 @@ mod tests {
     #[test]
     fn missing_beacon_is_held_then_dropped() {
         let mut tm = TrackManager::new(EwmaFilter::paper());
-        tm.update_cycle(SimTime::from_secs(2), &[obs(0, 2.0)]);
+        let mut telemetry = Recorder::default();
+        tm.update_cycle_recorded(SimTime::from_secs(2), &[obs(0, 2.0)], &mut telemetry);
         // Cycle without the beacon: held.
-        let snaps = tm.update_cycle(SimTime::from_secs(4), &[]);
+        let snaps = tm.update_cycle_recorded(SimTime::from_secs(4), &[], &mut telemetry);
         assert_eq!(snaps.len(), 1);
+        assert_eq!(telemetry.counter(keys::FILTER_HOLDS), 1);
         // Second miss: dropped and removed.
-        let snaps = tm.update_cycle(SimTime::from_secs(6), &[]);
+        let snaps = tm.update_cycle_recorded(SimTime::from_secs(6), &[], &mut telemetry);
         assert!(snaps.is_empty());
         assert!(tm.is_empty());
+        assert_eq!(telemetry.counter(keys::FILTER_DROPS), 1);
+        // The journal records the hold before the reset, at cycle ends.
+        let journal: Vec<_> = telemetry.journal().collect();
+        assert!(matches!(
+            journal[0],
+            TelemetryEvent::FilterHold { at } if at.as_secs_f64() == 4.0
+        ));
+        assert!(matches!(
+            journal[1],
+            TelemetryEvent::FilterReset { at } if at.as_secs_f64() == 6.0
+        ));
     }
 
     #[test]

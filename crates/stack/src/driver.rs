@@ -5,6 +5,7 @@ use rand::Rng;
 use roomsense_geom::Point;
 use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, TransmitterFault, TransmitterProfile};
 use roomsense_sim::SimTime;
+use roomsense_telemetry::{keys, Recorder};
 
 /// An advertiser installed at a fixed position.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,11 +65,43 @@ where
     R: Rng + ?Sized,
     F: Fn(SimTime) -> Point,
 {
+    simulate_receptions_recorded(
+        channel,
+        advertisers,
+        rx,
+        rx_position,
+        from,
+        until,
+        rng,
+        &mut Recorder::default(),
+    )
+}
+
+/// Like [`simulate_receptions`], but counting each advertisement's fate
+/// (`radio.rx.received` / `radio.rx.lost`) into `telemetry`.
+///
+/// Recording never draws from `rng`, so the receptions are bit-identical to
+/// the unrecorded call.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_receptions_recorded<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+) -> Vec<Reception>
+where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
     let mut receptions = Vec::new();
     for placed in advertisers {
         for tx_event in placed.advertiser.schedule(from, until, rng) {
             let rx_pos = rx_position(tx_event.at);
-            if let Some(rssi) = channel.sample_rssi_on_at(
+            if let Some(rssi) = channel.sample_rssi_on_at_recorded(
                 tx_event.at,
                 &placed.profile,
                 placed.position,
@@ -76,6 +109,7 @@ where
                 rx_pos,
                 tx_event.channel,
                 rng,
+                telemetry,
             ) {
                 receptions.push(Reception {
                     at: tx_event.at,
@@ -114,6 +148,43 @@ where
     R: Rng + ?Sized,
     F: Fn(SimTime) -> Point,
 {
+    simulate_receptions_faulty_recorded(
+        channel,
+        advertisers,
+        faults,
+        rx,
+        rx_position,
+        from,
+        until,
+        rng,
+        &mut Recorder::default(),
+    )
+}
+
+/// Like [`simulate_receptions_faulty`], but counting each surviving
+/// advertisement's fate (`radio.rx.received` / `radio.rx.lost`) into
+/// `telemetry`. Transmissions suppressed by an outage window are not
+/// counted — they never reached the air.
+///
+/// # Panics
+///
+/// Panics if `faults` is not exactly one entry per advertiser.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_receptions_faulty_recorded<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    faults: &[TransmitterFault],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+) -> Vec<Reception>
+where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
     assert_eq!(
         advertisers.len(),
         faults.len(),
@@ -127,7 +198,7 @@ where
             }
             let profile = fault.profile_at(tx_event.at, &placed.profile);
             let rx_pos = rx_position(tx_event.at);
-            if let Some(rssi) = channel.sample_rssi_on_at(
+            if let Some(rssi) = channel.sample_rssi_on_at_recorded(
                 tx_event.at,
                 &profile,
                 placed.position,
@@ -135,6 +206,7 @@ where
                 rx_pos,
                 tx_event.channel,
                 rng,
+                telemetry,
             ) {
                 receptions.push(Reception {
                     at: tx_event.at,
@@ -194,6 +266,39 @@ where
     M: ScannerModel,
     R: Rng + ?Sized,
 {
+    run_scan_recorded(
+        receptions,
+        model,
+        config,
+        from,
+        until,
+        rng,
+        &mut Recorder::default(),
+    )
+}
+
+/// Like [`run_scan`], but counting cycles (`scan.cycles`) and the scanner
+/// model's per-cycle telemetry into `telemetry`.
+///
+/// Recording never draws from `rng`, so the cycles are bit-identical to
+/// [`run_scan`].
+///
+/// # Panics
+///
+/// Panics if `config.scan_period` is zero.
+pub fn run_scan_recorded<M, R>(
+    receptions: &[Reception],
+    model: &M,
+    config: ScanConfig,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+) -> Vec<ScanCycleReport>
+where
+    M: ScannerModel,
+    R: Rng + ?Sized,
+{
     assert!(
         !config.scan_period.is_zero(),
         "scan period must be non-zero"
@@ -208,7 +313,8 @@ where
         while idx < receptions.len() && receptions[idx].at < end {
             idx += 1;
         }
-        let samples = model.filter_cycle(start, &receptions[begin..idx], rng);
+        telemetry.incr(keys::SCAN_CYCLES);
+        let samples = model.filter_cycle_recorded(start, &receptions[begin..idx], rng, telemetry);
         cycles.push(ScanCycleReport {
             start,
             end,

@@ -15,6 +15,7 @@
 use crate::{Reception, ScanSample, ScannerModel};
 use rand::Rng;
 use roomsense_sim::{FaultSchedule, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::fmt;
 
 /// Wraps a scanner model with scheduled adapter faults.
@@ -82,11 +83,12 @@ impl<M: ScannerModel> FaultyScanner<M> {
 }
 
 impl<M: ScannerModel> ScannerModel for FaultyScanner<M> {
-    fn filter_cycle<R: Rng + ?Sized>(
+    fn filter_cycle_recorded<R: Rng + ?Sized>(
         &self,
         cycle_start: SimTime,
         receptions: &[Reception],
         rng: &mut R,
+        telemetry: &mut Recorder,
     ) -> Vec<ScanSample> {
         // A wedged adapter delivers nothing for the whole cycle. The check
         // is per-reception so a stall that begins mid-cycle only eats the
@@ -101,7 +103,16 @@ impl<M: ScannerModel> ScannerModel for FaultyScanner<M> {
             })
             .copied()
             .collect();
-        self.inner.filter_cycle(cycle_start, &survivors, rng)
+        let dropped = (receptions.len() - survivors.len()) as u64;
+        if dropped > 0 {
+            telemetry.add(keys::SCAN_SAMPLES_DROPPED, dropped);
+            telemetry.record_event(TelemetryEvent::SampleDropped {
+                at: cycle_start,
+                count: dropped,
+            });
+        }
+        self.inner
+            .filter_cycle_recorded(cycle_start, &survivors, rng, telemetry)
     }
 
     fn name(&self) -> &'static str {
@@ -246,6 +257,27 @@ mod tests {
             0.0,
         );
         assert_eq!(faulty.name(), "android-4.x+faults");
+    }
+
+    #[test]
+    fn dropped_receptions_are_counted_and_journalled() {
+        let scanner = FaultyScanner::new(
+            IosScanner,
+            one_window(0, 1_000),
+            FaultSchedule::none(),
+            0.0,
+        );
+        let mut r = rng::for_component(5, "drop-count");
+        let mut telemetry = Recorder::default();
+        let receptions = vec![reception(100, 0), reception(500, 0), reception(1_500, 0)];
+        let samples =
+            scanner.filter_cycle_recorded(SimTime::ZERO, &receptions, &mut r, &mut telemetry);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(telemetry.counter(keys::SCAN_SAMPLES_DROPPED), 2);
+        assert_eq!(telemetry.counter(keys::SCAN_SAMPLES), 1);
+        assert!(telemetry
+            .journal()
+            .any(|e| matches!(e, TelemetryEvent::SampleDropped { count: 2, .. })));
     }
 
     #[test]

@@ -36,7 +36,9 @@ mod fault;
 mod scanner;
 
 pub use driver::{
-    run_scan, simulate_receptions, simulate_receptions_faulty, PlacedAdvertiser, ScanCycleReport,
+    run_scan, run_scan_recorded, simulate_receptions, simulate_receptions_faulty,
+    simulate_receptions_faulty_recorded, simulate_receptions_recorded, PlacedAdvertiser,
+    ScanCycleReport,
 };
 pub use fault::FaultyScanner;
 pub use scanner::{

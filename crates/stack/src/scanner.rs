@@ -4,6 +4,7 @@ use rand::Rng;
 use roomsense_ibeacon::{BeaconIdentity, MeasuredPower, Packet};
 use roomsense_radio::AdvChannel;
 use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -70,13 +71,31 @@ impl Default for ScanConfig {
 /// receptions themselves.
 pub trait ScannerModel {
     /// Filters the receptions of one scan cycle (which started at
-    /// `cycle_start`) into the samples the OS reports to the app.
+    /// `cycle_start`) into the samples the OS reports to the app, recording
+    /// scan telemetry (`scan.windows`, `scan.stalls`, `scan.dedup_suppressed`,
+    /// `scan.samples`, …) into `telemetry` as it goes.
+    ///
+    /// Recording never draws from `rng`, so the returned samples are
+    /// bit-identical to [`filter_cycle`](Self::filter_cycle).
+    fn filter_cycle_recorded<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+        telemetry: &mut Recorder,
+    ) -> Vec<ScanSample>;
+
+    /// Filters the receptions of one scan cycle (which started at
+    /// `cycle_start`) into the samples the OS reports to the app, discarding
+    /// the telemetry.
     fn filter_cycle<R: Rng + ?Sized>(
         &self,
         cycle_start: SimTime,
         receptions: &[Reception],
         rng: &mut R,
-    ) -> Vec<ScanSample>;
+    ) -> Vec<ScanSample> {
+        self.filter_cycle_recorded(cycle_start, receptions, rng, &mut Recorder::default())
+    }
 
     /// A short name for reports and logs.
     fn name(&self) -> &'static str;
@@ -119,29 +138,30 @@ impl AndroidScanner {
     ///
     /// Panics if the probability is outside `[0, 1]`.
     pub fn new(stall_probability: f64) -> Self {
-        AndroidScanner::with_restart_interval(stall_probability, SimDuration::from_secs(2))
-    }
-
-    /// Full control over the restart interval (how often the app restarts
-    /// the scan to defeat the per-scan deduplication).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the probability is outside `[0, 1]` or the interval is
-    /// zero.
-    pub fn with_restart_interval(stall_probability: f64, restart_interval: SimDuration) -> Self {
         assert!(
             (0.0..=1.0).contains(&stall_probability),
             "stall probability must be in [0, 1] (got {stall_probability})"
         );
+        AndroidScanner {
+            stall_probability,
+            restart_interval: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Overrides the restart interval (how often the app restarts the scan
+    /// to defeat the per-scan deduplication; default 2 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero.
+    #[must_use]
+    pub fn with_restart_interval(mut self, restart_interval: SimDuration) -> Self {
         assert!(
             !restart_interval.is_zero(),
             "restart interval must be non-zero"
         );
-        AndroidScanner {
-            stall_probability,
-            restart_interval,
-        }
+        self.restart_interval = restart_interval;
+        self
     }
 
     /// A bug-free Android stack (still one-sample-per-advertiser per
@@ -170,29 +190,50 @@ impl Default for AndroidScanner {
 }
 
 impl ScannerModel for AndroidScanner {
-    fn filter_cycle<R: Rng + ?Sized>(
+    fn filter_cycle_recorded<R: Rng + ?Sized>(
         &self,
         cycle_start: SimTime,
         receptions: &[Reception],
         rng: &mut R,
+        telemetry: &mut Recorder,
     ) -> Vec<ScanSample> {
-        // Partition the cycle into restart windows; dedup per window.
+        // Partition the cycle into restart windows; dedup per window. The
+        // stall coin for a window is drawn exactly once, on the first
+        // reception that lands in it — telemetry rides that same branch so
+        // the RNG stream is untouched.
         let mut out = Vec::new();
         let mut seen: HashSet<(u64, BeaconIdentity)> = HashSet::new();
         let mut stalled: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
         for r in receptions {
             let window = r.at.saturating_since(cycle_start).as_millis()
                 / self.restart_interval.as_millis();
-            let is_stalled = *stalled.entry(window).or_insert_with(|| {
-                self.stall_probability > 0.0 && rng.gen::<f64>() < self.stall_probability
-            });
+            let is_stalled = match stalled.get(&window) {
+                Some(&stall) => stall,
+                None => {
+                    let stall =
+                        self.stall_probability > 0.0 && rng.gen::<f64>() < self.stall_probability;
+                    stalled.insert(window, stall);
+                    telemetry.incr(keys::SCAN_WINDOWS);
+                    if stall {
+                        telemetry.incr(keys::SCAN_STALLS);
+                        telemetry.record_event(TelemetryEvent::ScanStall {
+                            at: cycle_start + self.restart_interval * window,
+                            window,
+                        });
+                    }
+                    stall
+                }
+            };
             if is_stalled {
                 continue;
             }
             if seen.insert((window, r.packet.identity())) {
                 out.push(ScanSample::from_reception(r));
+            } else {
+                telemetry.incr(keys::SCAN_DEDUP_SUPPRESSED);
             }
         }
+        telemetry.add(keys::SCAN_SAMPLES, out.len() as u64);
         out
     }
 
@@ -269,12 +310,14 @@ impl Default for AndroidLScanner {
 }
 
 impl ScannerModel for AndroidLScanner {
-    fn filter_cycle<R: Rng + ?Sized>(
+    fn filter_cycle_recorded<R: Rng + ?Sized>(
         &self,
         cycle_start: SimTime,
         receptions: &[Reception],
         _rng: &mut R,
+        telemetry: &mut Recorder,
     ) -> Vec<ScanSample> {
+        telemetry.add(keys::SCAN_SAMPLES, receptions.len() as u64);
         match self.report_delay {
             None => receptions.iter().map(ScanSample::from_reception).collect(),
             Some(delay) => receptions
@@ -311,12 +354,14 @@ impl fmt::Display for AndroidLScanner {
 pub struct IosScanner;
 
 impl ScannerModel for IosScanner {
-    fn filter_cycle<R: Rng + ?Sized>(
+    fn filter_cycle_recorded<R: Rng + ?Sized>(
         &self,
         _cycle_start: SimTime,
         receptions: &[Reception],
         _rng: &mut R,
+        telemetry: &mut Recorder,
     ) -> Vec<ScanSample> {
+        telemetry.add(keys::SCAN_SAMPLES, receptions.len() as u64);
         receptions.iter().map(ScanSample::from_reception).collect()
     }
 
@@ -413,6 +458,88 @@ mod tests {
     #[should_panic(expected = "stall probability")]
     fn bad_stall_probability_panics() {
         let _ = AndroidScanner::new(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart interval")]
+    fn zero_restart_interval_panics() {
+        let _ = AndroidScanner::reliable().with_restart_interval(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn restart_interval_builder_is_consuming() {
+        let scanner = AndroidScanner::new(0.1).with_restart_interval(SimDuration::from_secs(5));
+        assert_eq!(scanner.restart_interval(), SimDuration::from_secs(5));
+        assert_eq!(scanner.stall_probability(), 0.1);
+    }
+
+    #[test]
+    fn recorded_filtering_matches_plain_and_accounts_for_everything() {
+        use roomsense_telemetry::{keys, Recorder};
+        // 4 restart windows of 2 s each, no stalls: every reception is
+        // either delivered or suppressed by the per-window dedup.
+        let scanner = AndroidScanner::new(0.3);
+        let receptions: Vec<Reception> = (0..240)
+            .map(|i| reception(i * 33, (i % 2) as u16, -60.0))
+            .collect();
+        let plain = scanner.filter_cycle(
+            SimTime::ZERO,
+            &receptions,
+            &mut rng::for_component(6, "recorded"),
+        );
+        let mut telemetry = Recorder::default();
+        let recorded = scanner.filter_cycle_recorded(
+            SimTime::ZERO,
+            &receptions,
+            &mut rng::for_component(6, "recorded"),
+            &mut telemetry,
+        );
+        // Recording must not perturb the RNG stream.
+        assert_eq!(plain, recorded);
+        assert_eq!(telemetry.counter(keys::SCAN_WINDOWS), 4);
+        assert_eq!(telemetry.counter(keys::SCAN_SAMPLES), recorded.len() as u64);
+
+        let reliable = AndroidScanner::reliable();
+        let mut clean = Recorder::default();
+        let delivered = reliable.filter_cycle_recorded(
+            SimTime::ZERO,
+            &receptions,
+            &mut rng::for_component(6, "clean"),
+            &mut clean,
+        );
+        assert_eq!(clean.counter(keys::SCAN_STALLS), 0);
+        assert_eq!(
+            delivered.len() as u64 + clean.counter(keys::SCAN_DEDUP_SUPPRESSED),
+            receptions.len() as u64
+        );
+    }
+
+    #[test]
+    fn stalled_windows_are_journalled_at_their_start() {
+        use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
+        // Certain stall: all 4 windows wedge, nothing is delivered.
+        let scanner = AndroidScanner::new(1.0);
+        let receptions: Vec<Reception> = (0..240)
+            .map(|i| reception(i * 33, 0, -60.0))
+            .collect();
+        let mut telemetry = Recorder::default();
+        let samples = scanner.filter_cycle_recorded(
+            SimTime::ZERO,
+            &receptions,
+            &mut rng::for_component(7, "stalled"),
+            &mut telemetry,
+        );
+        assert!(samples.is_empty());
+        assert_eq!(telemetry.counter(keys::SCAN_WINDOWS), 4);
+        assert_eq!(telemetry.counter(keys::SCAN_STALLS), 4);
+        let stall_starts: Vec<u64> = telemetry
+            .journal()
+            .filter_map(|e| match e {
+                TelemetryEvent::ScanStall { at, .. } => Some(at.as_millis()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stall_starts, vec![0, 2_000, 4_000, 6_000]);
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nuplink: {delivered}/{attempted} reports delivered over bt-relay \
          (per-attempt success {:.1}%, {} bursts incl. retries)",
         transport.delivery_rate().unwrap_or(0.0) * 100.0,
-        transport.events().len()
+        transport.telemetry().transport_events().len()
     );
 
     // Final occupancy table.

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: release build, every test, and a warning-free clippy
-# pass over the whole workspace. The build environment has no crate
-# registry, so everything runs --offline against the in-tree shims.
+# Full pre-merge gate: release build, every test, a warning-free clippy
+# pass, and a warning-free doc build over the whole workspace. The build
+# environment has no crate registry, so everything runs --offline against
+# the in-tree shims.
 #
 # Tests run twice: once pinned to a single worker (the pure sequential
 # paths) and once at the default parallelism, so a scheduling-dependent
 # bug cannot hide behind whichever mode the CI host happens to pick.
 # The bench arm then regenerates BENCH_PR2.json and asserts the parallel
-# outputs are bit-for-bit identical to the sequential ones, and the chaos
-# arm (reliable-delivery sweep) must produce the same result checksum
-# under a single worker and under the default parallelism.
+# outputs are bit-for-bit identical to the sequential ones; the chaos
+# arm (reliable-delivery sweep) and the telemetry arm (merged recorder
+# snapshot) must each produce the same checksum under a single worker
+# and under the default parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,7 @@ cargo build --release --offline --workspace
 ROOMSENSE_THREADS=1 cargo test -q --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 ./target/release/repro bench
 
 chaos_sum() {
@@ -30,4 +33,15 @@ if [ -z "$seq_sum" ] || [ "$seq_sum" != "$par_sum" ]; then
 fi
 echo "chaos sweep checksum $seq_sum identical at threads=1 and default"
 
-echo "check.sh: build + tests (threads=1 and default) + clippy + bench + chaos all green"
+telemetry_sum() {
+    sed -n 's/.*telemetry checksum: \([0-9a-f]*\).*/\1/p'
+}
+seq_tsum=$(ROOMSENSE_THREADS=1 ./target/release/repro telemetry | telemetry_sum)
+par_tsum=$(env -u ROOMSENSE_THREADS ./target/release/repro telemetry | telemetry_sum)
+if [ -z "$seq_tsum" ] || [ "$seq_tsum" != "$par_tsum" ]; then
+    echo "check.sh: telemetry snapshot diverged across thread counts ($seq_tsum vs $par_tsum)" >&2
+    exit 1
+fi
+echo "telemetry snapshot checksum $seq_tsum identical at threads=1 and default"
+
+echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry all green"

@@ -52,7 +52,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use super::test_runner::TestRng;
 
@@ -236,7 +236,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -334,7 +334,8 @@ pub mod array {
     }
 }
 
-/// The usual star-import: macros, [`any`](arbitrary::any), [`Strategy`],
+/// The usual star-import: macros, [`any`](arbitrary::any),
+/// [`Strategy`](crate::strategy::Strategy),
 /// and the `prop::` namespace.
 pub mod prelude {
     pub use crate::arbitrary::any;

@@ -253,7 +253,7 @@ pub mod rngs {
     }
 }
 
-/// Distributions and the [`Standard`] uniform distribution.
+/// Distributions and the [`Standard`](distributions::Standard) uniform distribution.
 pub mod distributions {
     use super::{unit_f64, RngCore};
 

@@ -75,7 +75,7 @@ fn replay(
     }
     let now = SimTime::from_secs(t);
     let view = server.occupancy_view(now, SimDuration::from_secs(30));
-    (q.events().to_vec(), server.occupancy(), view)
+    (q.telemetry().transport_events(), server.occupancy(), view)
 }
 
 proptest! {

@@ -68,7 +68,7 @@ fn every_retry_burst_is_priced_by_the_ledger() {
         let at = SimTime::from_secs(2 * i);
         let _ = transport.send(at, &report_at(at), &mut rng);
     }
-    let events = transport.events().to_vec();
+    let events = transport.telemetry().transport_events();
     assert!(
         events.len() as u64 > reports,
         "a 30% relay must need retries: {} bursts for {reports} reports",
@@ -104,13 +104,13 @@ fn refused_probes_during_an_outage_are_logged_and_priced() {
         assert!(!sent.is_delivered(), "uplink is down until t=100");
     }
     assert_eq!(transport.outage_refusals(), 5);
-    let events = transport.events();
+    let events = transport.telemetry().transport_events();
     assert_eq!(events.len(), 5, "every refused probe must be logged");
     assert!(events.iter().all(|e| !e.delivered && !e.active.is_zero()));
     let charged = bt_energy_mj(
         &PowerProfile::galaxy_s3_mini(),
         SimDuration::from_secs(120),
-        events.to_vec(),
+        events,
     );
     assert!(charged > 0.0, "probes during an outage must cost energy");
 }
@@ -142,7 +142,7 @@ fn queueing_retries_all_land_in_the_event_log() {
     }
     assert_eq!(q.offered(), 12);
     assert_eq!(q.delivered_reports(), 12);
-    let events = q.events().to_vec();
+    let events = q.telemetry().transport_events();
     assert!(
         events.len() as u64 > q.offered(),
         "offers during the outage must have burned probe bursts: {} bursts",
