@@ -1,6 +1,6 @@
 //! `repro` — regenerates every figure and headline claim of the paper.
 //!
-//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|bench|all]`
+//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|bench|all]`
 //!
 //! The `bench` arm is not a paper figure: it times the parallel execution
 //! layer against a forced single-worker run of the same workloads, checks
@@ -13,8 +13,8 @@
 use roomsense::experiments::{
     chaos_experiment, classification_cross_validation, classification_experiment,
     coefficient_sweep, device_comparison, dynamic_walk, energy_experiment, faults_experiment,
-    run_tx_power_calibration, multifloor_experiment, sampling_comparison, scaling_experiment,
-    static_capture, telemetry_experiment, tracking_experiment,
+    run_tx_power_calibration, multifloor_experiment, sampling_comparison, scale_experiment,
+    scaling_experiment, static_capture, telemetry_experiment, tracking_experiment,
 };
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
@@ -50,6 +50,7 @@ fn main() {
         "faults" => faults(),
         "chaos" => chaos(),
         "telemetry" => telemetry(),
+        "scale" => scale(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -69,11 +70,12 @@ fn main() {
             faults();
             chaos();
             telemetry();
+            scale();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|bench|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|bench|all]"
             );
             std::process::exit(2);
         }
@@ -488,6 +490,76 @@ fn telemetry() {
     println!(
         "  telemetry checksum: {:016x} (threads: {})",
         r.checksum(),
+        exec::thread_count()
+    );
+}
+
+/// Scale arm: a 10 000-device synthetic fleet through batching uplinks
+/// into a 16-shard BMS, with a single-server reference fed the identical
+/// stream. Asserts the sharded state is bit-for-bit the single server's,
+/// that crash recovery reproduced the pre-crash digest, and that peak
+/// resident state stayed under the retention bound, then prints an FNV-1a
+/// checksum of the deterministic fingerprint (wall-clock timings are
+/// reported but never hashed) — `scripts/check.sh` compares it across
+/// thread counts.
+fn scale() {
+    header("scale: 10k-device fleet, sharded + batched + bounded-memory BMS");
+    let result = scale_experiment(SEED, 10_000, 16);
+    let f = &result.fingerprint;
+    let t = &result.timings;
+    println!(
+        "  fleet: {} devices -> {} shards (batch <= 8 reports/burst, 300 s retention)",
+        f.devices, f.shards
+    );
+    println!(
+        "  uplink: {} offered, {} delivered, {} retransmitted, {} dropped, {} undelivered",
+        f.offered, f.delivered, f.retransmits, f.dropped, f.undelivered
+    );
+    println!(
+        "  coalescing: {} bursts, mean {:.2} reports/burst",
+        f.bursts, f.mean_batch_size
+    );
+    println!(
+        "  server: {} stored, {} duplicates rejected, {} compacted, {} replayed after crash",
+        f.stored, f.duplicates, f.compacted, f.recovered_reports
+    );
+    println!(
+        "  memory: peak {} retained reports (cap {}), final {}",
+        f.peak_retained, f.retained_cap, f.final_retained
+    );
+    println!(
+        "  occupancy: {} rooms, {} devices; history sweep probed {} room-slots",
+        f.occupied_rooms, f.occupants, f.history_rooms_probed
+    );
+    println!(
+        "  energy: batched {:.0} mJ vs always-on wifi {:.0} mJ ({:.1}% saved)",
+        f.batched_energy_mj,
+        f.always_on_energy_mj,
+        f.batched_saving_fraction() * 100.0
+    );
+    println!(
+        "  timings: generate {:.2} s, ingest {:.2} s ({:.0} reports/s), query {:.0} us mean",
+        t.generate_secs, t.ingest_secs, t.ingest_reports_per_sec, t.query_micros
+    );
+    assert!(f.digests_match, "sharded fleet diverged from the single server");
+    assert!(f.restore_digest_match, "crash recovery lost state");
+    assert!(
+        f.retention_bounded(),
+        "peak retained {} exceeds the retention cap {}",
+        f.peak_retained,
+        f.retained_cap
+    );
+    assert!(
+        !f.early_query_complete,
+        "a query below the retention floor was marked complete"
+    );
+    println!(
+        "  sharded == single-server state: {}; crash recovery exact: {}; memory bounded: {}",
+        f.digests_match, f.restore_digest_match, f.retention_bounded()
+    );
+    println!(
+        "  scale checksum: {:016x} (threads: {})",
+        fnv1a(&format!("{f:?}")),
         exec::thread_count()
     );
 }

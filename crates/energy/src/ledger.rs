@@ -22,6 +22,9 @@ pub enum ComponentKind {
     WifiActive,
     /// Wi-Fi post-transfer tail.
     WifiTail,
+    /// Wi-Fi wake/re-associate before a batched burst (batched
+    /// architecture only — the price of not staying associated).
+    WifiWake,
     /// Bluetooth relay connections.
     BtConnection,
 }
@@ -35,6 +38,7 @@ impl fmt::Display for ComponentKind {
             ComponentKind::WifiIdle => "wifi-idle",
             ComponentKind::WifiActive => "wifi-active",
             ComponentKind::WifiTail => "wifi-tail",
+            ComponentKind::WifiWake => "wifi-wake",
             ComponentKind::BtConnection => "bt-connection",
         };
         f.write_str(s)
@@ -153,6 +157,10 @@ impl EnergyLedger {
             self.energy_mj(ComponentKind::WifiTail),
         );
         telemetry.set_gauge(
+            keys::ENERGY_WIFI_WAKE_MJ,
+            self.energy_mj(ComponentKind::WifiWake),
+        );
+        telemetry.set_gauge(
             keys::ENERGY_BT_CONNECTION_MJ,
             self.energy_mj(ComponentKind::BtConnection),
         );
@@ -180,6 +188,13 @@ impl fmt::Display for EnergyLedger {
 /// which is exactly where the paper's 15 % saving comes from. A failover
 /// run's mixed event log is priced per burst: Wi-Fi bursts as Wi-Fi
 /// (active + tail), relay bursts as BT connections.
+///
+/// The batched architecture drops the idle dwell entirely (the adapter
+/// disassociates between coalesced bursts) and instead charges a
+/// wake/re-associate cost ([`ComponentKind::WifiWake`], at active power for
+/// [`PowerProfile::wifi_wake_duration`]) per Wi-Fi burst — fewer bursts is
+/// the whole point, so the event log `roomsense_net::BatchingTransport`
+/// produces makes the trade explicit.
 ///
 /// # Examples
 ///
@@ -219,6 +234,15 @@ pub fn account(
     for event in &timeline.transport_events {
         match event.kind {
             TransportKind::Wifi => {
+                if architecture == UplinkArchitecture::Batched {
+                    // The adapter was asleep: pay the wake/re-associate
+                    // ramp before the burst.
+                    ledger.charge(
+                        ComponentKind::WifiWake,
+                        profile.wifi_active_mw,
+                        profile.wifi_wake_duration,
+                    );
+                }
                 ledger.charge(ComponentKind::WifiActive, profile.wifi_active_mw, event.active);
                 ledger.charge(
                     ComponentKind::WifiTail,
@@ -309,6 +333,53 @@ mod tests {
         assert!(ledger.energy_mj(ComponentKind::WifiActive) > 0.0);
         assert!(ledger.energy_mj(ComponentKind::WifiTail) > 0.0);
         assert!(ledger.energy_mj(ComponentKind::BtConnection) > 0.0);
+    }
+
+    #[test]
+    fn batched_architecture_trades_idle_dwell_for_wake_ramps() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        // Per-report Wi-Fi: 1800 bursts, adapter associated all hour.
+        let per_report: Vec<TransportEvent> = (0..1800)
+            .map(|i| event(TransportKind::Wifi, i * 2, 65))
+            .collect();
+        // Batched: the same 1800 reports coalesced 8-at-a-time into 225
+        // bigger bursts, adapter asleep between them.
+        let batched: Vec<TransportEvent> = (0..225)
+            .map(|i| event(TransportKind::Wifi, i * 16, 120))
+            .collect();
+        let wifi = account(&profile, &hour_timeline(per_report), UplinkArchitecture::Wifi);
+        let coalesced = account(&profile, &hour_timeline(batched), UplinkArchitecture::Batched);
+        // No idle dwell, but a wake charge per burst.
+        assert_eq!(coalesced.energy_mj(ComponentKind::WifiIdle), 0.0);
+        let wake = coalesced.energy_mj(ComponentKind::WifiWake);
+        assert!(
+            (wake - 225.0 * profile.wifi_active_mw * profile.wifi_wake_duration.as_secs_f64())
+                .abs()
+                < 1e-6
+        );
+        // And the trade wins: 225 wakes cost less than an hour of idle
+        // dwell plus 1575 extra tails.
+        assert!(
+            coalesced.total_mj() < wifi.total_mj(),
+            "batched {} >= per-report {}",
+            coalesced.total_mj(),
+            wifi.total_mj()
+        );
+        // Non-batched architectures never charge the wake component.
+        assert_eq!(wifi.energy_mj(ComponentKind::WifiWake), 0.0);
+    }
+
+    #[test]
+    fn record_into_publishes_the_wake_gauge() {
+        let profile = PowerProfile::galaxy_s3_mini();
+        let events = vec![event(TransportKind::Wifi, 10, 80)];
+        let ledger = account(&profile, &hour_timeline(events), UplinkArchitecture::Batched);
+        let mut telemetry = Recorder::default();
+        ledger.record_into(&mut telemetry);
+        assert_eq!(
+            telemetry.gauge(keys::ENERGY_WIFI_WAKE_MJ),
+            Some(ledger.energy_mj(ComponentKind::WifiWake))
+        );
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub enum UplinkArchitecture {
     /// cost is Wi-Fi's, while each burst is priced by the radio that
     /// actually carried it.
     Failover,
+    /// Batched Wi-Fi in power-save mode: reports coalesce into few, bigger
+    /// bursts, so the adapter *disassociates* between them (no idle dwell)
+    /// and instead pays a wake/re-associate cost per burst. Cheaper than
+    /// [`Wifi`](UplinkArchitecture::Wifi) whenever bursts are rare enough
+    /// that the wake charges stay below the saved idle dwell — which is
+    /// exactly what coalescing buys.
+    Batched,
 }
 
 impl fmt::Display for UplinkArchitecture {
@@ -23,6 +30,7 @@ impl fmt::Display for UplinkArchitecture {
             UplinkArchitecture::Wifi => f.write_str("wifi architecture"),
             UplinkArchitecture::BluetoothRelay => f.write_str("bluetooth architecture"),
             UplinkArchitecture::Failover => f.write_str("wifi->bt failover architecture"),
+            UplinkArchitecture::Batched => f.write_str("batched wifi architecture"),
         }
     }
 }
@@ -49,6 +57,9 @@ pub struct PowerProfile {
     pub wifi_tail_mw: f64,
     /// How long the Wi-Fi tail lasts after each transfer.
     pub wifi_tail_duration: SimDuration,
+    /// How long waking + re-associating the adapter takes before a batched
+    /// burst (charged at `wifi_active_mw`, batched architecture only).
+    pub wifi_wake_duration: SimDuration,
     /// Bluetooth during a relay connection (connect + transfer).
     pub bt_connection_mw: f64,
     /// Battery capacity in milliwatt-hours.
@@ -67,6 +78,7 @@ impl PowerProfile {
             wifi_active_mw: 750.0,
             wifi_tail_mw: 130.0,
             wifi_tail_duration: SimDuration::from_millis(1000),
+            wifi_wake_duration: SimDuration::from_millis(1800),
             bt_connection_mw: 270.0,
             battery_capacity_mwh: 5700.0,
         }
@@ -83,6 +95,7 @@ impl PowerProfile {
             wifi_active_mw: 800.0,
             wifi_tail_mw: 140.0,
             wifi_tail_duration: SimDuration::from_millis(900),
+            wifi_wake_duration: SimDuration::from_millis(1500),
             bt_connection_mw: 250.0,
             battery_capacity_mwh: 8740.0,
         }

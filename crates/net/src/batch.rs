@@ -1,0 +1,557 @@
+//! Report coalescing: many observations, one radio burst.
+//!
+//! The paper's Fig. 10 energy lever is "fewer, bigger radio wakes": the
+//! dominant uplink costs are per-burst (Wi-Fi wake + tail, BLE connection
+//! setup), not per-byte. [`BatchingTransport`] holds outgoing
+//! [`ObservationReport`]s in an open batch and transmits the whole batch as
+//! **one** coalesced burst ([`Transport::send_batch`]) when it fills up or
+//! its oldest report has waited `max_delay`. Failed batches wait in a
+//! bounded retry queue with exponential backoff, and an optional lossy
+//! batch-ack channel produces the at-least-once duplicate stream
+//! [`BmsServer::ingest`](crate::BmsServer::ingest) dedups.
+
+use crate::{ObservationReport, SendOutcome, Transport, TransportKind};
+use crate::transport::Delivery;
+use rand::Rng;
+use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
+use std::collections::VecDeque;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+struct QueuedBatch {
+    reports: Vec<ObservationReport>,
+    attempts: u32,
+    next_attempt: SimTime,
+    /// True when the batch already reached the server once but its ack was
+    /// lost — a later success must not re-count its reports as delivered.
+    delivered_before: bool,
+}
+
+/// Coalesces reports into batched radio bursts over any [`Transport`].
+///
+/// A batch seals when it reaches `max_batch` reports or when its oldest
+/// report has waited `max_delay` (freshness bound: an observation is never
+/// held longer than one delay before its first transmission attempt).
+/// Sealed batches that fail in the air retry as a unit with exponential
+/// backoff; when the total buffered-report count would exceed the capacity,
+/// the **oldest queued batch** is dropped whole (the freshest observations
+/// are the most valuable to the BMS).
+///
+/// Report-level accounting mirrors
+/// [`QueueingTransport`](crate::QueueingTransport): a delivered burst of
+/// `k` reports counts `k`
+/// toward [`delivered_reports`](Self::delivered_reports), and one lost
+/// batch ack retransmits — and re-counts — all `k`. Counters mirror into
+/// the inner recorder under `net.batch.*`, with a burst-size histogram.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{BatchingTransport, WifiTransport};
+/// use roomsense_sim::SimDuration;
+///
+/// let uplink = BatchingTransport::new(
+///     WifiTransport::default(),
+///     8,
+///     SimDuration::from_secs(120),
+/// );
+/// assert_eq!(uplink.pending(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchingTransport<T> {
+    inner: T,
+    max_batch: usize,
+    max_delay: SimDuration,
+    capacity: usize,
+    base_backoff: SimDuration,
+    max_backoff: SimDuration,
+    ack_loss: f64,
+    open: Vec<ObservationReport>,
+    open_since: Option<SimTime>,
+    retry: VecDeque<QueuedBatch>,
+    offered: u64,
+    delivered: u64,
+    dropped: u64,
+    retransmits: u64,
+    bursts: u64,
+}
+
+impl<T: Transport> BatchingTransport<T> {
+    /// Wraps `inner`, coalescing up to `max_batch` reports per burst and
+    /// holding a report at most `max_delay` before its first attempt. The
+    /// retry backoff starts at `max_delay` (capped at 64×) and the buffer
+    /// capacity defaults to 64 full batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `max_delay` is zero.
+    pub fn new(inner: T, max_batch: usize, max_delay: SimDuration) -> Self {
+        assert!(max_batch > 0, "max batch must be non-zero");
+        assert!(!max_delay.is_zero(), "max delay must be non-zero");
+        BatchingTransport {
+            inner,
+            max_batch,
+            max_delay,
+            capacity: max_batch * 64,
+            base_backoff: max_delay,
+            max_backoff: max_delay * 64,
+            ack_loss: 0.0,
+            open: Vec::new(),
+            open_since: None,
+            retry: VecDeque::new(),
+            offered: 0,
+            delivered: 0,
+            dropped: 0,
+            retransmits: 0,
+            bursts: 0,
+        }
+    }
+
+    /// Overrides the total buffered-report capacity (open batch + retry
+    /// queue; default 64 full batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is below `max_batch`.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            capacity >= self.max_batch,
+            "capacity must hold at least one full batch"
+        );
+        self.capacity = capacity;
+        self
+    }
+
+    /// Overrides the retry backoff base (doubled per failed attempt, capped
+    /// at 64× the base, jittered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_backoff` is zero.
+    pub fn with_backoff(mut self, base_backoff: SimDuration) -> Self {
+        assert!(!base_backoff.is_zero(), "base backoff must be non-zero");
+        self.base_backoff = base_backoff;
+        self.max_backoff = base_backoff * 64;
+        self
+    }
+
+    /// Models a lossy **batch** acknowledgement: with probability
+    /// `ack_loss` per delivered burst, the whole batch is retransmitted
+    /// later — the server sees every report in it at least twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn with_ack_loss(mut self, ack_loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ack_loss),
+            "probability must be in [0, 1] (got {ack_loss})"
+        );
+        self.ack_loss = ack_loss;
+        self
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the inner transport (and its recorder).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The per-burst report limit.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Reports currently buffered (open batch + retry queue).
+    pub fn pending(&self) -> usize {
+        self.open.len() + self.retry.iter().map(|b| b.reports.len()).sum::<usize>()
+    }
+
+    /// Reports offered via [`offer`](Self::offer) (or `send`).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offered reports that reached the server at least once.
+    pub fn delivered_reports(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Reports dropped when the buffer overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Report retransmissions caused by lost batch acks.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Coalesced burst attempts on the wire.
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+
+    /// Mean reports per burst attempt, or `None` before the first burst —
+    /// the coalescing factor the energy ledger's batched arm prices.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        if self.bursts == 0 {
+            None
+        } else {
+            Some((self.delivered + self.retransmits) as f64 / self.bursts as f64)
+        }
+    }
+
+    fn backoff_for<R: Rng + ?Sized>(&self, attempts: u32, rng: &mut R) -> SimDuration {
+        let doubling = attempts.saturating_sub(1).min(63);
+        let scaled_ms = self.base_backoff.as_millis().saturating_mul(1u64 << doubling);
+        let capped = self.max_backoff.min(SimDuration::from_millis(scaled_ms));
+        capped + SimDuration::from_millis(rng.gen_range(0..=self.base_backoff.as_millis()))
+    }
+
+    fn ack_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.ack_loss > 0.0 && rng.gen::<f64>() < self.ack_loss
+    }
+
+    /// Drops whole oldest retry batches until `extra` more reports fit.
+    fn make_room(&mut self, extra: usize) {
+        while self.pending() + extra > self.capacity {
+            let Some(oldest) = self.retry.pop_front() else { break };
+            let lost = oldest.reports.len() as u64;
+            self.dropped += lost;
+            self.inner
+                .telemetry_mut()
+                .add(keys::NET_BATCH_DROPPED, lost);
+        }
+    }
+
+    /// One coalesced wire attempt for `batch`; pushes deliveries into
+    /// `out` and re-queues the batch on failure or lost ack.
+    fn transmit<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        mut batch: QueuedBatch,
+        rng: &mut R,
+        out: &mut Vec<Delivery>,
+    ) {
+        self.bursts += 1;
+        let k = batch.reports.len() as u64;
+        self.inner
+            .telemetry_mut()
+            .observe(keys::NET_BATCH_SIZE, k as f64);
+        match self.inner.send_batch(at, &batch.reports, rng) {
+            SendOutcome::Delivered { at: arrived } => {
+                if !batch.delivered_before {
+                    self.delivered += k;
+                    self.inner
+                        .telemetry_mut()
+                        .add(keys::NET_BATCH_DELIVERED, k);
+                }
+                out.extend(batch.reports.iter().map(|report| Delivery {
+                    report: report.clone(),
+                    at: arrived,
+                }));
+                if self.ack_lost(rng) {
+                    self.retransmits += k;
+                    let telemetry = self.inner.telemetry_mut();
+                    telemetry.add(keys::NET_BATCH_RETRANSMITS, k);
+                    for report in &batch.reports {
+                        telemetry.record_event(TelemetryEvent::Retransmit {
+                            at,
+                            seq: report.seq,
+                        });
+                    }
+                    batch.attempts += 1;
+                    batch.next_attempt = at + self.backoff_for(batch.attempts, rng);
+                    batch.delivered_before = true;
+                    self.retry.push_back(batch);
+                }
+            }
+            SendOutcome::Failed | SendOutcome::Refused => {
+                batch.attempts += 1;
+                batch.next_attempt = at + self.backoff_for(batch.attempts, rng);
+                self.retry.push_back(batch);
+            }
+        }
+    }
+
+    /// Seals the open batch into the transmit path.
+    fn seal<R: Rng + ?Sized>(&mut self, at: SimTime, rng: &mut R, out: &mut Vec<Delivery>) {
+        if self.open.is_empty() {
+            return;
+        }
+        let reports = std::mem::take(&mut self.open);
+        self.open_since = None;
+        self.inner.telemetry_mut().incr(keys::NET_BATCH_FLUSHES);
+        self.transmit(
+            at,
+            QueuedBatch {
+                reports,
+                attempts: 1,
+                next_attempt: at,
+                delivered_before: false,
+            },
+            rng,
+            out,
+        );
+    }
+
+    /// Retries every queued batch whose backoff expired by `at`, and seals
+    /// the open batch if its oldest report has waited `max_delay`. Returns
+    /// whatever reached the server.
+    pub fn flush_due<R: Rng + ?Sized>(&mut self, at: SimTime, rng: &mut R) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        let mut due = Vec::new();
+        let mut waiting = VecDeque::new();
+        while let Some(batch) = self.retry.pop_front() {
+            if batch.next_attempt > at {
+                waiting.push_back(batch);
+            } else {
+                due.push(batch);
+            }
+        }
+        self.retry = waiting;
+        for batch in due {
+            self.transmit(at, batch, rng, &mut deliveries);
+        }
+        let deadline_passed = self
+            .open_since
+            .is_some_and(|since| at.saturating_since(since) >= self.max_delay);
+        if deadline_passed {
+            self.seal(at, rng, &mut deliveries);
+        }
+        deliveries
+    }
+
+    /// Force-seals the open batch (end of run) and retries all due queued
+    /// batches. Returns whatever reached the server.
+    pub fn flush<R: Rng + ?Sized>(&mut self, at: SimTime, rng: &mut R) -> Vec<Delivery> {
+        let mut deliveries = self.flush_due(at, rng);
+        self.seal(at, rng, &mut deliveries);
+        deliveries
+    }
+
+    /// Offers a report: drains due work first, then adds the report to the
+    /// open batch, sealing it immediately when full. Returns everything
+    /// that reached the server during this call.
+    pub fn offer<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: ObservationReport,
+        rng: &mut R,
+    ) -> Vec<Delivery> {
+        let mut deliveries = self.flush_due(at, rng);
+        self.offered += 1;
+        self.inner.telemetry_mut().incr(keys::NET_BATCH_OFFERED);
+        self.make_room(1);
+        if self.open.is_empty() {
+            self.open_since = Some(at);
+        }
+        self.open.push(report);
+        if self.open.len() >= self.max_batch {
+            self.seal(at, rng, &mut deliveries);
+        }
+        deliveries
+    }
+}
+
+impl<T: Transport> Transport for BatchingTransport<T> {
+    /// [`offer`](Self::offer)s the report; `Delivered` means *this* report
+    /// happened to go out (and arrive) within this call — usually it is
+    /// still coalescing, which reads as `Failed` here. Callers that batch
+    /// should use `offer`/`flush` directly.
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let device = report.device;
+        let seq = report.seq;
+        let deliveries = self.offer(at, report.clone(), rng);
+        deliveries
+            .iter()
+            .find(|d| d.report.device == device && d.report.seq == seq)
+            .map(|d| SendOutcome::Delivered { at: d.at })
+            .unwrap_or(SendOutcome::Failed)
+    }
+
+    fn telemetry(&self) -> &Recorder {
+        self.inner.telemetry()
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        self.inner.telemetry_mut()
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+}
+
+impl<T: Transport + fmt::Display> fmt::Display for BatchingTransport<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batching (max {}, {} pending, {} bursts)",
+            self.inner,
+            self.max_batch,
+            self.pending(),
+            self.bursts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, SightedBeacon, WifiTransport};
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+    use roomsense_sim::rng;
+
+    fn stamped_report(at_secs: u64) -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(1),
+            seq: at_secs,
+            at: SimTime::from_secs(at_secs),
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(0),
+                },
+                distance_m: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn full_batch_goes_out_as_one_burst() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            4,
+            SimDuration::from_secs(600),
+        );
+        let mut r = rng::for_component(40, "batch-full");
+        let mut deliveries = Vec::new();
+        for i in 0..4u64 {
+            deliveries.extend(b.offer(SimTime::from_secs(i), stamped_report(i), &mut r));
+        }
+        assert_eq!(deliveries.len(), 4);
+        assert_eq!(b.bursts(), 1, "four reports coalesced into one burst");
+        assert_eq!(b.delivered_reports(), 4);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.telemetry().counter(keys::NET_TX_ATTEMPTS), 1);
+        assert_eq!(b.telemetry().counter(keys::NET_BATCH_OFFERED), 4);
+        assert_eq!(b.telemetry().counter(keys::NET_BATCH_DELIVERED), 4);
+        assert_eq!(b.telemetry().counter(keys::NET_BATCH_FLUSHES), 1);
+        let hist = b.telemetry().histogram(keys::NET_BATCH_SIZE).unwrap();
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn max_delay_bounds_report_freshness() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            100,
+            SimDuration::from_secs(60),
+        );
+        let mut r = rng::for_component(41, "batch-delay");
+        assert!(b.offer(SimTime::from_secs(0), stamped_report(0), &mut r).is_empty());
+        assert!(b.offer(SimTime::from_secs(30), stamped_report(30), &mut r).is_empty());
+        assert_eq!(b.pending(), 2);
+        // At t=60 the oldest report has waited the full delay: the partial
+        // batch goes out even though it is nowhere near max_batch.
+        let deliveries = b.flush_due(SimTime::from_secs(60), &mut r);
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(b.bursts(), 1);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn failed_batch_retries_as_a_unit_with_backoff() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(0.0, SimDuration::from_millis(50)),
+            2,
+            SimDuration::from_secs(10),
+        );
+        let mut r = rng::for_component(42, "batch-retry");
+        b.offer(SimTime::from_secs(0), stamped_report(0), &mut r);
+        b.offer(SimTime::from_secs(1), stamped_report(1), &mut r);
+        assert_eq!(b.bursts(), 1);
+        assert_eq!(b.pending(), 2, "failed batch waits in the retry queue");
+        // Before the backoff expires nothing is attempted.
+        let before = b.bursts();
+        assert!(b.flush_due(SimTime::from_secs(2), &mut r).is_empty());
+        assert_eq!(b.bursts(), before);
+        // Well after, the whole batch retries in one burst.
+        assert!(b.flush_due(SimTime::from_secs(60), &mut r).is_empty());
+        assert_eq!(b.bursts(), before + 1);
+        assert_eq!(b.delivered_reports(), 0);
+    }
+
+    #[test]
+    fn lost_batch_ack_retransmits_every_report_once_delivered() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            3,
+            SimDuration::from_secs(10),
+        )
+        .with_ack_loss(1.0);
+        let mut r = rng::for_component(43, "batch-ack");
+        let mut deliveries = Vec::new();
+        for i in 0..3u64 {
+            deliveries.extend(b.offer(SimTime::from_secs(i), stamped_report(i), &mut r));
+        }
+        assert_eq!(deliveries.len(), 3, "the server saw the batch");
+        assert_eq!(b.delivered_reports(), 3);
+        assert_eq!(b.retransmits(), 3, "one lost batch ack re-queues all 3");
+        assert_eq!(b.pending(), 3);
+        // The retransmitted copies arrive again but are never re-counted
+        // as delivered reports.
+        let more = b.flush(SimTime::from_secs(2000), &mut r);
+        assert_eq!(more.len(), 3);
+        assert_eq!(b.delivered_reports(), 3);
+    }
+
+    #[test]
+    fn overflow_drops_the_oldest_queued_batch() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(0.0, SimDuration::from_millis(50)),
+            2,
+            SimDuration::from_secs(600),
+        )
+        .with_capacity(4);
+        let mut r = rng::for_component(44, "batch-bound");
+        for i in 0..8u64 {
+            b.offer(SimTime::from_secs(i), stamped_report(i), &mut r);
+        }
+        assert!(b.pending() <= 4);
+        assert_eq!(b.dropped(), 4);
+        assert_eq!(b.telemetry().counter(keys::NET_BATCH_DROPPED), 4);
+        // The freshest reports survived.
+        let newest: Vec<u64> = b.retry.iter().flat_map(|q| q.reports.iter().map(|r| r.seq)).collect();
+        assert!(newest.contains(&7) || b.open.iter().any(|r| r.seq == 7));
+    }
+
+    #[test]
+    fn send_matches_on_device_and_seq() {
+        let mut b = BatchingTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            2,
+            SimDuration::from_secs(600),
+        );
+        let mut r = rng::for_component(45, "batch-send");
+        // First report coalesces: not yet delivered.
+        assert!(!b.send(SimTime::from_secs(0), &stamped_report(0), &mut r).is_delivered());
+        // Second fills the batch: this report goes out in this call.
+        assert!(b.send(SimTime::from_secs(1), &stamped_report(1), &mut r).is_delivered());
+        assert_eq!(b.delivered_reports(), 2);
+        assert_eq!(b.mean_batch_size(), Some(2.0));
+    }
+}

@@ -10,12 +10,25 @@
 //! in-memory store behind a [`parking_lot`] mutex (the simulated benches
 //! post from several worker threads), with the classifier injected as an
 //! [`OccupancyEstimator`] so this crate does not depend on the ML crate.
+//!
+//! At fleet scale the store is kept honest by three mechanisms:
+//!
+//! * per-device logs and assignment histories are held **sorted by report
+//!   time** in [`Retained`] ring buffers, so every historical query is a
+//!   `partition_point` binary search instead of a linear scan;
+//! * an optional **retention window** ([`BmsServer::with_retention`])
+//!   compacts each device's history against its own newest report, keeping
+//!   memory bounded by `devices × window/period` whatever the fleet size —
+//!   and, because the cutoff depends only on that device's stream, the
+//!   compaction is identical however the fleet is sharded;
+//! * queries that can be truncated by compaction have `*_checked` variants
+//!   returning [`Windowed`] values that say whether the answer is complete.
 
 use crate::{DeviceId, ObservationReport};
 use parking_lot::Mutex;
 use roomsense_sim::{SimDuration, SimTime};
 use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A room label as the server knows it (dense index; the floor plan gives it
@@ -108,6 +121,22 @@ impl fmt::Display for OccupancyView {
     }
 }
 
+/// A query answer that may have been truncated by retention compaction.
+///
+/// `complete` is true when every record the query could have touched was
+/// still retained; when false, `floor` names the oldest instant the server
+/// can still answer for exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Windowed<T> {
+    /// The answer, computed over whatever is retained.
+    pub value: T,
+    /// True when no compacted record could have changed the answer.
+    pub complete: bool,
+    /// The retention low-watermark: queries at or after this instant are
+    /// exact. `None` when nothing was ever compacted.
+    pub floor: Option<SimTime>,
+}
+
 /// Server-side counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
@@ -118,6 +147,17 @@ pub struct ServerStats {
     /// Retransmitted duplicates dropped by [`BmsServer::ingest`]'s
     /// `(device, seq)` dedup window.
     pub reports_duplicate: u64,
+}
+
+impl ServerStats {
+    /// Field-wise sum, used to merge per-shard counters.
+    pub(crate) fn merged(self, other: ServerStats) -> ServerStats {
+        ServerStats {
+            reports_stored: self.reports_stored + other.reports_stored,
+            reports_unclassified: self.reports_unclassified + other.reports_unclassified,
+            reports_duplicate: self.reports_duplicate + other.reports_duplicate,
+        }
+    }
 }
 
 /// The result of [`BmsServer::ingest`]ing one report.
@@ -180,19 +220,121 @@ impl DedupWindow {
     }
 }
 
+/// Anything stored in report-time order with a seq tie-break.
+trait Chronological {
+    /// The sort key: `(report time, sequence number)`.
+    fn chrono_key(&self) -> (SimTime, u64);
+
+    /// The report-time half of the key.
+    fn chrono_at(&self) -> SimTime {
+        self.chrono_key().0
+    }
+}
+
+impl Chronological for ObservationReport {
+    fn chrono_key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl Chronological for (SimTime, u64, RoomLabel) {
+    fn chrono_key(&self) -> (SimTime, u64) {
+        (self.0, self.1)
+    }
+}
+
+/// A time-sorted ring buffer with low-watermark compaction.
+///
+/// Entries are kept sorted by `(time, seq)` (insertion is a binary search —
+/// a straggler lands in its chronological slot), so every range query is a
+/// `partition_point` pair instead of a scan. [`compact`](Retained::compact)
+/// drops entries older than a cutoff and remembers the *floor*: the oldest
+/// instant queries can still be answered for exactly.
+#[derive(Debug, Clone, PartialEq)]
+struct Retained<T> {
+    entries: VecDeque<T>,
+    /// Entries dropped by compaction so far.
+    compacted: u64,
+    /// Queries at or after this instant see every relevant entry; earlier
+    /// ones may be missing compacted records. `None` until the first drop.
+    floor: Option<SimTime>,
+}
+
+impl<T> Default for Retained<T> {
+    fn default() -> Self {
+        Retained {
+            entries: VecDeque::new(),
+            compacted: 0,
+            floor: None,
+        }
+    }
+}
+
+impl<T: Chronological> Retained<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Inserts in `(time, seq)` order; equal keys keep arrival order.
+    fn insert(&mut self, item: T) {
+        let key = item.chrono_key();
+        let position = self.entries.partition_point(|e| e.chrono_key() <= key);
+        self.entries.insert(position, item);
+    }
+
+    /// Drops entries strictly older than `cutoff` and raises the floor.
+    ///
+    /// With `carry_last`, the newest pre-cutoff entry survives — an
+    /// assignment history needs it so "last room at or before `t`" stays
+    /// correct for every `t >= cutoff` even when the device has been silent
+    /// for longer than the window. Returns the number of entries dropped.
+    fn compact(&mut self, cutoff: SimTime, carry_last: bool) -> u64 {
+        let first_kept = self.entries.partition_point(|e| e.chrono_at() < cutoff);
+        let drop_to = if carry_last {
+            first_kept.saturating_sub(1)
+        } else {
+            first_kept
+        };
+        if drop_to == 0 {
+            return 0;
+        }
+        self.entries.drain(..drop_to);
+        self.compacted += drop_to as u64;
+        self.floor = Some(self.floor.map_or(cutoff, |f| f.max(cutoff)));
+        drop_to as u64
+    }
+
+    /// The entries whose time falls in the half-open window `[from, to)`.
+    fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &T> {
+        let start = self.entries.partition_point(|e| e.chrono_at() < from);
+        let end = self.entries.partition_point(|e| e.chrono_at() < to);
+        self.entries.range(start..end.max(start))
+    }
+
+    /// The newest entry with time at or before `at`, by binary search.
+    fn last_at_or_before(&self, at: SimTime) -> Option<&T> {
+        let index = self.entries.partition_point(|e| e.chrono_at() <= at);
+        index.checked_sub(1).map(|i| &self.entries[i])
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct ServerState {
-    /// Full observation log, in arrival order.
-    log: Vec<ObservationReport>,
+    /// Per-device observation logs, sorted by `(report time, seq)` and
+    /// bounded by the retention window when one is configured.
+    logs: BTreeMap<DeviceId, Retained<ObservationReport>>,
     /// Latest classified `(report time, seq, room)` per device — last
     /// writer wins on *report* time (seq breaks exact ties), never on
     /// arrival time.
     device_rooms: BTreeMap<DeviceId, (SimTime, u64, RoomLabel)>,
-    /// Every classification, per device — the raw material for movement
-    /// analytics. `post_observation` appends in arrival order; `ingest`
-    /// inserts in report-time order so reordered arrivals cannot corrupt
-    /// the history.
-    assignments: BTreeMap<DeviceId, Vec<(SimTime, RoomLabel)>>,
+    /// Every classification as `(report time, seq, room)`, per device —
+    /// the raw material for movement analytics, kept in `(time, seq)`
+    /// order so reordered arrivals cannot corrupt the history.
+    assignments: BTreeMap<DeviceId, Retained<(SimTime, u64, RoomLabel)>>,
     /// Per-device dedup windows for the `ingest` path.
     dedup: BTreeMap<DeviceId, DedupWindow>,
     stats: ServerStats,
@@ -201,17 +343,72 @@ struct ServerState {
     telemetry: Recorder,
 }
 
+impl ServerState {
+    fn retained_reports(&self) -> usize {
+        self.logs.values().map(Retained::len).sum()
+    }
+
+    /// Applies a classified report to the occupancy table and history.
+    fn classify(&mut self, report: &ObservationReport, label: RoomLabel) {
+        let entry = self
+            .device_rooms
+            .entry(report.device)
+            .or_insert((report.at, report.seq, label));
+        // Only move forward in report time (out-of-order arrivals happen
+        // with retrying transports); seq breaks exact ties.
+        if (report.at, report.seq) >= (entry.0, entry.1) {
+            *entry = (report.at, report.seq, label);
+        }
+        self.assignments
+            .entry(report.device)
+            .or_default()
+            .insert((report.at, report.seq, label));
+    }
+
+    /// Stores the report in its device's log and, when a retention window
+    /// is set, compacts that device's log and history against its own
+    /// newest report. The cutoff depends only on the device's stream, so
+    /// compaction is identical however the fleet is sharded.
+    fn store(&mut self, report: ObservationReport, retention: Option<SimDuration>) {
+        let device = report.device;
+        let log = self.logs.entry(device).or_default();
+        log.insert(report);
+        let Some(window) = retention else { return };
+        let newest = log
+            .entries
+            .back()
+            .expect("just inserted")
+            .at
+            .as_millis();
+        let cutoff = SimTime::from_millis(newest.saturating_sub(window.as_millis()));
+        let mut dropped = log.compact(cutoff, false);
+        if let Some(history) = self.assignments.get_mut(&device) {
+            dropped += history.compact(cutoff, true);
+        }
+        if dropped > 0 {
+            self.telemetry.add(keys::BMS_RETENTION_COMPACTED, dropped);
+        }
+    }
+}
+
 /// An opaque snapshot of a [`BmsServer`]'s full state, produced by
 /// [`BmsServer::checkpoint`] and consumed by [`BmsServer::restore`].
 #[derive(Debug, Clone)]
 pub struct BmsCheckpoint {
     state: ServerState,
+    dedup_capacity: usize,
+    retention: Option<SimDuration>,
 }
 
 impl BmsCheckpoint {
-    /// Number of reports captured in the snapshot.
+    /// Number of retained reports captured in the snapshot.
     pub fn report_count(&self) -> usize {
-        self.state.log.len()
+        self.state.retained_reports()
+    }
+
+    /// The retention window the snapshotted server was configured with.
+    pub fn retention(&self) -> Option<SimDuration> {
+        self.retention
     }
 }
 
@@ -237,6 +434,7 @@ impl BmsCheckpoint {
 pub struct BmsServer {
     estimator: Box<dyn OccupancyEstimator>,
     dedup_capacity: usize,
+    retention: Option<SimDuration>,
     state: Mutex<ServerState>,
 }
 
@@ -244,11 +442,13 @@ pub struct BmsServer {
 const DEFAULT_DEDUP_CAPACITY: usize = 128;
 
 impl BmsServer {
-    /// Creates a server around an estimator.
+    /// Creates a server around an estimator. Retention is unbounded until
+    /// [`with_retention`](Self::with_retention) sets a window.
     pub fn new(estimator: Box<dyn OccupancyEstimator>) -> Self {
         BmsServer {
             estimator,
             dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+            retention: None,
             state: Mutex::new(ServerState::default()),
         }
     }
@@ -264,9 +464,30 @@ impl BmsServer {
         self
     }
 
+    /// Bounds per-device memory: each device's log and assignment history
+    /// are compacted to `window` behind that device's newest report (the
+    /// history keeps one carried entry so "current room" queries survive a
+    /// silence longer than the window). Queries entirely inside the window
+    /// are exact; the `*_checked` variants say when an answer might have
+    /// lost compacted records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_retention(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "retention window must be non-zero");
+        self.retention = Some(window);
+        self
+    }
+
     /// The per-device dedup window size.
     pub fn dedup_capacity(&self) -> usize {
         self.dedup_capacity
+    }
+
+    /// The retention window, or `None` when the server keeps everything.
+    pub fn retention(&self) -> Option<SimDuration> {
+        self.retention
     }
 
     /// Total exact dedup entries held across all devices — bounded by
@@ -284,25 +505,10 @@ impl BmsServer {
         state.stats.reports_stored += 1;
         state.telemetry.incr(keys::BMS_INGEST_ACCEPTED);
         match room {
-            Some(label) => {
-                let entry = state
-                    .device_rooms
-                    .entry(report.device)
-                    .or_insert((report.at, report.seq, label));
-                // Only move forward in report time (out-of-order arrivals
-                // happen with retrying transports); seq breaks exact ties.
-                if (report.at, report.seq) >= (entry.0, entry.1) {
-                    *entry = (report.at, report.seq, label);
-                }
-                state
-                    .assignments
-                    .entry(report.device)
-                    .or_default()
-                    .push((report.at, label));
-            }
+            Some(label) => state.classify(&report, label),
             None => state.stats.reports_unclassified += 1,
         }
-        state.log.push(report);
+        state.store(report, self.retention);
         room
     }
 
@@ -338,26 +544,16 @@ impl BmsServer {
         state.stats.reports_stored += 1;
         state.telemetry.incr(keys::BMS_INGEST_ACCEPTED);
         match room {
-            Some(label) => {
-                let entry = state
-                    .device_rooms
-                    .entry(report.device)
-                    .or_insert((report.at, report.seq, label));
-                if (report.at, report.seq) >= (entry.0, entry.1) {
-                    *entry = (report.at, report.seq, label);
-                }
-                let history = state.assignments.entry(report.device).or_default();
-                let position = history.partition_point(|(t, _)| *t <= report.at);
-                history.insert(position, (report.at, label));
-            }
+            Some(label) => state.classify(&report, label),
             None => state.stats.reports_unclassified += 1,
         }
-        state.log.push(report);
+        state.store(report, self.retention);
         IngestOutcome::Accepted { room }
     }
 
-    /// Snapshots the full server state (observation log, occupancy table,
-    /// assignment histories, dedup windows, counters) for crash recovery.
+    /// Snapshots the full server state (observation logs, occupancy table,
+    /// assignment histories, dedup windows, counters) and configuration for
+    /// crash recovery.
     ///
     /// Because the dedup windows are part of the snapshot, a restored
     /// server can safely re-[`ingest`](Self::ingest) *any* suffix of the
@@ -366,22 +562,26 @@ impl BmsServer {
     /// no-crash state.
     pub fn checkpoint(&self) -> BmsCheckpoint {
         let mut state = self.state.lock();
-        let reports = state.log.len() as u64;
+        let reports = state.retained_reports() as u64;
         state.telemetry.incr(keys::BMS_CHECKPOINTS);
         state
             .telemetry
             .record_event(TelemetryEvent::Checkpoint { reports });
         BmsCheckpoint {
             state: state.clone(),
+            dedup_capacity: self.dedup_capacity,
+            retention: self.retention,
         }
     }
 
     /// Rebuilds a server from a [`checkpoint`](Self::checkpoint) and a
-    /// (fresh) estimator.
+    /// (fresh) estimator. The snapshotted configuration (dedup capacity,
+    /// retention window) is restored along with the state.
     pub fn restore(estimator: Box<dyn OccupancyEstimator>, checkpoint: BmsCheckpoint) -> Self {
         BmsServer {
             estimator,
-            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+            dedup_capacity: checkpoint.dedup_capacity,
+            retention: checkpoint.retention,
             state: Mutex::new(checkpoint.state),
         }
     }
@@ -439,18 +639,33 @@ impl BmsServer {
             .max()
     }
 
-    /// The occupancy table as it stood at time `at`, reconstructed from the
-    /// assignment history (each device counts in the last room it was
-    /// classified into at or before `at`).
+    /// The occupancy table as it stood at time `at`: each device counts in
+    /// the last room it was classified into at or before `at`, found by
+    /// binary search on the sorted per-device history.
     pub fn occupancy_at(&self, at: SimTime) -> BTreeMap<RoomLabel, usize> {
+        let state = self.state.lock();
+        let mut table = BTreeMap::new();
+        for history in state.assignments.values() {
+            if let Some((_, _, room)) = history.last_at_or_before(at) {
+                *table.entry(*room).or_insert(0) += 1;
+            }
+        }
+        table
+    }
+
+    /// The linear-scan reference for [`occupancy_at`](Self::occupancy_at),
+    /// retained so the equivalence of the binary search can be checked
+    /// exactly (and property-tested). O(history) per device — do not use on
+    /// hot paths.
+    pub fn occupancy_at_linear(&self, at: SimTime) -> BTreeMap<RoomLabel, usize> {
         let state = self.state.lock();
         let mut table = BTreeMap::new();
         for history in state.assignments.values() {
             let last = history
                 .iter()
-                .take_while(|(t, _)| *t <= at)
+                .take_while(|(t, _, _)| *t <= at)
                 .last()
-                .map(|(_, room)| *room);
+                .map(|(_, _, room)| *room);
             if let Some(room) = last {
                 *table.entry(room).or_insert(0) += 1;
             }
@@ -458,21 +673,102 @@ impl BmsServer {
         table
     }
 
-    /// All reports whose timestamps fall in `[from, to)`, in arrival order
-    /// — the database's time-range query.
-    pub fn reports_between(&self, from: SimTime, to: SimTime) -> Vec<ObservationReport> {
-        self.state
-            .lock()
-            .log
-            .iter()
-            .filter(|r| r.at >= from && r.at < to)
-            .cloned()
-            .collect()
+    /// [`occupancy_at`](Self::occupancy_at) with an explicit completeness
+    /// flag: the answer is exact iff `at` is at or after the retention
+    /// floor (nothing relevant was compacted away).
+    pub fn occupancy_at_checked(&self, at: SimTime) -> Windowed<BTreeMap<RoomLabel, usize>> {
+        let value = self.occupancy_at(at);
+        let floor = self.retention_floor();
+        Windowed {
+            value,
+            complete: floor.is_none_or(|f| at >= f),
+            floor,
+        }
     }
 
-    /// Number of stored reports.
+    /// The historical analogue of [`occupancy_view`](Self::occupancy_view):
+    /// the occupancy table as it stood at `at`, with the **same TTL
+    /// semantics** — a device whose last classification (at or before `at`)
+    /// is older than `ttl` still counts in its room but not as fresh. At
+    /// `at = now` this agrees exactly with `occupancy_view`, so live and
+    /// historical consumers share one definition of a silent device.
+    pub fn occupancy_view_at(&self, at: SimTime, ttl: SimDuration) -> OccupancyView {
+        let state = self.state.lock();
+        let mut rooms: BTreeMap<RoomLabel, RoomPresence> = BTreeMap::new();
+        for history in state.assignments.values() {
+            if let Some((t, _, room)) = history.last_at_or_before(at) {
+                let entry = rooms.entry(*room).or_default();
+                entry.occupants += 1;
+                if at.saturating_since(*t) <= ttl {
+                    entry.fresh += 1;
+                }
+            }
+        }
+        OccupancyView {
+            at,
+            ttl,
+            rooms,
+        }
+    }
+
+    /// The retention low-watermark across every device: queries at or after
+    /// this instant see every relevant record; earlier ones may be missing
+    /// compacted history. `None` while nothing was ever compacted (always,
+    /// with unbounded retention).
+    pub fn retention_floor(&self) -> Option<SimTime> {
+        let state = self.state.lock();
+        state
+            .logs
+            .values()
+            .filter_map(|log| log.floor)
+            .chain(state.assignments.values().filter_map(|h| h.floor))
+            .max()
+    }
+
+    /// Entries (reports + assignments) dropped by retention compaction so
+    /// far. Always zero with unbounded retention.
+    pub fn compacted_entries(&self) -> u64 {
+        let state = self.state.lock();
+        state.logs.values().map(|log| log.compacted).sum::<u64>()
+            + state.assignments.values().map(|h| h.compacted).sum::<u64>()
+    }
+
+    /// All retained reports whose timestamps fall in `[from, to)`, sorted
+    /// by `(time, device, seq)` — the database's time-range query. Each
+    /// device's contribution is located by binary search; only the rows in
+    /// the window are cloned, and only while the lock is held.
+    pub fn reports_between(&self, from: SimTime, to: SimTime) -> Vec<ObservationReport> {
+        let state = self.state.lock();
+        let mut rows: Vec<ObservationReport> = state
+            .logs
+            .values()
+            .flat_map(|log| log.window(from, to).cloned())
+            .collect();
+        rows.sort_by_key(|r| (r.at, r.device, r.seq));
+        rows
+    }
+
+    /// [`reports_between`](Self::reports_between) with an explicit
+    /// completeness flag: exact iff `from` is at or after the retention
+    /// floor.
+    pub fn reports_between_checked(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> Windowed<Vec<ObservationReport>> {
+        let value = self.reports_between(from, to);
+        let floor = self.retention_floor();
+        Windowed {
+            value,
+            complete: floor.is_none_or(|f| from >= f),
+            floor,
+        }
+    }
+
+    /// Number of retained reports (equal to the number ever stored while
+    /// retention is unbounded).
     pub fn report_count(&self) -> usize {
-        self.state.lock().log.len()
+        self.state.lock().retained_reports()
     }
 
     /// Server counters.
@@ -486,7 +782,7 @@ impl BmsServer {
         self.state.lock().telemetry.clone()
     }
 
-    /// The classified `(time, room)` history of one device, in arrival
+    /// The classified `(time, room)` history of one device, in report-time
     /// order — feed it to
     /// [`MovementAnalytics`](crate::MovementAnalytics::from_history) for
     /// the paper's tracking use-case.
@@ -495,27 +791,117 @@ impl BmsServer {
             .lock()
             .assignments
             .get(&device)
-            .cloned()
+            .map(|history| history.iter().map(|(t, _, room)| (*t, *room)).collect())
             .unwrap_or_default()
     }
 
-    /// All reports from one device, in arrival order.
+    /// One device's `(time, room)` history restricted to `[from, to)` via
+    /// binary search — the copy is bounded by the window, not the history.
+    pub fn assignment_history_between(
+        &self,
+        device: DeviceId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(SimTime, RoomLabel)> {
+        self.state
+            .lock()
+            .assignments
+            .get(&device)
+            .map(|history| {
+                history
+                    .window(from, to)
+                    .map(|(t, _, room)| (*t, *room))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All retained reports from one device, in report-time order.
     pub fn reports_for(&self, device: DeviceId) -> Vec<ObservationReport> {
         self.state
             .lock()
-            .log
-            .iter()
-            .filter(|r| r.device == device)
-            .cloned()
-            .collect()
+            .logs
+            .get(&device)
+            .map(|log| log.iter().cloned().collect())
+            .unwrap_or_default()
     }
+
+    /// One device's reports restricted to `[from, to)` via binary search —
+    /// the copy is bounded by the window, not the log.
+    pub fn reports_for_between(
+        &self,
+        device: DeviceId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<ObservationReport> {
+        self.state
+            .lock()
+            .logs
+            .get(&device)
+            .map(|log| log.window(from, to).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// A canonical per-device dump of the full server state plus the
+    /// counters — the raw material for [`state_digest`](Self::state_digest)
+    /// and for the sharded server's merged digest (shards own disjoint
+    /// device sets, so their dumps union without conflict).
+    pub(crate) fn state_dump(&self) -> (BTreeMap<DeviceId, String>, ServerStats) {
+        let state = self.state.lock();
+        let mut devices: std::collections::BTreeSet<DeviceId> = state.logs.keys().copied().collect();
+        devices.extend(state.device_rooms.keys().copied());
+        devices.extend(state.assignments.keys().copied());
+        devices.extend(state.dedup.keys().copied());
+        let dumps = devices
+            .into_iter()
+            .map(|device| {
+                let dump = format!(
+                    "{:?}|{:?}|{:?}|{:?}",
+                    state.device_rooms.get(&device),
+                    state.assignments.get(&device),
+                    state.logs.get(&device),
+                    state.dedup.get(&device),
+                );
+                (device, dump)
+            })
+            .collect();
+        (dumps, state.stats)
+    }
+
+    /// A deterministic FNV-1a digest over the canonical state dump (logs,
+    /// occupancy table, histories, dedup windows, counters). Two servers
+    /// with byte-identical state — e.g. a sharded fleet vs a single server
+    /// fed the same per-device streams — produce the same digest.
+    pub fn state_digest(&self) -> u64 {
+        let (dumps, stats) = self.state_dump();
+        digest_state(&dumps, stats)
+    }
+}
+
+/// FNV-1a over the canonical per-device dumps (in `DeviceId` order) and the
+/// merged counters. Shared by [`BmsServer::state_digest`] and the sharded
+/// server's merged digest.
+pub(crate) fn digest_state(dumps: &BTreeMap<DeviceId, String>, stats: ServerStats) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (device, dump) in dumps {
+        eat(&device.value().to_le_bytes());
+        eat(dump.as_bytes());
+    }
+    eat(format!("{stats:?}").as_bytes());
+    hash
 }
 
 impl fmt::Debug for BmsServer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let state = self.state.lock();
         f.debug_struct("BmsServer")
-            .field("reports", &state.log.len())
+            .field("reports", &state.retained_reports())
             .field("devices", &state.device_rooms.len())
             .finish()
     }
@@ -593,6 +979,9 @@ mod tests {
         server.post_observation(report(2, 9, 1));
         assert_eq!(server.report_count(), 6);
         assert_eq!(server.reports_for(DeviceId::new(1)).len(), 5);
+        assert_eq!(server.retention(), None);
+        assert_eq!(server.retention_floor(), None);
+        assert_eq!(server.compacted_entries(), 0);
     }
 
     #[test]
@@ -612,6 +1001,48 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_at_binary_search_matches_linear_reference() {
+        let server = BmsServer::new(minor_estimator());
+        for (device, at, minor) in [
+            (1u32, 10u64, 0u16),
+            (1, 30, 2),
+            (1, 30, 2),
+            (2, 20, 0),
+            (2, 45, 3),
+            (3, 5, 1),
+        ] {
+            server.post_observation(report(device, at, minor));
+        }
+        for t in [0u64, 5, 9, 10, 20, 29, 30, 31, 44, 45, 100] {
+            let at = SimTime::from_secs(t);
+            assert_eq!(
+                server.occupancy_at(at),
+                server.occupancy_at_linear(at),
+                "diverged at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_view_at_agrees_with_the_live_view_and_enforces_ttl() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(1, 10, 0)); // goes silent
+        server.post_observation(report(2, 95, 2)); // fresh at t=100
+        let now = SimTime::from_secs(100);
+        let ttl = SimDuration::from_secs(30);
+        // At `now`, the historical view and the live view agree exactly.
+        assert_eq!(server.occupancy_view_at(now, ttl), server.occupancy_view(now, ttl));
+        // Historically, the TTL applies relative to the query time: at
+        // t=30, device 1's t=10 report is fresh and device 2 is absent.
+        let past = server.occupancy_view_at(SimTime::from_secs(30), ttl);
+        assert_eq!(past.rooms[&0], RoomPresence { occupants: 1, fresh: 1 });
+        assert!(!past.rooms.contains_key(&2));
+        // At t=70 device 1 still counts (graceful degradation) but stale.
+        let mid = server.occupancy_view_at(SimTime::from_secs(70), ttl);
+        assert!(mid.rooms[&0].is_stale());
+    }
+
+    #[test]
     fn reports_between_is_half_open() {
         let server = BmsServer::new(minor_estimator());
         for t in [10u64, 20, 30] {
@@ -622,6 +1053,106 @@ mod tests {
         assert!(server
             .reports_between(SimTime::from_secs(31), SimTime::from_secs(99))
             .is_empty());
+    }
+
+    #[test]
+    fn reports_between_merges_devices_in_time_order() {
+        let server = BmsServer::new(minor_estimator());
+        server.post_observation(report(2, 20, 0));
+        server.post_observation(report(1, 10, 0));
+        server.post_observation(report(1, 30, 1));
+        server.post_observation(report(3, 20, 2));
+        let rows = server.reports_between(SimTime::ZERO, SimTime::from_secs(100));
+        let keys: Vec<(u64, u32)> = rows.iter().map(|r| (r.at.as_millis(), r.device.value())).collect();
+        assert_eq!(keys, vec![(10_000, 1), (20_000, 2), (20_000, 3), (30_000, 1)]);
+    }
+
+    #[test]
+    fn windowed_per_device_queries_bound_the_copy() {
+        let server = BmsServer::new(minor_estimator());
+        for t in 0..10u64 {
+            server.post_observation(report(1, t * 10, (t % 3) as u16));
+        }
+        let mid = server.reports_for_between(
+            DeviceId::new(1),
+            SimTime::from_secs(20),
+            SimTime::from_secs(50),
+        );
+        assert_eq!(mid.len(), 3); // t = 20, 30, 40
+        assert!(mid.iter().all(|r| r.device == DeviceId::new(1)));
+        let history = server.assignment_history_between(
+            DeviceId::new(1),
+            SimTime::from_secs(20),
+            SimTime::from_secs(50),
+        );
+        assert_eq!(history.len(), 3);
+        // Unknown devices yield empty windows.
+        assert!(server
+            .reports_for_between(DeviceId::new(9), SimTime::ZERO, SimTime::from_secs(99))
+            .is_empty());
+        assert!(server
+            .assignment_history_between(DeviceId::new(9), SimTime::ZERO, SimTime::from_secs(99))
+            .is_empty());
+    }
+
+    #[test]
+    fn retention_bounds_memory_and_flags_truncated_queries() {
+        let window = SimDuration::from_secs(60);
+        let server = BmsServer::new(minor_estimator()).with_retention(window);
+        assert_eq!(server.retention(), Some(window));
+        for i in 0..100u64 {
+            server.ingest(report(1, i * 10, (i % 3) as u16));
+        }
+        // 60 s window over 10 s spacing: at most 7 reports retained.
+        assert!(server.report_count() <= 7, "retained {}", server.report_count());
+        assert!(server.compacted_entries() > 0);
+        let floor = server.retention_floor().expect("compaction happened");
+        assert_eq!(floor, SimTime::from_secs(990 - 60));
+        // Inside the window the reconstruction is exact and says so.
+        let recent = server.occupancy_at_checked(SimTime::from_secs(985));
+        assert!(recent.complete);
+        assert_eq!(recent.value, server.occupancy_at_linear(SimTime::from_secs(985)));
+        // Outside the window the answer is explicit about truncation.
+        let ancient = server.occupancy_at_checked(SimTime::from_secs(100));
+        assert!(!ancient.complete);
+        assert_eq!(ancient.floor, Some(floor));
+        let old_rows = server.reports_between_checked(SimTime::from_secs(0), SimTime::from_secs(500));
+        assert!(!old_rows.complete);
+        assert!(old_rows.value.is_empty());
+        let fresh_rows =
+            server.reports_between_checked(floor, SimTime::from_secs(1000));
+        assert!(fresh_rows.complete);
+        assert_eq!(fresh_rows.value.len(), server.report_count());
+        // The compactor announced itself in telemetry.
+        let telemetry = server.telemetry_snapshot();
+        assert_eq!(
+            telemetry.counter(keys::BMS_RETENTION_COMPACTED),
+            server.compacted_entries()
+        );
+    }
+
+    #[test]
+    fn retention_carries_the_last_assignment_for_silent_devices() {
+        let server = BmsServer::new(minor_estimator()).with_retention(SimDuration::from_secs(60));
+        // Device 1 reports once, then only device 1's *own* stream matters:
+        // a long silence must not erase its last-known room.
+        server.ingest(report(1, 10, 4));
+        for i in 0..50u64 {
+            server.ingest(report(1, 1000 + i * 10, 2));
+        }
+        // The t=10 report is far outside the window, but the carried entry
+        // kept "current room" queries correct the whole way.
+        assert_eq!(server.room_of(DeviceId::new(1)), Some(2));
+        assert_eq!(server.occupancy_at(SimTime::from_secs(5000)).get(&2), Some(&1));
+        // And at the window edge the carried entry still answers.
+        let floor = server.retention_floor().expect("compacted");
+        assert_eq!(server.occupancy_at(floor).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention window must be non-zero")]
+    fn zero_retention_window_panics() {
+        let _ = BmsServer::new(minor_estimator()).with_retention(SimDuration::ZERO);
     }
 
     #[test]
@@ -736,6 +1267,11 @@ mod tests {
             server.occupancy_at(SimTime::from_secs(45)),
             ordered.occupancy_at(SimTime::from_secs(45))
         );
+        // The reorder-insensitive parts of the state digest agree too: both
+        // servers retain identical logs, tables and histories (the dedup
+        // windows differ only in their internal watermarks, which match
+        // here because the full seq range was seen either way).
+        assert_eq!(server.state_digest(), ordered.state_digest());
     }
 
     #[test]
@@ -750,6 +1286,13 @@ mod tests {
         tie.ingest(ObservationReport { seq: 2, ..report(1, 50, 7) });
         tie.ingest(ObservationReport { seq: 1, ..report(1, 50, 3) });
         assert_eq!(tie.room_of(DeviceId::new(1)), Some(7));
+        // The history orders the tie by seq, so historical queries agree
+        // with the live table even at the tied instant.
+        assert_eq!(
+            tie.occupancy_at(SimTime::from_secs(50)).get(&7),
+            Some(&1),
+            "history tie-break must match device_rooms"
+        );
     }
 
     #[test]
@@ -809,6 +1352,30 @@ mod tests {
         assert!(telemetry
             .journal()
             .any(|e| matches!(e, TelemetryEvent::Checkpoint { reports: 10 })));
+    }
+
+    #[test]
+    fn checkpoint_preserves_the_server_configuration() {
+        let window = SimDuration::from_secs(120);
+        let server = BmsServer::new(minor_estimator())
+            .with_dedup_capacity(16)
+            .with_retention(window);
+        for i in 0..50u64 {
+            server.ingest(report(1, i * 10, 0));
+        }
+        let snapshot = server.checkpoint();
+        assert_eq!(snapshot.retention(), Some(window));
+        let restored = BmsServer::restore(minor_estimator(), snapshot);
+        assert_eq!(restored.dedup_capacity(), 16);
+        assert_eq!(restored.retention(), Some(window));
+        // The restored server keeps compacting: its digest tracks a server
+        // that never crashed through the same (deduped) stream.
+        for i in 0..80u64 {
+            server.ingest(report(1, i * 10, 0));
+            restored.ingest(report(1, i * 10, 0));
+        }
+        assert_eq!(restored.state_digest(), server.state_digest());
+        assert_eq!(restored.report_count(), server.report_count());
     }
 
     #[test]

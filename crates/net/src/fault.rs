@@ -105,6 +105,32 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.send(at, report, rng)
     }
 
+    /// During an outage window a batch costs exactly one probe burst —
+    /// batching does not multiply the refusal price. Outside a window the
+    /// batch passes through to the wrapped transport's coalesced path.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        if self.outages.active_at(at) {
+            self.refusals += 1;
+            let active = SimDuration::from_millis(80 + rng.gen_range(0..40));
+            let probe = TransportEvent {
+                kind: self.inner.kind(),
+                start: at,
+                active,
+                delivered: false,
+            };
+            let telemetry = self.inner.telemetry_mut();
+            telemetry.record_send(probe);
+            telemetry.incr(keys::NET_TX_REFUSED);
+            return SendOutcome::Refused;
+        }
+        self.inner.send_batch(at, reports, rng)
+    }
+
     fn telemetry(&self) -> &Recorder {
         self.inner.telemetry()
     }

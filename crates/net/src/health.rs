@@ -360,6 +360,25 @@ impl<P: Transport, S: Transport> FailoverTransport<P, S> {
         }
         outcome
     }
+
+    fn send_secondary_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        self.failover_sends += 1;
+        self.telemetry.incr(keys::NET_FAILOVER_SENDS);
+        self.telemetry.record_event(TelemetryEvent::Failover {
+            at,
+            kind: self.secondary.kind(),
+        });
+        let outcome = self.secondary.send_batch(at, reports, rng);
+        if let Some(event) = self.secondary.telemetry().last_transport_event() {
+            self.telemetry.record_send(event);
+        }
+        outcome
+    }
 }
 
 impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
@@ -391,6 +410,39 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
             }
         }
         self.send_secondary(at, report, rng)
+    }
+
+    /// Routes a coalesced batch exactly like [`send`](Transport::send)
+    /// routes a single report: primary while not Down (failing over the
+    /// whole batch on a miss), probe-then-secondary while Down. One batch
+    /// outcome feeds one health sample — a burst is one observation of the
+    /// link, however many reports it carries.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        if self.health.state() != LinkState::Down {
+            let outcome = self.primary.send_batch(at, reports, rng);
+            self.copy_last_primary_event();
+            self.health.record(outcome.is_delivered());
+            if outcome.is_delivered() {
+                return outcome;
+            }
+            return self.send_secondary_batch(at, reports, rng);
+        }
+        if self.health.probe_due(at) {
+            self.probes += 1;
+            self.telemetry.incr(keys::NET_FAILOVER_PROBES);
+            let outcome = self.primary.send_batch(at, reports, rng);
+            self.copy_last_primary_event();
+            self.health.record_probe(at, outcome.is_delivered());
+            if outcome.is_delivered() {
+                return outcome;
+            }
+        }
+        self.send_secondary_batch(at, reports, rng)
     }
 
     fn telemetry(&self) -> &Recorder {

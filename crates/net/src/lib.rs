@@ -21,22 +21,28 @@
 #![warn(missing_docs)]
 
 mod analytics;
+mod batch;
 mod bms;
 mod demand;
 mod fault;
 mod health;
 mod message;
+mod shard;
 mod transport;
 
 pub use analytics::{DebouncedRoom, MovementAnalytics, RoomTransition};
+pub use batch::BatchingTransport;
 pub use bms::{
     BmsCheckpoint, BmsServer, IngestOutcome, OccupancyEstimator, OccupancyView, RoomLabel,
-    RoomPresence, ServerStats,
+    RoomPresence, ServerStats, Windowed,
 };
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
 pub use fault::FaultyTransport;
 pub use health::{FailoverTransport, LinkHealth, LinkHealthConfig, LinkState};
-pub use message::{DeviceId, ObservationReport, SequenceStamper, SightedBeacon};
+pub use message::{
+    batched_wire_size_bytes, DeviceId, ObservationReport, SequenceStamper, SightedBeacon,
+};
+pub use shard::{ShardedBmsCheckpoint, ShardedBmsServer};
 pub use transport::{
     BtRelayTransport, Delivery, QueueingTransport, Retrying, SendOutcome, Transport,
     TransportEvent, TransportKind, WifiTransport,

@@ -56,15 +56,33 @@ pub struct ObservationReport {
     pub beacons: Vec<SightedBeacon>,
 }
 
+/// Per-report framing header: device id + sequence number + timestamp.
+const REPORT_HEADER_BYTES: usize = 4 + 8 + 8;
+/// Per-beacon payload: uuid + major + minor + f64 distance.
+const PER_BEACON_BYTES: usize = 16 + 2 + 2 + 8;
+/// Shared envelope of a coalesced batch: report count + framing.
+const BATCH_ENVELOPE_BYTES: usize = 4;
+
 impl ObservationReport {
     /// Serialized size in bytes, for transport air-time modelling: a fixed
     /// header (device id + sequence number + timestamp) plus per-beacon
     /// identity and distance.
     pub fn wire_size_bytes(&self) -> usize {
-        const HEADER: usize = 4 + 8 + 8;
-        const PER_BEACON: usize = 16 + 2 + 2 + 8; // uuid + major + minor + f64
-        HEADER + self.beacons.len() * PER_BEACON
+        REPORT_HEADER_BYTES + self.beacons.len() * PER_BEACON_BYTES
     }
+}
+
+/// Serialized size of several reports coalesced into **one** radio burst:
+/// a single shared batch envelope plus each report's header and beacons.
+/// Smaller than the sum of the individual frames' transport overheads, and
+/// — more importantly for energy — carried by a single burst instead of
+/// `k` separate wakes.
+pub fn batched_wire_size_bytes(reports: &[ObservationReport]) -> usize {
+    BATCH_ENVELOPE_BYTES
+        + reports
+            .iter()
+            .map(ObservationReport::wire_size_bytes)
+            .sum::<usize>()
 }
 
 impl fmt::Display for ObservationReport {
@@ -145,6 +163,14 @@ mod tests {
     fn wire_size_grows_with_beacons() {
         assert_eq!(report(0).wire_size_bytes(), 20);
         assert_eq!(report(2).wire_size_bytes(), 20 + 2 * 28);
+    }
+
+    #[test]
+    fn batched_wire_size_shares_one_envelope() {
+        assert_eq!(batched_wire_size_bytes(&[]), 4);
+        let batch = vec![report(2), report(0), report(1)];
+        let bodies: usize = batch.iter().map(ObservationReport::wire_size_bytes).sum();
+        assert_eq!(batched_wire_size_bytes(&batch), 4 + bodies);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Horizontal scale-out for the BMS: shard the server by device.
+//!
+//! One [`BmsServer`] behind one mutex serializes every ingest in the
+//! building; at fleet scale the lock is the bottleneck. The
+//! [`ShardedBmsServer`] splits the fleet across `N` inner servers by a
+//! **deterministic device hash** (FNV-1a of the device id — stable across
+//! runs, platforms, and thread counts), so each shard owns a disjoint
+//! device set and takes only its own lock on the hot path. Because every
+//! per-device invariant (dedup window, LWW classification, retention
+//! cutoff) depends only on that device's stream, the sharded fleet is
+//! **semantically identical** to a single server fed the same reports —
+//! [`state_digest`](ShardedBmsServer::state_digest) makes the equivalence
+//! checkable bit-for-bit.
+
+use crate::bms::{digest_state, Windowed};
+use crate::{
+    BmsCheckpoint, BmsServer, DeviceId, IngestOutcome, ObservationReport, OccupancyEstimator,
+    OccupancyView, RoomLabel, RoomPresence, ServerStats,
+};
+use roomsense_sim::{exec, SimDuration, SimTime};
+use roomsense_telemetry::Recorder;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Lets one estimator (the trained classifier) back every shard without
+/// cloning the model.
+struct SharedEstimator(Arc<dyn OccupancyEstimator>);
+
+impl OccupancyEstimator for SharedEstimator {
+    fn classify(&self, report: &ObservationReport) -> Option<RoomLabel> {
+        self.0.classify(report)
+    }
+}
+
+/// The deterministic shard key: FNV-1a over the little-endian device id.
+/// Pure data — no hasher state, no platform dependence — so a device maps
+/// to the same shard in every run and on every node.
+fn device_hash(device: DeviceId) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in device.value().to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A full-fleet snapshot: one [`BmsCheckpoint`] per shard, in shard order.
+#[derive(Debug, Clone)]
+pub struct ShardedBmsCheckpoint {
+    shards: Vec<BmsCheckpoint>,
+}
+
+impl ShardedBmsCheckpoint {
+    /// Shards captured in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Retained reports across every shard at snapshot time.
+    pub fn report_count(&self) -> usize {
+        self.shards.iter().map(BmsCheckpoint::report_count).sum()
+    }
+}
+
+/// `N` [`BmsServer`] shards keyed by a deterministic device hash, with
+/// merged cross-shard queries.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{ObservationReport, ShardedBmsServer};
+/// use std::sync::Arc;
+///
+/// let fleet = ShardedBmsServer::new(
+///     Arc::new(|_: &ObservationReport| Some(0)),
+///     16,
+/// );
+/// assert_eq!(fleet.shard_count(), 16);
+/// ```
+pub struct ShardedBmsServer {
+    shards: Vec<BmsServer>,
+}
+
+impl ShardedBmsServer {
+    /// Creates `shard_count` shards all backed by the same estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn new(estimator: Arc<dyn OccupancyEstimator>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard count must be non-zero");
+        let shards = (0..shard_count)
+            .map(|_| BmsServer::new(Box::new(SharedEstimator(Arc::clone(&estimator)))))
+            .collect();
+        ShardedBmsServer { shards }
+    }
+
+    /// Applies a dedup-window size to every shard (see
+    /// [`BmsServer::with_dedup_capacity`]).
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_dedup_capacity(capacity))
+            .collect();
+        self
+    }
+
+    /// Applies a retention window to every shard (see
+    /// [`BmsServer::with_retention`]). Compaction cutoffs are per-device,
+    /// so the retained state is identical to an un-sharded server's.
+    pub fn with_retention(mut self, window: SimDuration) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_retention(window))
+            .collect();
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a device's reports land on.
+    pub fn shard_of(&self, device: DeviceId) -> usize {
+        (device_hash(device) % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, device: DeviceId) -> &BmsServer {
+        &self.shards[self.shard_of(device)]
+    }
+
+    /// Routes one report through the idempotent ingestion path of its
+    /// device's shard (see [`BmsServer::ingest`]).
+    pub fn ingest(&self, report: ObservationReport) -> IngestOutcome {
+        self.shard_for(report.device).ingest(report)
+    }
+
+    /// Routes one report through the trusting REST path of its device's
+    /// shard (see [`BmsServer::post_observation`]).
+    pub fn post_observation(&self, report: ObservationReport) -> Option<RoomLabel> {
+        self.shard_for(report.device).post_observation(report)
+    }
+
+    /// Bulk-ingests a delivery stream: reports are partitioned by shard
+    /// (preserving their relative order — per-device order is what the
+    /// LWW and dedup semantics care about, and a device never spans
+    /// shards), then every shard ingests its partition in parallel via the
+    /// deterministic executor. Returns `(accepted, duplicates)`.
+    pub fn ingest_all(&self, reports: Vec<ObservationReport>) -> (u64, u64) {
+        let mut partitions: Vec<Vec<ObservationReport>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for report in reports {
+            partitions[self.shard_of(report.device)].push(report);
+        }
+        let counts = exec::par_map_indexed(&partitions, |shard, partition| {
+            let mut accepted = 0u64;
+            let mut duplicates = 0u64;
+            for report in partition {
+                match self.shards[shard].ingest(report.clone()) {
+                    IngestOutcome::Accepted { .. } => accepted += 1,
+                    IngestOutcome::Duplicate => duplicates += 1,
+                }
+            }
+            (accepted, duplicates)
+        });
+        counts
+            .into_iter()
+            .fold((0, 0), |(a, d), (pa, pd)| (a + pa, d + pd))
+    }
+
+    /// The merged occupancy table: per-room sums across shards (device
+    /// sets are disjoint, so summing never double-counts).
+    pub fn occupancy(&self) -> BTreeMap<RoomLabel, usize> {
+        let mut table = BTreeMap::new();
+        for shard in &self.shards {
+            for (room, count) in shard.occupancy() {
+                *table.entry(room).or_insert(0) += count;
+            }
+        }
+        table
+    }
+
+    /// The room one device was last classified into (routed, no merge).
+    pub fn room_of(&self, device: DeviceId) -> Option<RoomLabel> {
+        self.shard_for(device).room_of(device)
+    }
+
+    fn merge_views(
+        &self,
+        at: SimTime,
+        ttl: SimDuration,
+        views: impl Iterator<Item = OccupancyView>,
+    ) -> OccupancyView {
+        let mut rooms: BTreeMap<RoomLabel, RoomPresence> = BTreeMap::new();
+        for view in views {
+            for (room, presence) in view.rooms {
+                let entry = rooms.entry(room).or_default();
+                entry.occupants += presence.occupants;
+                entry.fresh += presence.fresh;
+            }
+        }
+        OccupancyView { at, ttl, rooms }
+    }
+
+    /// The merged staleness-aware occupancy table (see
+    /// [`BmsServer::occupancy_view`]).
+    pub fn occupancy_view(&self, now: SimTime, ttl: SimDuration) -> OccupancyView {
+        self.merge_views(now, ttl, self.shards.iter().map(|s| s.occupancy_view(now, ttl)))
+    }
+
+    /// The merged historical staleness-aware table (see
+    /// [`BmsServer::occupancy_view_at`]).
+    pub fn occupancy_view_at(&self, at: SimTime, ttl: SimDuration) -> OccupancyView {
+        self.merge_views(
+            at,
+            ttl,
+            self.shards.iter().map(|s| s.occupancy_view_at(at, ttl)),
+        )
+    }
+
+    /// The merged historical occupancy table (see
+    /// [`BmsServer::occupancy_at`]).
+    pub fn occupancy_at(&self, at: SimTime) -> BTreeMap<RoomLabel, usize> {
+        let mut table = BTreeMap::new();
+        for shard in &self.shards {
+            for (room, count) in shard.occupancy_at(at) {
+                *table.entry(room).or_insert(0) += count;
+            }
+        }
+        table
+    }
+
+    /// [`occupancy_at`](Self::occupancy_at) with the merged completeness
+    /// flag: complete iff every shard's answer was complete; the floor is
+    /// the worst (latest) shard floor.
+    pub fn occupancy_at_checked(&self, at: SimTime) -> Windowed<BTreeMap<RoomLabel, usize>> {
+        let value = self.occupancy_at(at);
+        let floor = self.retention_floor();
+        Windowed {
+            value,
+            complete: floor.is_none_or(|f| at >= f),
+            floor,
+        }
+    }
+
+    /// The merged counters across shards.
+    pub fn stats(&self) -> ServerStats {
+        self.shards
+            .iter()
+            .map(BmsServer::stats)
+            .fold(ServerStats::default(), ServerStats::merged)
+    }
+
+    /// The worst per-device staleness across the whole fleet.
+    pub fn staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.shards.iter().filter_map(|s| s.staleness(now)).max()
+    }
+
+    /// Retained reports across every shard.
+    pub fn report_count(&self) -> usize {
+        self.shards.iter().map(BmsServer::report_count).sum()
+    }
+
+    /// Exact dedup entries held across every shard.
+    pub fn dedup_entries(&self) -> usize {
+        self.shards.iter().map(BmsServer::dedup_entries).sum()
+    }
+
+    /// Entries dropped by retention compaction across every shard.
+    pub fn compacted_entries(&self) -> u64 {
+        self.shards.iter().map(BmsServer::compacted_entries).sum()
+    }
+
+    /// The fleet-wide retention low-watermark (the latest shard floor).
+    pub fn retention_floor(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(BmsServer::retention_floor).max()
+    }
+
+    /// All retained reports in `[from, to)` across shards, in the same
+    /// `(time, device, seq)` order [`BmsServer::reports_between`] uses —
+    /// the merge is invisible to callers.
+    pub fn reports_between(&self, from: SimTime, to: SimTime) -> Vec<ObservationReport> {
+        let mut rows: Vec<ObservationReport> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.reports_between(from, to))
+            .collect();
+        rows.sort_by_key(|r| (r.at, r.device, r.seq));
+        rows
+    }
+
+    /// One device's retained reports (routed, no merge).
+    pub fn reports_for(&self, device: DeviceId) -> Vec<ObservationReport> {
+        self.shard_for(device).reports_for(device)
+    }
+
+    /// One device's classification history (routed, no merge).
+    pub fn assignment_history(&self, device: DeviceId) -> Vec<(SimTime, RoomLabel)> {
+        self.shard_for(device).assignment_history(device)
+    }
+
+    /// Snapshots every shard, in shard order.
+    pub fn checkpoint(&self) -> ShardedBmsCheckpoint {
+        ShardedBmsCheckpoint {
+            shards: self.shards.iter().map(BmsServer::checkpoint).collect(),
+        }
+    }
+
+    /// Rebuilds the fleet from a [`checkpoint`](Self::checkpoint); shard
+    /// count and per-shard configuration come from the snapshot.
+    pub fn restore(
+        estimator: Arc<dyn OccupancyEstimator>,
+        checkpoint: ShardedBmsCheckpoint,
+    ) -> Self {
+        let shards = checkpoint
+            .shards
+            .into_iter()
+            .map(|snapshot| {
+                BmsServer::restore(
+                    Box::new(SharedEstimator(Arc::clone(&estimator))),
+                    snapshot,
+                )
+            })
+            .collect();
+        ShardedBmsServer { shards }
+    }
+
+    /// One recorder holding every shard's counters and journal, merged in
+    /// shard order (deterministic whatever the ingest parallelism, because
+    /// each shard's recorder only ever sees its own lock-ordered stream).
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        let mut merged = Recorder::new();
+        for shard in &self.shards {
+            merged.merge_child(shard.telemetry_snapshot());
+        }
+        merged
+    }
+
+    /// The fleet-wide state digest: per-device dumps from every shard are
+    /// unioned (device sets are disjoint) and hashed exactly like
+    /// [`BmsServer::state_digest`], so a sharded fleet and a single server
+    /// fed the same reports produce the **same digest** — the bit-for-bit
+    /// equivalence check the scale bench gates on.
+    pub fn state_digest(&self) -> u64 {
+        let mut dumps = BTreeMap::new();
+        let mut stats = ServerStats::default();
+        for shard in &self.shards {
+            let (shard_dumps, shard_stats) = shard.state_dump();
+            dumps.extend(shard_dumps);
+            stats = stats.merged(shard_stats);
+        }
+        digest_state(&dumps, stats)
+    }
+}
+
+impl fmt::Debug for ShardedBmsServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedBmsServer")
+            .field("shards", &self.shards.len())
+            .field("reports", &self.report_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SightedBeacon;
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+
+    fn report(device: u32, at_secs: u64, minor: u16) -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(device),
+            seq: at_secs,
+            at: SimTime::from_secs(at_secs),
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(minor),
+                },
+                distance_m: 1.0,
+            }],
+        }
+    }
+
+    fn minor_estimator() -> Arc<dyn OccupancyEstimator> {
+        Arc::new(|r: &ObservationReport| {
+            r.beacons.first().map(|b| b.identity.minor.value() as usize)
+        })
+    }
+
+    fn boxed_minor_estimator() -> Box<dyn OccupancyEstimator> {
+        Box::new(|r: &ObservationReport| {
+            r.beacons.first().map(|b| b.identity.minor.value() as usize)
+        })
+    }
+
+    fn stream() -> Vec<ObservationReport> {
+        (0..200u64)
+            .map(|i| report((i % 23) as u32, i * 7, (i % 5) as u16))
+            .collect()
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_covers_every_shard() {
+        let fleet = ShardedBmsServer::new(minor_estimator(), 8);
+        let mut hit = [false; 8];
+        for d in 0..1000u32 {
+            let shard = fleet.shard_of(DeviceId::new(d));
+            assert_eq!(shard, fleet.shard_of(DeviceId::new(d)), "stable key");
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "1000 devices reach all 8 shards");
+    }
+
+    #[test]
+    fn merged_queries_match_a_single_server() {
+        let fleet = ShardedBmsServer::new(minor_estimator(), 5);
+        let single = BmsServer::new(boxed_minor_estimator());
+        for r in stream() {
+            fleet.ingest(r.clone());
+            single.ingest(r);
+        }
+        assert_eq!(fleet.occupancy(), single.occupancy());
+        assert_eq!(fleet.stats(), single.stats());
+        assert_eq!(fleet.report_count(), single.report_count());
+        let now = SimTime::from_secs(2000);
+        let ttl = SimDuration::from_secs(300);
+        assert_eq!(fleet.occupancy_view(now, ttl), single.occupancy_view(now, ttl));
+        assert_eq!(fleet.staleness(now), single.staleness(now));
+        for t in [0u64, 100, 700, 1393] {
+            let at = SimTime::from_secs(t);
+            assert_eq!(fleet.occupancy_at(at), single.occupancy_at(at));
+            assert_eq!(fleet.occupancy_view_at(at, ttl), single.occupancy_view_at(at, ttl));
+        }
+        assert_eq!(
+            fleet.reports_between(SimTime::from_secs(100), SimTime::from_secs(900)),
+            single.reports_between(SimTime::from_secs(100), SimTime::from_secs(900))
+        );
+        let d = DeviceId::new(3);
+        assert_eq!(fleet.reports_for(d), single.reports_for(d));
+        assert_eq!(fleet.assignment_history(d), single.assignment_history(d));
+        assert_eq!(fleet.state_digest(), single.state_digest());
+    }
+
+    #[test]
+    fn ingest_all_partitions_and_counts() {
+        let fleet = ShardedBmsServer::new(minor_estimator(), 4);
+        let mut reports = stream();
+        // Duplicate a slice of the stream: at-least-once delivery.
+        reports.extend(stream().into_iter().take(40));
+        let (accepted, duplicates) = fleet.ingest_all(reports);
+        assert_eq!(accepted, 200);
+        assert_eq!(duplicates, 40);
+        assert_eq!(fleet.stats().reports_duplicate, 40);
+        // Bulk and per-report ingestion land in identical state.
+        let serial = ShardedBmsServer::new(minor_estimator(), 4);
+        let mut replay = stream();
+        replay.extend(stream().into_iter().take(40));
+        for r in replay {
+            serial.ingest(r);
+        }
+        assert_eq!(fleet.state_digest(), serial.state_digest());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_fleet() {
+        let window = SimDuration::from_secs(600);
+        let fleet = ShardedBmsServer::new(minor_estimator(), 3)
+            .with_dedup_capacity(32)
+            .with_retention(window);
+        for r in stream() {
+            fleet.ingest(r);
+        }
+        let snapshot = fleet.checkpoint();
+        assert_eq!(snapshot.shard_count(), 3);
+        assert_eq!(snapshot.report_count(), fleet.report_count());
+        let restored = ShardedBmsServer::restore(minor_estimator(), snapshot);
+        assert_eq!(restored.shard_count(), 3);
+        assert_eq!(restored.state_digest(), fleet.state_digest());
+        // The restored fleet keeps the snapshotted config: further traffic
+        // dedups and compacts exactly like the original.
+        for r in stream() {
+            fleet.ingest(r.clone());
+            restored.ingest(r);
+        }
+        assert_eq!(restored.state_digest(), fleet.state_digest());
+        assert_eq!(restored.stats(), fleet.stats());
+    }
+
+    #[test]
+    fn retention_applies_per_shard() {
+        let fleet = ShardedBmsServer::new(minor_estimator(), 4)
+            .with_retention(SimDuration::from_secs(100));
+        for i in 0..300u64 {
+            fleet.ingest(report((i % 7) as u32, i * 10, 0));
+        }
+        // 100 s window / 70 s per-device period: at most a couple retained
+        // per device.
+        assert!(fleet.report_count() <= 7 * 3, "retained {}", fleet.report_count());
+        assert!(fleet.compacted_entries() > 0);
+        assert!(fleet.retention_floor().is_some());
+        let ancient = fleet.occupancy_at_checked(SimTime::from_secs(10));
+        assert!(!ancient.complete);
+    }
+
+    #[test]
+    fn telemetry_snapshot_merges_shard_counters() {
+        use roomsense_telemetry::keys;
+        let fleet = ShardedBmsServer::new(minor_estimator(), 4);
+        let mut reports = stream();
+        reports.extend(stream().into_iter().take(10));
+        let n = reports.len() as u64;
+        for r in reports {
+            fleet.ingest(r);
+        }
+        let merged = fleet.telemetry_snapshot();
+        assert_eq!(merged.counter(keys::BMS_INGEST_ACCEPTED), 200);
+        assert_eq!(merged.counter(keys::BMS_INGEST_DUPLICATES), n - 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be non-zero")]
+    fn zero_shards_panics() {
+        let _ = ShardedBmsServer::new(minor_estimator(), 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! transport they wrap, so a whole stack (queue → fault layer → failover →
 //! radios) prices into one sink.
 
-use crate::ObservationReport;
+use crate::{batched_wire_size_bytes, ObservationReport};
 use rand::Rng;
 use roomsense_sim::{SimDuration, SimTime};
 use roomsense_telemetry::{keys, Recorder, TelemetryEvent};
@@ -56,6 +56,39 @@ pub trait Transport {
         report: &ObservationReport,
         rng: &mut R,
     ) -> SendOutcome;
+
+    /// Attempts to send several reports as **one logical batch** at `at`.
+    ///
+    /// The default implementation loops [`send`](Self::send) — `k` separate
+    /// radio bursts, `Refused` short-circuits, `Failed` if any report
+    /// failed, otherwise `Delivered` at the latest arrival. Radios that can
+    /// coalesce (Wi-Fi, the BT relay) override this to carry the whole
+    /// batch in a **single burst** priced by
+    /// [`batched_wire_size_bytes`](crate::batched_wire_size_bytes) — the
+    /// paper's Fig. 10 energy lever (fewer wakes) applied at the transport
+    /// layer. A coalesced batch is atomic: it delivers wholly or not at
+    /// all. An empty batch is trivially delivered and burns no radio.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        let mut arrived = at;
+        let mut failed = false;
+        for report in reports {
+            match self.send(at, report, rng) {
+                SendOutcome::Delivered { at } => arrived = arrived.max(at),
+                SendOutcome::Refused => return SendOutcome::Refused,
+                SendOutcome::Failed => failed = true,
+            }
+        }
+        if failed {
+            SendOutcome::Failed
+        } else {
+            SendOutcome::Delivered { at: arrived }
+        }
+    }
 
     /// The telemetry sink this transport records into. Decorators delegate
     /// to the transport they wrap, so an entire decorator stack exposes one
@@ -145,6 +178,36 @@ impl Transport for WifiTransport {
     ) -> SendOutcome {
         // Air time: base latency + ~1 ms per 100 bytes of payload + jitter.
         let payload_ms = (report.wire_size_bytes() as u64) / 100;
+        let jitter_ms = rng.gen_range(0..30);
+        let active = self.base_latency + SimDuration::from_millis(payload_ms + jitter_ms);
+        let delivered = rng.gen::<f64>() < self.success_probability;
+        self.telemetry.record_send(TransportEvent {
+            kind: TransportKind::Wifi,
+            start: at,
+            active,
+            delivered,
+        });
+        if delivered {
+            SendOutcome::Delivered { at: at + active }
+        } else {
+            SendOutcome::Failed
+        }
+    }
+
+    /// Coalesces the batch into **one** HTTP POST: a single burst whose air
+    /// time covers the shared envelope plus every report's payload, one
+    /// jitter draw, one success coin. The whole batch delivers or fails
+    /// together.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        if reports.is_empty() {
+            return SendOutcome::Delivered { at };
+        }
+        let payload_ms = (batched_wire_size_bytes(reports) as u64) / 100;
         let jitter_ms = rng.gen_range(0..30);
         let active = self.base_latency + SimDuration::from_millis(payload_ms + jitter_ms);
         let delivered = rng.gen::<f64>() < self.success_probability;
@@ -256,6 +319,35 @@ impl Transport for BtRelayTransport {
         }
     }
 
+    /// Coalesces the batch into **one** GATT connection: connection setup is
+    /// paid once for the whole batch instead of per report — the dominant
+    /// cost on this channel, so batching helps BLE even more than Wi-Fi.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        if reports.is_empty() {
+            return SendOutcome::Delivered { at };
+        }
+        let payload_ms = (batched_wire_size_bytes(reports) as u64) * 4 / 100;
+        let jitter_ms = rng.gen_range(0..200);
+        let active = self.connect_latency + SimDuration::from_millis(payload_ms + jitter_ms);
+        let delivered = rng.gen::<f64>() < self.success_probability;
+        self.telemetry.record_send(TransportEvent {
+            kind: TransportKind::BluetoothRelay,
+            start: at,
+            active,
+            delivered,
+        });
+        if delivered {
+            SendOutcome::Delivered { at: at + active }
+        } else {
+            SendOutcome::Failed
+        }
+    }
+
     fn telemetry(&self) -> &Recorder {
         &self.telemetry
     }
@@ -343,6 +435,34 @@ impl<T: Transport> Transport for Retrying<T> {
                 SendOutcome::Refused => return SendOutcome::Refused,
                 SendOutcome::Failed => {
                     // The retry starts after the failed attempt's burst.
+                    let burst = self
+                        .inner
+                        .telemetry()
+                        .last_transport_event()
+                        .map(|e| e.active)
+                        .unwrap_or(SimDuration::ZERO);
+                    attempt_at += burst;
+                }
+            }
+        }
+        SendOutcome::Failed
+    }
+
+    /// Retries the **whole batch** as a unit: each attempt is one coalesced
+    /// burst on the inner transport, spaced by the previous burst's air
+    /// time, with the same `Refused` short-circuit as single sends.
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        let mut attempt_at = at;
+        for _ in 0..=self.max_retries {
+            match self.inner.send_batch(attempt_at, reports, rng) {
+                SendOutcome::Delivered { at } => return SendOutcome::Delivered { at },
+                SendOutcome::Refused => return SendOutcome::Refused,
+                SendOutcome::Failed => {
                     let burst = self
                         .inner
                         .telemetry()
@@ -681,6 +801,63 @@ impl<T: Transport> QueueingTransport<T> {
         }
         deliveries
     }
+
+    /// Offers a coalesced batch: drains due queue entries, then attempts
+    /// the whole batch as **one** burst via
+    /// [`Transport::send_batch`], queueing every report individually on
+    /// failure (queued retries go out as single bursts from
+    /// [`flush`](Self::flush)).
+    ///
+    /// Report-level accounting treats the burst as `k` reports, not one: a
+    /// delivered batch counts `k` toward
+    /// [`delivered_reports`](Self::delivered_reports), and a lost **batch
+    /// ack** (one coin per burst — the server acks the envelope, not each
+    /// report) retransmits and re-counts all `k` as
+    /// [`retransmits`](Self::retransmits).
+    pub fn offer_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: Vec<ObservationReport>,
+        rng: &mut R,
+    ) -> Vec<Delivery> {
+        let mut deliveries = self.flush(at, rng);
+        let k = reports.len() as u64;
+        self.offered += k;
+        self.inner.telemetry_mut().add(keys::NET_QUEUE_OFFERED, k);
+        if reports.is_empty() {
+            return deliveries;
+        }
+        match self.inner.send_batch(at, &reports, rng) {
+            SendOutcome::Delivered { at: arrived } => {
+                for _ in 0..k {
+                    self.record_delivered_report();
+                }
+                if self.ack_lost(rng) {
+                    for report in &reports {
+                        self.record_retransmit(at, report.seq);
+                    }
+                    for report in reports {
+                        deliveries.push(Delivery {
+                            report: report.clone(),
+                            at: arrived,
+                        });
+                        self.enqueue(report, 2, at, true, rng);
+                    }
+                } else {
+                    deliveries.extend(reports.into_iter().map(|report| Delivery {
+                        report,
+                        at: arrived,
+                    }));
+                }
+            }
+            SendOutcome::Failed | SendOutcome::Refused => {
+                for report in reports {
+                    self.enqueue(report, 1, at, false, rng);
+                }
+            }
+        }
+        deliveries
+    }
 }
 
 impl<T: Transport> Transport for QueueingTransport<T> {
@@ -705,6 +882,31 @@ impl<T: Transport> Transport for QueueingTransport<T> {
             .find(|d| d.report.device == device && d.report.seq == seq)
             .map(|d| SendOutcome::Delivered { at: d.at })
             .unwrap_or(SendOutcome::Failed)
+    }
+
+    /// [`offer_batch`](Self::offer_batch)es the reports; `Delivered` means
+    /// every report in *this* batch got through in this call (queued
+    /// otherwise, so it may still deliver later).
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        let wanted: Vec<(crate::DeviceId, u64)> =
+            reports.iter().map(|r| (r.device, r.seq)).collect();
+        let deliveries = self.offer_batch(at, reports.to_vec(), rng);
+        let mut arrived = at;
+        for key in &wanted {
+            match deliveries
+                .iter()
+                .find(|d| (d.report.device, d.report.seq) == *key)
+            {
+                Some(d) => arrived = arrived.max(d.at),
+                None => return SendOutcome::Failed,
+            }
+        }
+        SendOutcome::Delivered { at: arrived }
     }
 
     fn telemetry(&self) -> &Recorder {
@@ -1093,6 +1295,20 @@ mod tests {
             }
         }
 
+        /// Coalesces like the real radios: one scripted outcome per burst,
+        /// whatever the batch size.
+        fn send_batch<R: Rng + ?Sized>(
+            &mut self,
+            at: SimTime,
+            reports: &[ObservationReport],
+            rng: &mut R,
+        ) -> SendOutcome {
+            if reports.is_empty() {
+                return SendOutcome::Delivered { at };
+            }
+            self.send(at, &reports[0], rng)
+        }
+
         fn telemetry(&self) -> &Recorder {
             &self.telemetry
         }
@@ -1215,6 +1431,101 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 100);
+    }
+
+    #[test]
+    fn wifi_coalesces_a_batch_into_one_burst() {
+        let mut wifi = WifiTransport::new(1.0, SimDuration::from_millis(50));
+        let mut r = rng::for_component(18, "batch-wifi");
+        let batch: Vec<ObservationReport> = (0..6).map(stamped_report).collect();
+        let outcome = wifi.send_batch(SimTime::from_secs(1), &batch, &mut r);
+        assert!(outcome.is_delivered());
+        let events = wifi.telemetry().transport_events();
+        assert_eq!(events.len(), 1, "six reports, one radio burst");
+        // The single burst's air time covers the whole batched payload.
+        let payload_ms = crate::batched_wire_size_bytes(&batch) as u64 / 100;
+        assert!(events[0].active >= SimDuration::from_millis(50 + payload_ms));
+        // An empty batch is free: no burst, trivially delivered.
+        let outcome = wifi.send_batch(SimTime::from_secs(2), &[], &mut r);
+        assert!(outcome.is_delivered());
+        assert_eq!(wifi.telemetry().transport_events().len(), 1);
+    }
+
+    #[test]
+    fn retrying_retries_the_whole_batch() {
+        let mut q = Retrying::new(Scripted::new(&[false, true]), 2);
+        let mut r = rng::for_component(19, "batch-retry");
+        let batch: Vec<ObservationReport> = (0..3).map(stamped_report).collect();
+        let outcome = q.send_batch(SimTime::from_secs(1), &batch, &mut r);
+        assert!(outcome.is_delivered());
+        // Two coalesced attempts, not 3 + 3 per-report bursts.
+        assert_eq!(q.telemetry().transport_events().len(), 2);
+    }
+
+    #[test]
+    fn batched_offer_counts_every_report_in_the_burst() {
+        // Satellite invariant: a coalesced burst of k reports counts k
+        // delivered reports — one wire attempt must not collapse the
+        // report-level accounting to 1.
+        let mut q = QueueingTransport::new(
+            Scripted::new(&[true]),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let mut r = rng::for_component(20, "batch-count");
+        let batch: Vec<ObservationReport> = (0..5).map(stamped_report).collect();
+        let deliveries = q.offer_batch(SimTime::from_secs(1), batch, &mut r);
+        assert_eq!(deliveries.len(), 5);
+        assert_eq!(q.offered(), 5);
+        assert_eq!(q.delivered_reports(), 5, "k reports = k deliveries, not 1");
+        assert_eq!(q.report_delivery_rate(), Some(1.0));
+        assert_eq!(
+            q.telemetry().counter(keys::NET_TX_ATTEMPTS),
+            1,
+            "one coalesced wire burst"
+        );
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_OFFERED), 5);
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_DELIVERED), 5);
+    }
+
+    #[test]
+    fn batched_lost_ack_retransmits_every_report() {
+        // One lost batch ack covers the whole envelope: all k reports are
+        // re-queued and counted as retransmissions, but never as extra
+        // *delivered* reports.
+        let mut q = QueueingTransport::new(
+            Scripted::new(&[true]),
+            8,
+            SimDuration::from_secs(1),
+        )
+        .with_ack_loss(1.0);
+        let mut r = rng::for_component(21, "batch-ack");
+        let batch: Vec<ObservationReport> = (0..4).map(stamped_report).collect();
+        let deliveries = q.offer_batch(SimTime::from_secs(1), batch, &mut r);
+        assert_eq!(deliveries.len(), 4, "the server saw every report once");
+        assert_eq!(q.delivered_reports(), 4);
+        assert_eq!(q.retransmits(), 4, "one lost batch ack re-queues all k");
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.telemetry().counter(keys::NET_QUEUE_RETRANSMITS), 4);
+    }
+
+    #[test]
+    fn batched_failure_queues_each_report_individually() {
+        let mut q = QueueingTransport::new(
+            Scripted::new(&[false, true, true, true]),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let mut r = rng::for_component(22, "batch-fail");
+        let batch: Vec<ObservationReport> = (0..3).map(stamped_report).collect();
+        assert!(q.offer_batch(SimTime::from_secs(1), batch, &mut r).is_empty());
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.delivered_reports(), 0);
+        // The queued reports drain as individual retries and each counts.
+        let drained = q.flush(SimTime::from_secs(600), &mut r);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(q.delivered_reports(), 3);
+        assert_eq!(q.report_delivery_rate(), Some(1.0));
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub mod keys {
     pub const NET_QUEUE_DROPPED: MetricKey = MetricKey("net.queue.dropped");
     /// Deliveries whose lost ack forced a retransmission.
     pub const NET_QUEUE_RETRANSMITS: MetricKey = MetricKey("net.queue.retransmits");
+    /// Reports offered to a batching transport.
+    pub const NET_BATCH_OFFERED: MetricKey = MetricKey("net.batch.offered");
+    /// Coalesced radio bursts flushed by a batching transport.
+    pub const NET_BATCH_FLUSHES: MetricKey = MetricKey("net.batch.flushes");
+    /// Reports delivered through a batching transport (one per report, not
+    /// per burst).
+    pub const NET_BATCH_DELIVERED: MetricKey = MetricKey("net.batch.delivered");
+    /// Reports evicted from a full batching buffer.
+    pub const NET_BATCH_DROPPED: MetricKey = MetricKey("net.batch.dropped");
+    /// Batched deliveries whose lost ack forced a retransmission (one per
+    /// report in the affected burst).
+    pub const NET_BATCH_RETRANSMITS: MetricKey = MetricKey("net.batch.retransmits");
+    /// Reports per coalesced burst (histogram).
+    pub const NET_BATCH_SIZE: MetricKey = MetricKey("net.batch.size");
     /// Sends routed to the secondary channel by the failover router.
     pub const NET_FAILOVER_SENDS: MetricKey = MetricKey("net.failover.sends");
     /// Recovery probes sent over a down primary.
@@ -54,6 +68,10 @@ pub mod keys {
     pub const BMS_INGEST_DUPLICATES: MetricKey = MetricKey("bms.ingest.duplicates");
     /// Checkpoints the BMS has taken.
     pub const BMS_CHECKPOINTS: MetricKey = MetricKey("bms.checkpoints");
+    /// Reports and assignments dropped by the BMS retention compactor.
+    pub const BMS_RETENTION_COMPACTED: MetricKey = MetricKey("bms.retention.compacted");
+    /// Peak resident report count observed during a run (gauge).
+    pub const BMS_REPORTS_RETAINED_PEAK: MetricKey = MetricKey("bms.reports.retained_peak");
     /// Scan cycles executed.
     pub const SCAN_CYCLES: MetricKey = MetricKey("scan.cycles");
     /// Android 4.x restart windows evaluated.
@@ -94,6 +112,9 @@ pub mod keys {
     pub const ENERGY_WIFI_ACTIVE_MJ: MetricKey = MetricKey("energy.wifi_active_mj");
     /// Energy drawn by the post-transfer Wi-Fi tail (gauge).
     pub const ENERGY_WIFI_TAIL_MJ: MetricKey = MetricKey("energy.wifi_tail_mj");
+    /// Energy drawn waking/re-associating Wi-Fi before each batched burst
+    /// (gauge; batched architecture only).
+    pub const ENERGY_WIFI_WAKE_MJ: MetricKey = MetricKey("energy.wifi_wake_mj");
     /// Energy drawn by Bluetooth relay connections (gauge).
     pub const ENERGY_BT_CONNECTION_MJ: MetricKey = MetricKey("energy.bt_connection_mj");
     /// Total uplink-side energy, in millijoules (gauge).

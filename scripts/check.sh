@@ -9,9 +9,11 @@
 # bug cannot hide behind whichever mode the CI host happens to pick.
 # The bench arm then regenerates BENCH_PR2.json and asserts the parallel
 # outputs are bit-for-bit identical to the sequential ones; the chaos
-# arm (reliable-delivery sweep) and the telemetry arm (merged recorder
-# snapshot) must each produce the same checksum under a single worker
-# and under the default parallelism.
+# arm (reliable-delivery sweep), the telemetry arm (merged recorder
+# snapshot), and the scale arm (10k-device sharded fleet, which also
+# asserts sharded==single-server state and the retention memory bound)
+# must each produce the same checksum under a single worker and under
+# the default parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,4 +46,18 @@ if [ -z "$seq_tsum" ] || [ "$seq_tsum" != "$par_tsum" ]; then
 fi
 echo "telemetry snapshot checksum $seq_tsum identical at threads=1 and default"
 
-echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry all green"
+scale_sum() {
+    sed -n 's/.*scale checksum: \([0-9a-f]*\).*/\1/p'
+}
+# The scale arm itself asserts digests_match, crash-recovery exactness,
+# and peak retained reports <= the retention cap; a violated bound exits
+# non-zero and fails the gate before the checksum comparison runs.
+seq_ssum=$(ROOMSENSE_THREADS=1 ./target/release/repro scale | scale_sum)
+par_ssum=$(env -u ROOMSENSE_THREADS ./target/release/repro scale | scale_sum)
+if [ -z "$seq_ssum" ] || [ "$seq_ssum" != "$par_ssum" ]; then
+    echo "check.sh: scale fleet diverged across thread counts ($seq_ssum vs $par_ssum)" >&2
+    exit 1
+fi
+echo "scale fingerprint checksum $seq_ssum identical at threads=1 and default"
+
+echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry + scale all green"
