@@ -1,6 +1,6 @@
 //! `repro` — regenerates every figure and headline claim of the paper.
 //!
-//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|bench|all]`
+//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|bench|all]`
 //!
 //! The `bench` arm is not a paper figure: it times the parallel execution
 //! layer against a forced single-worker run of the same workloads, checks
@@ -13,8 +13,9 @@
 use roomsense::experiments::{
     chaos_experiment, classification_cross_validation, classification_experiment,
     coefficient_sweep, device_comparison, dynamic_walk, energy_experiment, faults_experiment,
-    run_tx_power_calibration, multifloor_experiment, sampling_comparison, scale_experiment,
-    scaling_experiment, static_capture, telemetry_experiment, tracking_experiment,
+    run_tx_power_calibration, multifloor_experiment, overload_experiment, sampling_comparison,
+    scale_experiment, scaling_experiment, static_capture, telemetry_experiment,
+    tracking_experiment,
 };
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
@@ -51,6 +52,7 @@ fn main() {
         "chaos" => chaos(),
         "telemetry" => telemetry(),
         "scale" => scale(),
+        "overload" => overload(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -71,11 +73,12 @@ fn main() {
             chaos();
             telemetry();
             scale();
+            overload();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|bench|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|bench|all]"
             );
             std::process::exit(2);
         }
@@ -559,6 +562,63 @@ fn scale() {
     );
     println!(
         "  scale checksum: {:016x} (threads: {})",
+        fnv1a(&format!("{f:?}")),
+        exec::thread_count()
+    );
+}
+
+/// Overload arm: a two-building campus federation driven past capacity by
+/// a lecture-hall surge. Asserts mailbox memory stayed under the
+/// configured bound, that no report was lost despite load-shedding, that
+/// every degraded answer matched the pumped-prefix oracle (stale, never
+/// wrong), and that post-drain state equals the unthrottled single-server
+/// oracles, then prints the deterministic fingerprint's FNV-1a checksum —
+/// `scripts/check.sh` compares it across thread counts.
+fn overload() {
+    header("overload: lecture-hall surge through bounded mailboxes + campus federation");
+    let result = overload_experiment(SEED, 600, 8);
+    let f = &result.fingerprint;
+    let t = &result.timings;
+    println!(
+        "  campus: {} devices over 2 buildings, {} shards each (mailbox cap {}, service {} reports/shard/tick)",
+        f.devices, f.shards, f.mailbox_capacity, 4
+    );
+    println!(
+        "  admission: {} offered, {} admitted, {} shed (retried), {} gate pauses",
+        f.offered, f.admitted, f.shed, f.pauses
+    );
+    println!(
+        "  memory: peak mailbox depth {} (cap {}), deepest client retry queue {}",
+        f.peak_mailbox_depth, f.mailbox_capacity, f.max_client_queue
+    );
+    println!(
+        "  queries: {} exact, {} degraded; drained in {} ticks; final view {} occupants",
+        f.exact_queries, f.degraded_queries, f.ticks_to_drain, f.occupants
+    );
+    println!(
+        "  timings: generate {:.2} s, event loop {:.2} s ({:.0} admitted/s)",
+        t.generate_secs, t.run_secs, t.admitted_per_sec
+    );
+    assert!(f.memory_bounded(), "peak mailbox depth exceeded the configured capacity");
+    assert_eq!(f.admitted, f.offered, "load shedding lost reports");
+    assert!(f.shed > 0, "the surge never exercised backpressure");
+    assert!(f.degraded_queries > 0, "the surge never degraded a query");
+    assert!(
+        f.degraded_consistent,
+        "a degraded answer diverged from the pumped-prefix oracle"
+    );
+    assert!(
+        f.digests_match,
+        "post-drain state diverged from the unthrottled oracle"
+    );
+    println!(
+        "  memory bounded: {}; shed-period answers consistent: {}; post-drain digests exact: {}",
+        f.memory_bounded(),
+        f.degraded_consistent,
+        f.digests_match
+    );
+    println!(
+        "  overload checksum: {:016x} (threads: {})",
         fnv1a(&format!("{f:?}")),
         exec::thread_count()
     );

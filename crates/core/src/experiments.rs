@@ -1735,6 +1735,36 @@ pub fn telemetry_experiment(seed: u64) -> TelemetryResult {
     }
 }
 
+/// The retention-window memory bound for a fleet with heterogeneous
+/// report periods: `Σ_d (window / period_d + 1)`.
+///
+/// A server that keeps `window` of history holds at most
+/// `window / period + 1` reports per device (the `+1` covers the report
+/// straddling the window edge). With every device on the same period
+/// this collapses to the old `devices × (window / period + 1)` formula;
+/// summing per device keeps the bound tight when parts of the fleet
+/// report faster than others.
+///
+/// # Examples
+///
+/// ```
+/// use roomsense::experiments::retention_cap;
+/// use roomsense_sim::SimDuration;
+///
+/// let window = SimDuration::from_secs(300);
+/// let periods = [SimDuration::from_secs(60), SimDuration::from_secs(30)];
+/// assert_eq!(retention_cap(window, periods), 6 + 11);
+/// ```
+pub fn retention_cap(
+    window: SimDuration,
+    periods: impl IntoIterator<Item = SimDuration>,
+) -> usize {
+    periods
+        .into_iter()
+        .map(|period| (window.as_millis() / period.as_millis().max(1)) as usize + 1)
+        .sum()
+}
+
 /// The deterministic half of one [`scale_experiment`] run — everything in
 /// here is a pure function of `(seed, devices, shards)` at any
 /// `ROOMSENSE_THREADS`, so the `repro scale` checksum hashes exactly this.
@@ -1766,7 +1796,9 @@ pub struct ScaleFingerprint {
     pub duplicates: u64,
     /// Highest retained-report count observed across ingest chunks.
     pub peak_retained: usize,
-    /// The retention-window bound: `devices × (window / period + 1)`.
+    /// The retention-window bound, summed per device over heterogeneous
+    /// report periods: `Σ_d (window / period_d + 1)` (see
+    /// [`retention_cap`]).
     pub retained_cap: usize,
     /// Reports retained after the full stream (post-compaction).
     pub final_retained: usize,
@@ -1851,9 +1883,10 @@ pub struct ScaleResult {
 ///   `(time, device, seq)`) is bulk-ingested chunk by chunk through
 ///   [`ingest_all`](roomsense_net::ShardedBmsServer::ingest_all); the
 ///   reference server ingests the same chunks serially.
-/// * **Retention** — both servers run a 300 s retention window; the peak
-///   retained count is sampled per chunk and must stay under
-///   `devices × (window / period + 1)`.
+/// * **Retention** — both servers run a 300 s retention window; every
+///   fifth device reports at a 30 s period (the rest at 60 s), and the
+///   peak retained count sampled per chunk must stay under the summed
+///   per-device bound [`retention_cap`]: `Σ_d (window / period_d + 1)`.
 /// * **Crash recovery** — the fleet checkpoints at chunk 12 and crashes at
 ///   chunk 16, restoring from the checkpoint and replaying the journal
 ///   tail; the restored digest must equal the pre-crash digest, and the
@@ -1886,6 +1919,7 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
 
     struct DeviceRun {
         deliveries: Vec<Delivery>,
+        period: SimDuration,
         offered: u64,
         delivered: u64,
         dropped: u64,
@@ -1903,11 +1937,17 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
     let indices: Vec<u64> = (0..devices as u64).collect();
     let runs = exec::par_map_indexed(&indices, |i, _| {
         let mut r = rng::for_indexed(seed, "scale-device", i as u64);
-        let jitter_ms = r.gen_range(0..PERIOD_MS);
+        // Heterogeneous report periods: every fifth device is a "fast"
+        // reporter (30 s), the rest hold the paper's 60 s cycle. The
+        // retention bound must therefore be summed per device rather
+        // than multiplied fleet-wide.
+        let period_ms = if i % 5 == 4 { PERIOD_MS / 2 } else { PERIOD_MS };
+        let cycles = duration.as_millis() / period_ms;
+        let jitter_ms = r.gen_range(0..period_ms);
         let home = r.gen_range(0..ROOMS);
         let roams = r.gen::<f64>() < 0.3;
         let away = r.gen_range(0..ROOMS);
-        let switch = r.gen_range(CYCLES / 3..2 * CYCLES / 3);
+        let switch = r.gen_range(cycles / 3..2 * cycles / 3);
         // With 60 s reports and a 600 s freshness bound, the size-8 seal
         // fires first: the batch fills (~7 min) before the oldest report
         // ages out, so bursts run near max_batch.
@@ -1919,9 +1959,9 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
         .with_backoff(SimDuration::from_secs(60))
         .with_ack_loss(0.05);
         let mut deliveries = Vec::new();
-        for k in 0..CYCLES {
+        for k in 0..cycles {
             let room = if roams && k >= switch { away } else { home };
-            let at = SimTime::from_millis(k * PERIOD_MS + jitter_ms);
+            let at = SimTime::from_millis(k * period_ms + jitter_ms);
             let report = ObservationReport {
                 device: DeviceId::new(i as u32),
                 seq: k,
@@ -1950,6 +1990,7 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
         };
         let profile = PowerProfile::galaxy_s3_mini();
         DeviceRun {
+            period: SimDuration::from_millis(period_ms),
             offered: uplink.offered(),
             delivered: uplink.delivered_reports(),
             dropped: uplink.dropped(),
@@ -1970,7 +2011,9 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
     let mut batched_energy_mj = 0.0f64;
     let mut always_on_energy_mj = 0.0f64;
     let mut stream: Vec<Delivery> = Vec::new();
+    let mut periods: Vec<SimDuration> = Vec::with_capacity(devices);
     for run in runs {
+        periods.push(run.period);
         offered += run.offered;
         delivered += run.delivered;
         dropped += run.dropped;
@@ -2051,7 +2094,6 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
     let mut recorder = fleet.telemetry_snapshot();
     recorder.set_gauge(keys::BMS_REPORTS_RETAINED_PEAK, peak_retained as f64);
 
-    let window_per_device = (retention.as_millis() / PERIOD_MS) as usize + 1;
     let fingerprint = ScaleFingerprint {
         devices,
         shards,
@@ -2069,7 +2111,7 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
         stored: stats.reports_stored,
         duplicates: stats.reports_duplicate,
         peak_retained,
-        retained_cap: devices * window_per_device,
+        retained_cap: retention_cap(retention, periods),
         final_retained: fleet.report_count(),
         compacted: fleet.compacted_entries(),
         recovered_reports,
@@ -2094,6 +2136,386 @@ pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult
         query_micros,
     };
     ScaleResult {
+        fingerprint,
+        timings,
+    }
+}
+
+/// The deterministic half of one [`overload_experiment`] run — a pure
+/// function of `(seed, devices, shards)` at any `ROOMSENSE_THREADS`, so
+/// the `repro overload` checksum hashes exactly this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadFingerprint {
+    /// Synthetic fleet size across both buildings.
+    pub devices: usize,
+    /// Shards per building's [`IngestTier`](roomsense_net::IngestTier).
+    pub shards: usize,
+    /// Reports generated by the fleet (trickle + surge schedules).
+    pub offered: u64,
+    /// Offers admitted into a mailbox (equals `offered` after the drain:
+    /// nothing is ever dropped).
+    pub admitted: u64,
+    /// Offer attempts answered `Backpressured` — each one costs the
+    /// client exactly one deferred retry, so this is also the retry
+    /// count.
+    pub shed: u64,
+    /// Admission-gate pause events across both buildings.
+    pub pauses: u64,
+    /// Deepest any client-side retry queue grew during the surge.
+    pub max_client_queue: usize,
+    /// Deepest any shard mailbox grew — must stay `<= mailbox_capacity`.
+    pub peak_mailbox_depth: usize,
+    /// The configured per-shard mailbox bound.
+    pub mailbox_capacity: usize,
+    /// Event-loop ticks until every mailbox and client queue drained.
+    pub ticks_to_drain: u64,
+    /// Campus queries answered at `Exact` service level.
+    pub exact_queries: u64,
+    /// Campus queries answered at `Degraded` (stale-but-consistent)
+    /// service level — the surge must force at least one.
+    pub degraded_queries: u64,
+    /// Every sampled query (degraded included) matched the prefix
+    /// oracle's digest, and every lagging shard's rooms were marked
+    /// stale.
+    pub degraded_consistent: bool,
+    /// Post-drain, each building's tier digest equals its unthrottled
+    /// single-server oracle digest.
+    pub digests_match: bool,
+    /// The federation's campus digest after the drain.
+    pub campus_digest: u64,
+    /// Devices visible in the final campus view (one room each).
+    pub occupants: usize,
+    /// Checksum of the merged campus telemetry.
+    pub telemetry_checksum: u64,
+}
+
+impl OverloadFingerprint {
+    /// Whether resident mailbox state stayed under the configured bound.
+    pub fn memory_bounded(&self) -> bool {
+        self.peak_mailbox_depth <= self.mailbox_capacity
+    }
+}
+
+/// Wall-clock measurements from one [`overload_experiment`] run —
+/// machine-dependent, never checksummed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadTimings {
+    /// Seconds generating the fleet's report schedules.
+    pub generate_secs: f64,
+    /// Seconds running the tick loop (offer/pump/query/drain).
+    pub run_secs: f64,
+    /// Reports admitted per wall-clock second through the event loop.
+    pub admitted_per_sec: f64,
+}
+
+/// Everything `repro overload` prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadResult {
+    /// The deterministic, checksummable half.
+    pub fingerprint: OverloadFingerprint,
+    /// The wall-clock half (never checksummed).
+    pub timings: OverloadTimings,
+}
+
+/// The overload/admission-control bench (the `repro overload` arm): a
+/// two-building campus federation driven past capacity by a lecture-hall
+/// surge, proving the ingestion tier sheds load without ever dropping or
+/// corrupting a report.
+///
+/// Two buildings share a [`CampusFederation`](roomsense_net::CampusFederation):
+/// a lecture **hall** holding two thirds of the fleet and a quiet
+/// **library** with the rest. Every device trickles a report each 60 s;
+/// between minutes 10 and 15 a lecture change packs the hall and its
+/// devices report every 5 s — far past the tier's drain rate, so
+/// mailboxes fill, admission gates pause, and offers come back
+/// [`Backpressured`](roomsense_net::Admission::Backpressured). Clients
+/// park refused reports in bounded retry queues with exponential backoff
+/// (1→16 tick cap) and re-offer later; nothing is dropped anywhere.
+///
+/// Three oracles pin the semantics:
+///
+/// * an **unthrottled single server** per building ingests each report
+///   the moment it is admitted — post-drain, every tier digest must
+///   equal its oracle's (exact recovery, sharded == single);
+/// * a **prefix mirror** per building replays exactly the pumped prefix
+///   into its own sharded server — at every sampled query the tier's
+///   digest must equal the mirror's, proving degraded answers are the
+///   *consistent already-ingested prefix*, stale but never wrong;
+/// * every lagging shard's rooms must read `fresh == 0` in a degraded
+///   view, and the quiet library must stay `Exact` throughout.
+///
+/// Deterministic at any `ROOMSENSE_THREADS`: schedules come from
+/// [`rng::for_indexed`] streams under [`exec::par_map_indexed`], and the
+/// event loop itself is a sequential virtual-time tick loop.
+pub fn overload_experiment(seed: u64, devices: usize, shards: usize) -> OverloadResult {
+    use rand::Rng;
+    use roomsense_ibeacon::{BeaconIdentity, Major, ProximityUuid};
+    use roomsense_net::{
+        Admission, BmsServer, CampusFederation, IngestTier, IngestTierConfig, ServiceLevel,
+        ShardedBmsServer,
+    };
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const TICK_MS: u64 = 5_000;
+    const TRICKLE_PERIOD_MS: u64 = 60_000;
+    const SURGE_PERIOD_MS: u64 = 5_000;
+    const SURGE_START_MS: u64 = 600_000;
+    const SURGE_END_MS: u64 = 900_000;
+    const RUN_MS: u64 = 1_800_000;
+    const QUERY_EVERY_TICKS: u64 = 12;
+    const MAX_TICKS: u64 = 10_000;
+    const BACKOFF_CAP_TICKS: u64 = 16;
+    const BUILDINGS: [&str; 2] = ["hall", "library"];
+
+    let config = IngestTierConfig {
+        mailbox_capacity: 128,
+        service_rate: 4,
+        admit_high: 96,
+        admit_low: 16,
+    };
+    let ttl = SimDuration::from_secs(300);
+    let building_of = |i: usize| usize::from(i % 3 == 2); // 0 = hall, 1 = library
+
+    // Phase 1: per-device report schedules. Hall devices swap their 60 s
+    // trickle for a 5 s surge stream inside the lecture-change window and
+    // converge on two packed halls; the library never surges.
+    let generate_start = Instant::now();
+    let indices: Vec<u64> = (0..devices as u64).collect();
+    let schedules = exec::par_map_indexed(&indices, |i, _| {
+        let mut r = rng::for_indexed(seed, "overload-device", i as u64);
+        let building = building_of(i);
+        let trickle_jitter = r.gen_range(0..TRICKLE_PERIOD_MS);
+        let surge_jitter = r.gen_range(0..SURGE_PERIOD_MS);
+        let home: u16 = if building == 0 {
+            (i % 4) as u16
+        } else {
+            8 + (i % 4) as u16
+        };
+        let packed: u16 = (i % 2) as u16;
+        let mut stamps: Vec<(u64, u16)> = Vec::new();
+        let mut t = trickle_jitter;
+        while t < RUN_MS {
+            let in_surge = (SURGE_START_MS..SURGE_END_MS).contains(&t);
+            if !(building == 0 && in_surge) {
+                stamps.push((t, home));
+            }
+            t += TRICKLE_PERIOD_MS;
+        }
+        if building == 0 {
+            let mut s = SURGE_START_MS + surge_jitter;
+            while s < SURGE_END_MS {
+                stamps.push((s, packed));
+                s += SURGE_PERIOD_MS;
+            }
+        }
+        stamps.sort_unstable();
+        stamps
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (at_ms, room))| ObservationReport {
+                device: DeviceId::new(i as u32),
+                seq: seq as u64,
+                at: SimTime::from_millis(at_ms),
+                beacons: vec![SightedBeacon {
+                    identity: BeaconIdentity {
+                        uuid: ProximityUuid::example(),
+                        major: Major::new(1),
+                        minor: Minor::new(room),
+                    },
+                    distance_m: 1.5,
+                }],
+            })
+            .collect::<Vec<_>>()
+    });
+    let offered: u64 = schedules.iter().map(|s| s.len() as u64).sum();
+    let generate_secs = generate_start.elapsed().as_secs_f64();
+
+    // Phase 2: the campus, its oracles, and the prefix mirrors.
+    let estimator: Arc<dyn roomsense_net::OccupancyEstimator> =
+        Arc::new(|r: &ObservationReport| {
+            r.beacons.first().map(|b| b.identity.minor.value() as usize)
+        });
+    let mut campus = CampusFederation::new();
+    for name in BUILDINGS {
+        campus.add_building(
+            name,
+            IngestTier::new(ShardedBmsServer::new(Arc::clone(&estimator), shards), config),
+        );
+    }
+    let oracles: Vec<BmsServer> = (0..BUILDINGS.len())
+        .map(|_| {
+            BmsServer::new(Box::new(|r: &ObservationReport| {
+                r.beacons.first().map(|b| b.identity.minor.value() as usize)
+            }))
+        })
+        .collect();
+    // The mirror re-implements the tier's drain schedule independently:
+    // per-shard FIFOs fed on admission, popped `service_rate` at a time in
+    // shard order, bulk-ingested into a second sharded server. If the
+    // tier's visible state ever differs from the mirror's, a shed or a
+    // pump corrupted something.
+    let mirrors: Vec<ShardedBmsServer> = (0..BUILDINGS.len())
+        .map(|_| ShardedBmsServer::new(Arc::clone(&estimator), shards))
+        .collect();
+    let mut mirror_boxes: Vec<Vec<VecDeque<ObservationReport>>> =
+        vec![vec![VecDeque::new(); mirrors[0].shard_count()]; BUILDINGS.len()];
+
+    struct Client {
+        building: usize,
+        schedule: Vec<ObservationReport>,
+        next_scheduled: usize,
+        queue: VecDeque<ObservationReport>,
+        next_attempt: u64,
+        backoff: u64,
+    }
+    let mut clients: Vec<Client> = schedules
+        .into_iter()
+        .enumerate()
+        .map(|(i, schedule)| Client {
+            building: building_of(i),
+            schedule,
+            next_scheduled: 0,
+            queue: VecDeque::new(),
+            next_attempt: 0,
+            backoff: 1,
+        })
+        .collect();
+
+    // Phase 3: the sequential virtual-time event loop.
+    let run_start = Instant::now();
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    let mut max_client_queue = 0usize;
+    let mut degraded_consistent = true;
+    let mut ticks = 0u64;
+    loop {
+        let now = SimTime::from_millis(ticks * TICK_MS);
+        let mut idle = true;
+        for client in &mut clients {
+            while client
+                .schedule
+                .get(client.next_scheduled)
+                .is_some_and(|r| r.at <= now)
+            {
+                client.queue.push_back(client.schedule[client.next_scheduled].clone());
+                client.next_scheduled += 1;
+            }
+            if client.next_scheduled < client.schedule.len() || !client.queue.is_empty() {
+                idle = false;
+            }
+            max_client_queue = max_client_queue.max(client.queue.len());
+            if client.queue.is_empty() || client.next_attempt > ticks {
+                continue;
+            }
+            while let Some(report) = client.queue.front() {
+                match campus.offer(BUILDINGS[client.building], now, report.clone()) {
+                    Admission::Admitted => {
+                        admitted += 1;
+                        oracles[client.building].ingest(report.clone());
+                        let shard = mirrors[client.building].shard_of(report.device);
+                        mirror_boxes[client.building][shard].push_back(report.clone());
+                        client.queue.pop_front();
+                        client.backoff = 1;
+                    }
+                    Admission::Backpressured => {
+                        shed += 1;
+                        client.next_attempt = ticks + client.backoff;
+                        client.backoff = (client.backoff * 2).min(BACKOFF_CAP_TICKS);
+                        break;
+                    }
+                }
+            }
+        }
+        campus.pump();
+        for (mirror, boxes) in mirrors.iter().zip(&mut mirror_boxes) {
+            let mut batch = Vec::new();
+            for fifo in boxes.iter_mut() {
+                for _ in 0..config.service_rate {
+                    match fifo.pop_front() {
+                        Some(report) => batch.push(report),
+                        None => break,
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                mirror.ingest_all(batch);
+            }
+        }
+        ticks += 1;
+        if ticks.is_multiple_of(QUERY_EVERY_TICKS) {
+            let view = campus.campus_view(now, ttl);
+            // Stale, never wrong: the tier's visible state is exactly the
+            // pumped prefix, lagging shards read stale, and the quiet
+            // library never degrades.
+            for (b, (_, leveled)) in view.buildings.iter().enumerate() {
+                let tier = campus.building(BUILDINGS[b]).expect("registered");
+                degraded_consistent &= tier.state_digest() == mirrors[b].state_digest();
+                if leveled.level == ServiceLevel::Degraded {
+                    degraded_consistent &= leveled.lagging_shards > 0;
+                }
+            }
+            degraded_consistent &= view.buildings[1].1.level == ServiceLevel::Exact;
+        }
+        if idle && campus.backlog() == 0 {
+            break;
+        }
+        assert!(ticks < MAX_TICKS, "overload event loop failed to drain");
+    }
+    let end = SimTime::from_millis(ticks * TICK_MS);
+
+    // Phase 4: exact recovery and the campus-wide answer.
+    let final_view = campus.campus_view(end, ttl);
+    let digests_match = BUILDINGS.iter().enumerate().all(|(b, name)| {
+        campus.building(name).expect("registered").state_digest() == oracles[b].state_digest()
+    });
+    degraded_consistent &= final_view.level == ServiceLevel::Exact;
+    let peak_mailbox_depth = BUILDINGS
+        .iter()
+        .map(|name| campus.building(name).expect("registered").peak_mailbox_depth())
+        .max()
+        .unwrap_or(0);
+    let (pauses, exact_queries, degraded_queries) =
+        BUILDINGS.iter().fold((0, 0, 0), |(p, e, d), name| {
+            let tier = campus.building(name).expect("registered");
+            (
+                p + tier.pauses(),
+                e + tier.exact_queries(),
+                d + tier.degraded_queries(),
+            )
+        });
+    let run_secs = run_start.elapsed().as_secs_f64();
+
+    let fingerprint = OverloadFingerprint {
+        devices,
+        shards,
+        offered,
+        admitted,
+        shed,
+        pauses,
+        max_client_queue,
+        peak_mailbox_depth,
+        mailbox_capacity: config.mailbox_capacity,
+        ticks_to_drain: ticks,
+        exact_queries,
+        degraded_queries,
+        degraded_consistent,
+        digests_match,
+        campus_digest: campus.campus_digest(),
+        occupants: final_view.occupants(),
+        telemetry_checksum: campus.telemetry_snapshot().checksum(),
+    };
+    let timings = OverloadTimings {
+        generate_secs,
+        run_secs,
+        admitted_per_sec: if run_secs > 0.0 {
+            admitted as f64 / run_secs
+        } else {
+            0.0
+        },
+    };
+    OverloadResult {
         fingerprint,
         timings,
     }
@@ -2329,6 +2751,38 @@ mod tests {
     fn scale_experiment_is_thread_invariant() {
         let base = scale_experiment(22, 48, 4);
         let serial = exec::with_thread_override(1, || scale_experiment(22, 48, 4));
+        assert_eq!(base.fingerprint, serial.fingerprint);
+    }
+
+    #[test]
+    fn retention_cap_sums_heterogeneous_periods() {
+        let window = SimDuration::from_secs(300);
+        let uniform = vec![SimDuration::from_secs(60); 10];
+        assert_eq!(retention_cap(window, uniform), 10 * 6);
+        let mixed = [SimDuration::from_secs(60), SimDuration::from_secs(30)];
+        assert_eq!(retention_cap(window, mixed), 6 + 11);
+        assert_eq!(retention_cap(window, []), 0);
+    }
+
+    #[test]
+    fn overload_experiment_sheds_recovers_and_bounds_memory() {
+        let result = overload_experiment(31, 36, 3);
+        let f = &result.fingerprint;
+        assert!(f.shed > 0, "the surge never overflowed admission");
+        assert!(f.pauses > 0, "no admission gate ever paused");
+        assert!(f.memory_bounded(), "peak {} > cap {}", f.peak_mailbox_depth, f.mailbox_capacity);
+        assert_eq!(f.admitted, f.offered, "reports were lost despite retry queues");
+        assert!(f.degraded_queries > 0, "the surge never degraded a query");
+        assert!(f.exact_queries > 0, "the tier never recovered to Exact");
+        assert!(f.degraded_consistent, "a degraded answer diverged from the pumped prefix");
+        assert!(f.digests_match, "post-drain state diverged from the unthrottled oracle");
+        assert_eq!(f.occupants, 36, "every device occupies exactly one room");
+    }
+
+    #[test]
+    fn overload_experiment_is_thread_invariant() {
+        let base = overload_experiment(32, 24, 2);
+        let serial = exec::with_thread_override(1, || overload_experiment(32, 24, 2));
         assert_eq!(base.fingerprint, serial.fingerprint);
     }
 

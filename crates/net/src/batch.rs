@@ -272,7 +272,12 @@ impl<T: Transport> BatchingTransport<T> {
                     self.retry.push_back(batch);
                 }
             }
-            SendOutcome::Failed | SendOutcome::Refused => {
+            // Backpressure re-queues the batch exactly like a failed or
+            // refused burst: exponential backoff spaces the next attempt,
+            // so a saturated server sees a thinning arrival rate instead
+            // of a hammering client — and no report is ever dropped short
+            // of explicit buffer overflow.
+            SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
                 batch.attempts += 1;
                 batch.next_attempt = at + self.backoff_for(batch.attempts, rng);
                 self.retry.push_back(batch);

@@ -391,6 +391,14 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
         if self.health.state() != LinkState::Down {
             let outcome = self.primary.send(at, report, rng);
             self.copy_last_primary_event();
+            // Server-side backpressure is not a link failure: the channel
+            // carried the attempt and the server answered. Don't condemn
+            // the link, and don't burn the secondary radio into the same
+            // overloaded server — surface the signal so the queueing
+            // layer above backs off.
+            if outcome.is_backpressured() {
+                return outcome;
+            }
             self.health.record(outcome.is_delivered());
             if outcome.is_delivered() {
                 return outcome;
@@ -404,8 +412,12 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
             self.telemetry.incr(keys::NET_FAILOVER_PROBES);
             let outcome = self.primary.send(at, report, rng);
             self.copy_last_primary_event();
-            self.health.record_probe(at, outcome.is_delivered());
-            if outcome.is_delivered() {
+            // A backpressured probe proves the *link* works even though
+            // the server shed the report: count it toward recovery, but
+            // report the shed upward rather than rerouting.
+            self.health
+                .record_probe(at, outcome.is_delivered() || outcome.is_backpressured());
+            if outcome.is_delivered() || outcome.is_backpressured() {
                 return outcome;
             }
         }
@@ -426,6 +438,11 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
         if self.health.state() != LinkState::Down {
             let outcome = self.primary.send_batch(at, reports, rng);
             self.copy_last_primary_event();
+            // Same backpressure rule as single sends: the link is fine,
+            // the server is shedding — pass the signal up unrecorded.
+            if outcome.is_backpressured() {
+                return outcome;
+            }
             self.health.record(outcome.is_delivered());
             if outcome.is_delivered() {
                 return outcome;
@@ -437,8 +454,9 @@ impl<P: Transport, S: Transport> Transport for FailoverTransport<P, S> {
             self.telemetry.incr(keys::NET_FAILOVER_PROBES);
             let outcome = self.primary.send_batch(at, reports, rng);
             self.copy_last_primary_event();
-            self.health.record_probe(at, outcome.is_delivered());
-            if outcome.is_delivered() {
+            self.health
+                .record_probe(at, outcome.is_delivered() || outcome.is_backpressured());
+            if outcome.is_delivered() || outcome.is_backpressured() {
                 return outcome;
             }
         }
@@ -573,6 +591,109 @@ mod tests {
         assert_eq!(health.state(), LinkState::Down, "streak must restart");
         health.record_probe(SimTime::from_secs(190), true);
         assert_eq!(health.state(), LinkState::Up);
+    }
+
+    #[test]
+    fn no_flapping_exactly_at_hysteresis_thresholds() {
+        // Ratios landing *exactly on* a threshold must resolve one way,
+        // deterministically, and boundary oscillation must not rack up
+        // transitions. Thresholds: degraded below 0.5 (strict), down below
+        // 0.25 (strict), recovery at >= 0.75 (inclusive).
+        let config = LinkHealthConfig {
+            window: 4,
+            min_samples: 4,
+            degraded_below: 0.5,
+            down_below: 0.25,
+            recover_above: 0.75,
+            ..LinkHealthConfig::default()
+        };
+        let mut health = LinkHealth::new(config);
+        for outcome in [true, true, false, false] {
+            health.record(outcome);
+        }
+        // Exactly 0.5: NOT below degraded_below, so Up holds.
+        assert_eq!(health.success_ratio(), Some(0.5));
+        assert_eq!(health.state(), LinkState::Up);
+        assert_eq!(health.transitions(), 0);
+        // One more failure: exactly 0.25 — NOT below down_below, so the
+        // link degrades rather than dying.
+        health.record(false);
+        assert_eq!(health.success_ratio(), Some(0.25));
+        assert_eq!(health.state(), LinkState::Degraded);
+        assert_eq!(health.transitions(), 1);
+        // Climb to exactly 0.75: recovery is inclusive, so Up.
+        for _ in 0..3 {
+            health.record(true);
+        }
+        assert_eq!(health.success_ratio(), Some(0.75));
+        assert_eq!(health.state(), LinkState::Up);
+        assert_eq!(health.transitions(), 2);
+        // Oscillate the ratio between the 0.5 and 0.75 marks: every value
+        // sits on or inside the hysteresis band, so the state must not
+        // move again.
+        for outcome in [false, false, true, true, false, true] {
+            health.record(outcome);
+            assert_eq!(health.state(), LinkState::Up, "boundary flap");
+        }
+        assert_eq!(health.transitions(), 2);
+    }
+
+    #[test]
+    fn probe_recovery_races_a_scheduled_outage_window() {
+        // Wi-Fi down for [60 s, 310 s). Reports flow every 10 s: the
+        // rolling window walks Up -> Degraded (t=100) -> Down (t=120), so
+        // probes fire at 130 s + 30 k — 130..280 all *inside* the outage
+        // (each fails and resets the recovery streak) and the next lands
+        // at exactly 310 s, the outage's half-open end. The race under
+        // test: that boundary probe must count as recovery traffic (the
+        // window no longer contains 310 s), and no report may be lost
+        // while probes and the outage end interleave.
+        let outage_end = SimTime::from_secs(310);
+        let wifi = FaultyTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            FaultSchedule::new(vec![FaultWindow::new(SimTime::from_secs(60), outage_end)]),
+        );
+        let bt = BtRelayTransport::new(1.0, SimDuration::from_millis(400));
+        let mut t = FailoverTransport::new(wifi, bt, LinkHealthConfig::default());
+        let mut r = rng::for_component(23, "probe-race");
+        let mut in_outage_probes_failed = 0u64;
+        let mut recovered_at = None;
+        for i in 0..60u64 {
+            let at = SimTime::from_secs(i * 10);
+            let before = t.probes();
+            assert!(
+                t.send(at, &report(i, at), &mut r).is_delivered(),
+                "report at {at:?} lost during the probe/outage race"
+            );
+            let probed = t.probes() > before;
+            if probed && at < outage_end {
+                in_outage_probes_failed += 1;
+                assert_eq!(
+                    t.health().state(),
+                    LinkState::Down,
+                    "an in-outage probe must not revive the link"
+                );
+            }
+            if recovered_at.is_none() && t.health().state() == LinkState::Up && at >= outage_end {
+                recovered_at = Some(at);
+            }
+        }
+        assert!(
+            in_outage_probes_failed >= 3,
+            "the outage must be long enough to race several probes (got {in_outage_probes_failed})"
+        );
+        // Recovery needs two clean probes 30 s apart after the boundary:
+        // the earliest possible instant is 300 s + 30 s.
+        let recovered_at = recovered_at.expect("link must recover after the outage");
+        assert!(
+            recovered_at >= outage_end + SimDuration::from_secs(30),
+            "recovered {recovered_at:?}: two consecutive probes cannot land sooner"
+        );
+        assert!(
+            recovered_at <= outage_end + SimDuration::from_secs(60),
+            "recovered {recovered_at:?}: recovery must not dawdle once the outage ends"
+        );
+        assert_eq!(t.health().state(), LinkState::Up);
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod batch;
 mod bms;
 mod demand;
 mod fault;
+mod federation;
 mod health;
+mod ingest;
 mod message;
 mod shard;
 mod transport;
@@ -38,7 +40,9 @@ pub use bms::{
 };
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
 pub use fault::FaultyTransport;
+pub use federation::{CampusFederation, CampusView};
 pub use health::{FailoverTransport, LinkHealth, LinkHealthConfig, LinkState};
+pub use ingest::{Admission, IngestTier, IngestTierConfig, LeveledView, ServiceLevel};
 pub use message::{
     batched_wire_size_bytes, DeviceId, ObservationReport, SequenceStamper, SightedBeacon,
 };

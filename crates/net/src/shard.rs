@@ -189,7 +189,13 @@ impl ShardedBmsServer {
         self.shard_for(device).room_of(device)
     }
 
-    fn merge_views(
+    /// Per-shard servers in shard order — the ingestion tier reads these
+    /// to compute per-shard views it can mark stale independently.
+    pub(crate) fn shards(&self) -> &[BmsServer] {
+        &self.shards
+    }
+
+    pub(crate) fn merge_views(
         &self,
         at: SimTime,
         ttl: SimDuration,

@@ -32,6 +32,13 @@ pub enum SendOutcome {
     /// link is *down* — so retry decorators short-circuit instead of burning
     /// their budget into a dead channel.
     Refused,
+    /// The server is overloaded: its admission controller refused the
+    /// report to protect a bounded mailbox. The link itself is healthy —
+    /// the correct client response is to **queue and back off**, never to
+    /// drop: queueing decorators park the report for a later attempt, and
+    /// immediate-retry decorators short-circuit (hammering an overloaded
+    /// server only deepens the overload).
+    Backpressured,
 }
 
 impl SendOutcome {
@@ -43,6 +50,11 @@ impl SendOutcome {
     /// True when the link refused the attempt outright (scheduled outage).
     pub fn is_refused(&self) -> bool {
         matches!(self, SendOutcome::Refused)
+    }
+
+    /// True when the server shed the attempt to protect itself (overload).
+    pub fn is_backpressured(&self) -> bool {
+        matches!(self, SendOutcome::Backpressured)
     }
 }
 
@@ -80,6 +92,7 @@ pub trait Transport {
             match self.send(at, report, rng) {
                 SendOutcome::Delivered { at } => arrived = arrived.max(at),
                 SendOutcome::Refused => return SendOutcome::Refused,
+                SendOutcome::Backpressured => return SendOutcome::Backpressured,
                 SendOutcome::Failed => failed = true,
             }
         }
@@ -102,16 +115,6 @@ pub trait Transport {
 
     /// The channel this transport uses.
     fn kind(&self) -> TransportKind;
-
-    /// The activity log (in send order), rebuilt from the telemetry
-    /// journal.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read `telemetry().transport_events()` (or the net.tx.* counters) instead"
-    )]
-    fn events(&self) -> Vec<TransportEvent> {
-        self.telemetry().transport_events()
-    }
 
     /// Delivered / attempted bursts, derived from the recorder's counters
     /// (no event-log scan), or `None` when nothing was attempted yet. The
@@ -431,8 +434,13 @@ impl<T: Transport> Transport for Retrying<T> {
                 // A refusal means the link is in a correlated outage: every
                 // remaining immediate retry would be refused too, so stop
                 // after the first instead of burning the budget into probe
-                // bursts. Stochastic failures keep the full retry budget.
+                // bursts. Backpressure is correlated the same way — and an
+                // immediate retry would *worsen* the overload that caused
+                // it — so it short-circuits too; the caller's queueing
+                // layer owns the backoff. Stochastic failures keep the
+                // full retry budget.
                 SendOutcome::Refused => return SendOutcome::Refused,
+                SendOutcome::Backpressured => return SendOutcome::Backpressured,
                 SendOutcome::Failed => {
                     // The retry starts after the failed attempt's burst.
                     let burst = self
@@ -462,6 +470,7 @@ impl<T: Transport> Transport for Retrying<T> {
             match self.inner.send_batch(attempt_at, reports, rng) {
                 SendOutcome::Delivered { at } => return SendOutcome::Delivered { at },
                 SendOutcome::Refused => return SendOutcome::Refused,
+                SendOutcome::Backpressured => return SendOutcome::Backpressured,
                 SendOutcome::Failed => {
                     let burst = self
                         .inner
@@ -749,7 +758,7 @@ impl<T: Transport> QueueingTransport<T> {
                         });
                     }
                 }
-                SendOutcome::Failed | SendOutcome::Refused => {
+                SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
                     entry.attempts += 1;
                     entry.next_attempt = at + self.backoff_for(entry.attempts, rng);
                     still_waiting.push_back(entry);
@@ -795,7 +804,11 @@ impl<T: Transport> QueueingTransport<T> {
                     });
                 }
             }
-            SendOutcome::Failed | SendOutcome::Refused => {
+            // An overloaded server (`Backpressured`) queues exactly like a
+            // bad link: the report parks with exponential backoff, so the
+            // client naturally thins its arrival rate until the server's
+            // mailboxes drain. Nothing is dropped.
+            SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
                 self.enqueue(report, 1, at, false, rng)
             }
         }
@@ -850,7 +863,7 @@ impl<T: Transport> QueueingTransport<T> {
                     }));
                 }
             }
-            SendOutcome::Failed | SendOutcome::Refused => {
+            SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
                 for report in reports {
                     self.enqueue(report, 1, at, false, rng);
                 }
@@ -1050,14 +1063,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_events_shim_rebuilds_the_burst_log() {
+    fn journal_rebuilds_the_burst_log() {
         let mut wifi = WifiTransport::new(1.0, SimDuration::from_millis(50));
         let mut r = rng::for_component(30, "shim");
         wifi.send(SimTime::from_secs(1), &report(), &mut r);
         wifi.send(SimTime::from_secs(2), &report(), &mut r);
-        assert_eq!(wifi.events(), wifi.telemetry().transport_events());
-        assert_eq!(wifi.events().len(), 2);
+        let events = wifi.telemetry().transport_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.delivered));
+        assert_eq!(events[0].start, SimTime::from_secs(1));
+        assert_eq!(events[1].start, SimTime::from_secs(2));
     }
 
     #[test]
@@ -1347,6 +1362,121 @@ mod tests {
         // The backlog report did get through, and seq=2 is now queued.
         assert_eq!(q.delivered_reports(), 1);
         assert_eq!(q.pending(), 1);
+    }
+
+    /// Scripts full [`SendOutcome`]s (not just success/failure) so the
+    /// decorator stack's reaction to server-side backpressure is testable
+    /// without a real overloaded server.
+    struct OutcomeScripted {
+        outcomes: std::collections::VecDeque<SendOutcome>,
+        telemetry: Recorder,
+    }
+
+    impl OutcomeScripted {
+        fn new(outcomes: &[SendOutcome]) -> Self {
+            OutcomeScripted {
+                outcomes: outcomes.iter().copied().collect(),
+                telemetry: Recorder::new(),
+            }
+        }
+    }
+
+    impl Transport for OutcomeScripted {
+        fn send<R: Rng + ?Sized>(
+            &mut self,
+            at: SimTime,
+            _report: &ObservationReport,
+            _rng: &mut R,
+        ) -> SendOutcome {
+            let outcome = self.outcomes.pop_front().expect("script exhausted");
+            self.telemetry.record_send(TransportEvent {
+                kind: TransportKind::Wifi,
+                start: at,
+                active: SimDuration::from_millis(50),
+                delivered: outcome.is_delivered(),
+            });
+            outcome
+        }
+
+        fn send_batch<R: Rng + ?Sized>(
+            &mut self,
+            at: SimTime,
+            reports: &[ObservationReport],
+            rng: &mut R,
+        ) -> SendOutcome {
+            if reports.is_empty() {
+                return SendOutcome::Delivered { at };
+            }
+            self.send(at, &reports[0], rng)
+        }
+
+        fn telemetry(&self) -> &Recorder {
+            &self.telemetry
+        }
+
+        fn telemetry_mut(&mut self) -> &mut Recorder {
+            &mut self.telemetry
+        }
+
+        fn kind(&self) -> TransportKind {
+            TransportKind::Wifi
+        }
+    }
+
+    #[test]
+    fn retrying_short_circuits_on_backpressure() {
+        // An immediate retry against an overloaded server would only deepen
+        // the overload, so the retry budget must not be spent: exactly one
+        // attempt reaches the wire and the signal propagates to the caller.
+        let mut t = Retrying::new(
+            OutcomeScripted::new(&[SendOutcome::Backpressured]),
+            5,
+        );
+        let mut r = rng::for_component(40, "bp-retry");
+        let outcome = t.send(SimTime::from_secs(1), &report(), &mut r);
+        assert!(outcome.is_backpressured());
+        assert_eq!(t.telemetry().counter(keys::NET_TX_ATTEMPTS), 1);
+        // Batches behave identically.
+        let mut tb = Retrying::new(
+            OutcomeScripted::new(&[SendOutcome::Backpressured]),
+            5,
+        );
+        let batch = vec![report(), report()];
+        assert!(tb
+            .send_batch(SimTime::from_secs(2), &batch, &mut r)
+            .is_backpressured());
+        assert_eq!(tb.telemetry().counter(keys::NET_TX_ATTEMPTS), 1);
+    }
+
+    #[test]
+    fn queueing_parks_backpressured_reports_and_retries_later() {
+        // Script: the fresh report is backpressured (server shedding), then
+        // the queued retry is backpressured once more, then admitted. The
+        // report must survive both shed decisions and deliver on the third
+        // attempt — backpressure means "later", never "lost".
+        let mut q = QueueingTransport::new(
+            OutcomeScripted::new(&[
+                SendOutcome::Backpressured,
+                SendOutcome::Backpressured,
+                SendOutcome::Delivered {
+                    at: SimTime::from_secs(900),
+                },
+            ]),
+            8,
+            SimDuration::from_secs(1),
+        );
+        let mut r = rng::for_component(41, "bp-queue");
+        let deliveries = q.offer(SimTime::from_secs(1), stamped_report(1), &mut r);
+        assert!(deliveries.is_empty());
+        assert_eq!(q.pending(), 1, "backpressured report is parked, not dropped");
+        assert_eq!(q.dropped(), 0);
+        let deliveries = q.flush(SimTime::from_secs(300), &mut r);
+        assert!(deliveries.is_empty(), "second shed keeps it parked");
+        assert_eq!(q.pending(), 1);
+        let deliveries = q.flush(SimTime::from_secs(900), &mut r);
+        assert_eq!(deliveries.len(), 1, "admitted once the server recovers");
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.delivered_reports(), 1);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   sequential path.
 //! * [`FaultSchedule`]: seeded, scheduled fault windows — the shared
 //!   substrate of fault injection across the radio, stack, and net layers.
+//! * [`Mailbox`] / [`TickClock`]: bounded, counting event queues and the
+//!   fixed-step virtual clock behind the overload-safe async ingestion
+//!   tier — backpressure and shed decisions become pure functions of the
+//!   call sequence.
 //!
 //! # Examples
 //!
@@ -34,10 +38,12 @@
 
 pub mod exec;
 mod fault;
+mod mailbox;
 mod queue;
 pub mod rng;
 mod time;
 
 pub use fault::{FaultSchedule, FaultWindow};
+pub use mailbox::{Mailbox, TickClock};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

@@ -62,6 +62,14 @@ pub mod keys {
     pub const NET_FAILOVER_SENDS: MetricKey = MetricKey("net.failover.sends");
     /// Recovery probes sent over a down primary.
     pub const NET_FAILOVER_PROBES: MetricKey = MetricKey("net.failover.probes");
+    /// Reports admitted into a shard mailbox by the ingestion tier.
+    pub const NET_MAILBOX_ADMITTED: MetricKey = MetricKey("net.mailbox.admitted");
+    /// Reports refused with backpressure by the admission controller.
+    pub const NET_MAILBOX_SHED: MetricKey = MetricKey("net.mailbox.shed");
+    /// Admission-controller pause episodes (depth crossed the high mark).
+    pub const NET_MAILBOX_PAUSES: MetricKey = MetricKey("net.mailbox.pauses");
+    /// Deepest any shard mailbox ever got (gauge).
+    pub const NET_MAILBOX_DEPTH_PEAK: MetricKey = MetricKey("net.mailbox.depth_peak");
     /// Reports the BMS accepted and stored.
     pub const BMS_INGEST_ACCEPTED: MetricKey = MetricKey("bms.ingest.accepted");
     /// Duplicate reports the BMS rejected.
@@ -72,6 +80,10 @@ pub mod keys {
     pub const BMS_RETENTION_COMPACTED: MetricKey = MetricKey("bms.retention.compacted");
     /// Peak resident report count observed during a run (gauge).
     pub const BMS_REPORTS_RETAINED_PEAK: MetricKey = MetricKey("bms.reports.retained_peak");
+    /// Queries answered exactly — no shard had backlog at query time.
+    pub const BMS_QUERIES_EXACT: MetricKey = MetricKey("bms.queries.exact");
+    /// Queries answered from the stale-marked view while shards lagged.
+    pub const BMS_QUERIES_DEGRADED: MetricKey = MetricKey("bms.queries.degraded");
     /// Scan cycles executed.
     pub const SCAN_CYCLES: MetricKey = MetricKey("scan.cycles");
     /// Android 4.x restart windows evaluated.

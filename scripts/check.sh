@@ -10,10 +10,13 @@
 # The bench arm then regenerates BENCH_PR2.json and asserts the parallel
 # outputs are bit-for-bit identical to the sequential ones; the chaos
 # arm (reliable-delivery sweep), the telemetry arm (merged recorder
-# snapshot), and the scale arm (10k-device sharded fleet, which also
-# asserts sharded==single-server state and the retention memory bound)
-# must each produce the same checksum under a single worker and under
-# the default parallelism.
+# snapshot), the scale arm (10k-device sharded fleet, which also asserts
+# sharded==single-server state and the per-device-period retention bound
+# sum_d(window/period_d + 1)), and the overload arm (lecture-hall surge
+# through bounded mailboxes, which asserts shed/admit determinism,
+# bounded mailbox memory, and post-drain digest exactness) must each
+# produce the same checksum under a single worker and under the default
+# parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,4 +63,20 @@ if [ -z "$seq_ssum" ] || [ "$seq_ssum" != "$par_ssum" ]; then
 fi
 echo "scale fingerprint checksum $seq_ssum identical at threads=1 and default"
 
-echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry + scale all green"
+overload_sum() {
+    sed -n 's/.*overload checksum: \([0-9a-f]*\).*/\1/p'
+}
+# The overload arm itself asserts mailbox memory stays under the
+# configured capacity, that shedding lost no reports, that degraded
+# answers matched the pumped-prefix oracle, and that post-drain state
+# equals the unthrottled single-server oracles; any violation exits
+# non-zero before the checksum comparison runs.
+seq_osum=$(ROOMSENSE_THREADS=1 ./target/release/repro overload | overload_sum)
+par_osum=$(env -u ROOMSENSE_THREADS ./target/release/repro overload | overload_sum)
+if [ -z "$seq_osum" ] || [ "$seq_osum" != "$par_osum" ]; then
+    echo "check.sh: overload run diverged across thread counts ($seq_osum vs $par_osum)" >&2
+    exit 1
+fi
+echo "overload fingerprint checksum $seq_osum identical at threads=1 and default"
+
+echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry + scale + overload all green"
