@@ -1,0 +1,560 @@
+//! Batched fleet execution: struct-of-arrays pipelines with reused scratch.
+//!
+//! The scalar fleet path ([`crate::run_fleet`]) allocates per cycle: the
+//! radio stage builds one schedule `Vec` per advertiser, the scanner one
+//! `Vec<ScanSample>` per cycle, aggregation one `BTreeMap` of pooled `Vec`s
+//! per cycle. This module runs the same pipeline over flat batch buffers:
+//! all of a device's samples land back to back in one reused buffer with a
+//! [`CycleSpan`] per cycle, every stage's working memory lives in a
+//! per-chunk [`DeviceScratch`] reused across the chunk's devices, and the
+//! radio stage memoizes the deterministic link budget while the receiver
+//! stands still.
+//!
+//! Everything is bit-for-bit the scalar path: the same RNG streams are
+//! drawn in the same order, the telemetry op sequence per device is
+//! unchanged, and chunk children merge in chunk order — which is device
+//! order — so merged snapshots are bitwise identical to
+//! [`crate::run_fleet_recorded`] at any thread count
+//! (`tests/batch_equivalence.rs` proves this by property).
+
+use crate::fleet::merge_streams;
+use crate::{CycleRecord, FaultPlan, FleetEvent, PipelineConfig, Scenario, ScannerKind};
+use roomsense_building::mobility::MobilityModel;
+use roomsense_signal::{aggregate_cycle_into, AggregateScratch, EwmaFilter, TrackManager};
+use roomsense_sim::{exec, rng, SimDuration, SimTime};
+use roomsense_stack::{
+    run_scan_batch_recorded, simulate_receptions_faulty_into_recorded,
+    simulate_receptions_into_recorded, AndroidLScanner, AndroidScanner, CycleSpan, FaultyScanner,
+    IosScanner, RadioScratch, Reception, ScanScratch, ScannerModel,
+};
+use roomsense_telemetry::{keys, Recorder, SpanTimer};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the batched fleet groups devices into parallel tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Devices per parallel chunk. Each chunk owns one scratch set and runs
+    /// its devices sequentially; chunking is a fixed function of this value
+    /// (never of the thread count), so outputs and telemetry are
+    /// thread-invariant.
+    pub rows_per_chunk: usize,
+    /// When set, each chunk observes its device count into the
+    /// `core.batch.rows` histogram. Off by default so the default telemetry
+    /// snapshot stays byte-identical to the scalar fleet's.
+    pub record_batch_metrics: bool,
+}
+
+impl Default for BatchConfig {
+    /// Four devices per chunk, no extra metrics.
+    fn default() -> Self {
+        BatchConfig {
+            rows_per_chunk: 4,
+            record_batch_metrics: false,
+        }
+    }
+}
+
+/// One chunk's reusable working memory, spanning every pipeline stage.
+#[derive(Debug, Default)]
+struct DeviceScratch {
+    radio: RadioScratch,
+    receptions: Vec<Reception>,
+    scan: ScanScratch,
+    spans: Vec<CycleSpan>,
+    aggregate: AggregateScratch,
+}
+
+impl DeviceScratch {
+    /// Total reserved capacity across every buffer, in elements.
+    fn total_capacity(&self) -> usize {
+        self.radio.total_capacity()
+            + self.receptions.capacity()
+            + self.scan.total_capacity()
+            + self.spans.capacity()
+            + self.aggregate.total_capacity()
+    }
+}
+
+/// Scratch-buffer growth events across all batched runs since the last
+/// [`reset_batch_alloc_stats`] (a device whose processing grew any scratch
+/// buffer counts once), plus the cycles processed — the bench's
+/// allocations-per-cycle debug counter. In steady state growth stays at
+/// zero: every buffer reaches its high-water mark during the first device
+/// and is only reused afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchAllocStats {
+    /// Devices whose run grew at least one scratch buffer.
+    pub growth_events: u64,
+    /// Scan cycles processed by the batched path.
+    pub cycles: u64,
+}
+
+static GROWTH_EVENTS: AtomicU64 = AtomicU64::new(0);
+static BATCH_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the global scratch-allocation counters.
+pub fn reset_batch_alloc_stats() {
+    GROWTH_EVENTS.store(0, Ordering::Relaxed);
+    BATCH_CYCLES.store(0, Ordering::Relaxed);
+}
+
+/// Reads the global scratch-allocation counters.
+pub fn batch_alloc_stats() -> BatchAllocStats {
+    BatchAllocStats {
+        growth_events: GROWTH_EVENTS.load(Ordering::Relaxed),
+        cycles: BATCH_CYCLES.load(Ordering::Relaxed),
+    }
+}
+
+/// Batched [`crate::run_fleet`]: identical events, scratch-reusing pipeline.
+pub fn run_fleet_batched(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    batch: &BatchConfig,
+) -> Vec<FleetEvent> {
+    run_fleet_batched_recorded(
+        scenario,
+        config,
+        occupants,
+        duration,
+        seed,
+        batch,
+        &mut Recorder::default(),
+    )
+}
+
+/// Batched [`crate::run_fleet_recorded`]: identical events and — with
+/// `record_batch_metrics` off — a byte-identical telemetry snapshot, at any
+/// thread count.
+pub fn run_fleet_batched_recorded(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    batch: &BatchConfig,
+    telemetry: &mut Recorder,
+) -> Vec<FleetEvent> {
+    fleet_batched(
+        scenario, config, occupants, duration, seed, None, batch, telemetry,
+    )
+}
+
+/// Batched [`crate::run_fleet_faulted`].
+///
+/// # Panics
+///
+/// Panics if the plan's transmitter list does not match the scenario's
+/// beacon count.
+pub fn run_fleet_faulted_batched(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+    batch: &BatchConfig,
+) -> Vec<FleetEvent> {
+    run_fleet_faulted_batched_recorded(
+        scenario,
+        config,
+        occupants,
+        duration,
+        seed,
+        faults,
+        batch,
+        &mut Recorder::default(),
+    )
+}
+
+/// Batched [`crate::run_fleet_faulted_recorded`].
+///
+/// # Panics
+///
+/// Panics if the plan's transmitter list does not match the scenario's
+/// beacon count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_faulted_batched_recorded(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+    batch: &BatchConfig,
+    telemetry: &mut Recorder,
+) -> Vec<FleetEvent> {
+    fleet_batched(
+        scenario,
+        config,
+        occupants,
+        duration,
+        seed,
+        Some(faults),
+        batch,
+        telemetry,
+    )
+}
+
+/// The shared batched driver: chunked parallel dispatch, per-chunk scratch
+/// and child recorders, chunk-order merge, k-way event merge.
+///
+/// Chunk children merge in chunk order and each chunk records its devices
+/// sequentially in device order, so the merged telemetry is the same
+/// device-order concatenation the scalar fleet produces.
+#[allow(clippy::too_many_arguments)]
+fn fleet_batched(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    occupants: &[&dyn MobilityModel],
+    duration: SimDuration,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    batch: &BatchConfig,
+    telemetry: &mut Recorder,
+) -> Vec<FleetEvent> {
+    assert!(batch.rows_per_chunk > 0, "rows_per_chunk must be non-zero");
+    let ranges = exec::chunk_ranges(occupants.len(), batch.rows_per_chunk);
+    let per_chunk: Vec<(Vec<Vec<CycleRecord>>, Recorder)> =
+        exec::par_map_indexed(&ranges, |_, range| {
+            let mut child = Recorder::default();
+            let mut scratch = DeviceScratch::default();
+            let records: Vec<Vec<CycleRecord>> = range
+                .clone()
+                .map(|index| {
+                    let device_seed =
+                        rng::derive_indexed_seed(seed, "fleet-device", index as u64);
+                    let capacity_before = scratch.total_capacity();
+                    let records = run_device_batched(
+                        scenario,
+                        config,
+                        occupants[index],
+                        duration,
+                        device_seed,
+                        faults,
+                        &mut child,
+                        &mut scratch,
+                    );
+                    if scratch.total_capacity() > capacity_before {
+                        GROWTH_EVENTS.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BATCH_CYCLES.fetch_add(scratch.spans.len() as u64, Ordering::Relaxed);
+                    records
+                })
+                .collect();
+            if batch.record_batch_metrics {
+                child.observe(keys::CORE_BATCH_ROWS, range.len() as f64);
+            }
+            (records, child)
+        });
+    let mut per_device: Vec<Vec<CycleRecord>> = Vec::with_capacity(occupants.len());
+    for (records, child) in per_chunk {
+        telemetry.merge_child(child);
+        per_device.extend(records);
+    }
+    merge_streams(per_device)
+}
+
+/// One device through the batched pipeline. Stage structure, RNG streams
+/// and telemetry ops replicate [`crate::run_pipeline_recorded`] (or its
+/// faulted variant) exactly; only the working memory differs.
+#[allow(clippy::too_many_arguments)]
+fn run_device_batched(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+    mobility: &dyn MobilityModel,
+    duration: SimDuration,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    telemetry: &mut Recorder,
+    scratch: &mut DeviceScratch,
+) -> Vec<CycleRecord> {
+    let from = SimTime::ZERO;
+    let until = from + duration;
+    let mut radio_rng = rng::for_indexed(seed, "pipeline-radio", scenario.seed());
+    let radio_span = SpanTimer::start(keys::STAGE_RADIO_MS, from);
+    match faults {
+        None => simulate_receptions_into_recorded(
+            scenario.channel(),
+            scenario.advertisers(),
+            &config.device,
+            |t| mobility.position_at(t),
+            from,
+            until,
+            &mut radio_rng,
+            telemetry,
+            &mut scratch.radio,
+            &mut scratch.receptions,
+        ),
+        Some(plan) => simulate_receptions_faulty_into_recorded(
+            scenario.channel(),
+            scenario.advertisers(),
+            &plan.transmitter,
+            &config.device,
+            |t| mobility.position_at(t),
+            from,
+            until,
+            &mut radio_rng,
+            telemetry,
+            &mut scratch.radio,
+            &mut scratch.receptions,
+        ),
+    }
+    radio_span.stop(telemetry, until);
+    let mut scan_rng = rng::for_indexed(seed, "pipeline-scan", scenario.seed());
+    let scan_span = SpanTimer::start(keys::STAGE_SCAN_MS, from);
+    {
+        let mut scan = |model: &dyn ErasedScanner, rng: &mut dyn rand::RngCore| {
+            model.run_batch(
+                &scratch.receptions,
+                config,
+                from,
+                until,
+                rng,
+                telemetry,
+                &mut scratch.scan,
+                &mut scratch.spans,
+            )
+        };
+        match (config.scanner, faults) {
+            (ScannerKind::Android { stall_probability }, None) => {
+                scan(&AndroidScanner::new(stall_probability), &mut scan_rng)
+            }
+            (ScannerKind::Android { stall_probability }, Some(plan)) => scan(
+                &faulty(AndroidScanner::new(stall_probability), plan),
+                &mut scan_rng,
+            ),
+            (ScannerKind::AndroidL, None) => scan(&AndroidLScanner::low_latency(), &mut scan_rng),
+            (ScannerKind::AndroidL, Some(plan)) => {
+                scan(&faulty(AndroidLScanner::low_latency(), plan), &mut scan_rng)
+            }
+            (ScannerKind::Ios, None) => scan(&IosScanner, &mut scan_rng),
+            (ScannerKind::Ios, Some(plan)) => scan(&faulty(IosScanner, plan), &mut scan_rng),
+        }
+    }
+    scan_span.stop(telemetry, until);
+    let track_span = SpanTimer::start(keys::STAGE_TRACK_MS, from);
+    let ranging = scenario.ranging_config();
+    let mut tracks = TrackManager::new(EwmaFilter::new(
+        config.filter_coefficient,
+        config.loss_policy,
+    ));
+    let mut records = Vec::with_capacity(scratch.spans.len());
+    for span in &scratch.spans {
+        let mut observations = Vec::new();
+        aggregate_cycle_into(
+            span.end,
+            &scratch.scan.samples[span.sample_begin..span.sample_end],
+            config.aggregation,
+            &ranging,
+            &mut scratch.aggregate,
+            &mut observations,
+        );
+        let mut snapshots = Vec::new();
+        tracks.update_cycle_into_recorded(span.end, &observations, telemetry, &mut snapshots);
+        let true_position = mobility.position_at(span.end);
+        records.push(CycleRecord {
+            at: span.end,
+            observations,
+            snapshots,
+            true_position,
+            true_room: scenario.plan().room_at(true_position),
+        });
+    }
+    track_span.stop(telemetry, until);
+    records
+}
+
+fn faulty<M: ScannerModel>(inner: M, plan: &FaultPlan) -> FaultyScanner<M> {
+    FaultyScanner::new(
+        inner,
+        plan.scanner_stalls.clone(),
+        plan.scanner_storms.clone(),
+        plan.storm_loss,
+    )
+}
+
+/// Object-safe shim over [`run_scan_batch_recorded`] so the scanner match
+/// arms share one call site without monomorphizing the whole tail.
+trait ErasedScanner {
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch(
+        &self,
+        receptions: &[Reception],
+        config: &PipelineConfig,
+        from: SimTime,
+        until: SimTime,
+        rng: &mut dyn rand::RngCore,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+        spans: &mut Vec<CycleSpan>,
+    );
+}
+
+impl<M: ScannerModel> ErasedScanner for M {
+    fn run_batch(
+        &self,
+        receptions: &[Reception],
+        config: &PipelineConfig,
+        from: SimTime,
+        until: SimTime,
+        rng: &mut dyn rand::RngCore,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+        spans: &mut Vec<CycleSpan>,
+    ) {
+        run_scan_batch_recorded(
+            receptions, self, config.scan, from, until, rng, telemetry, scratch, spans,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_fleet, run_fleet_faulted, run_fleet_recorded};
+    use roomsense_building::mobility::StaticPosition;
+    use roomsense_building::presets;
+    use roomsense_geom::Point;
+
+    fn corridor() -> Scenario {
+        Scenario::from_plan(presets::two_transmitter_corridor(), 3)
+    }
+
+    #[test]
+    fn batched_fleet_matches_scalar_fleet() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(9.0, 1.0));
+        let c = StaticPosition::new(Point::new(6.0, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b, &c];
+        let config = PipelineConfig::paper_android();
+        let duration = SimDuration::from_secs(20);
+        let scalar = run_fleet(&scenario, &config, &occupants, duration, 5);
+        for rows_per_chunk in [1, 2, 4, 16] {
+            let batch = BatchConfig {
+                rows_per_chunk,
+                record_batch_metrics: false,
+            };
+            let batched =
+                run_fleet_batched(&scenario, &config, &occupants, duration, 5, &batch);
+            assert_eq!(scalar, batched, "rows_per_chunk={rows_per_chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_telemetry_snapshot_is_byte_identical_to_scalar() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(9.0, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b];
+        let config = PipelineConfig::paper_android();
+        let duration = SimDuration::from_secs(20);
+        let mut scalar_rec = Recorder::default();
+        let scalar = run_fleet_recorded(
+            &scenario,
+            &config,
+            &occupants,
+            duration,
+            5,
+            &mut scalar_rec,
+        );
+        let mut batched_rec = Recorder::default();
+        let batched = run_fleet_batched_recorded(
+            &scenario,
+            &config,
+            &occupants,
+            duration,
+            5,
+            &BatchConfig::default(),
+            &mut batched_rec,
+        );
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar_rec.checksum(), batched_rec.checksum());
+        assert_eq!(scalar_rec.prometheus_text(), batched_rec.prometheus_text());
+        assert_eq!(scalar_rec.journal_jsonl(), batched_rec.journal_jsonl());
+    }
+
+    #[test]
+    fn batched_faulted_fleet_matches_scalar() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(9.0, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b];
+        let config = PipelineConfig::paper_android();
+        let duration = SimDuration::from_secs(30);
+        let plan = FaultPlan::generate(scenario.advertisers().len(), duration, 0.6, 13);
+        let scalar = run_fleet_faulted(&scenario, &config, &occupants, duration, 13, &plan);
+        let batched = run_fleet_faulted_batched(
+            &scenario,
+            &config,
+            &occupants,
+            duration,
+            13,
+            &plan,
+            &BatchConfig::default(),
+        );
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn batch_metrics_record_rows_per_chunk() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(9.0, 1.0));
+        let c = StaticPosition::new(Point::new(6.0, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b, &c];
+        let mut telemetry = Recorder::default();
+        run_fleet_batched_recorded(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &occupants,
+            SimDuration::from_secs(4),
+            5,
+            &BatchConfig {
+                rows_per_chunk: 2,
+                record_batch_metrics: true,
+            },
+            &mut telemetry,
+        );
+        // 3 devices at 2 per chunk: chunks of 2 and 1 rows.
+        let rows = telemetry
+            .histogram(keys::CORE_BATCH_ROWS)
+            .expect("batch rows recorded");
+        assert_eq!(rows.count(), 2);
+        assert_eq!(rows.sum(), 3.0);
+    }
+
+    #[test]
+    fn scratch_reaches_steady_state_after_first_device() {
+        let scenario = corridor();
+        let a = StaticPosition::new(Point::new(2.0, 1.0));
+        let b = StaticPosition::new(Point::new(2.5, 1.0));
+        let c = StaticPosition::new(Point::new(3.0, 1.0));
+        let d = StaticPosition::new(Point::new(3.5, 1.0));
+        let occupants: Vec<&dyn MobilityModel> = vec![&a, &b, &c, &d];
+        reset_batch_alloc_stats();
+        run_fleet_batched(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            &occupants,
+            SimDuration::from_secs(20),
+            5,
+            &BatchConfig {
+                rows_per_chunk: 4,
+                record_batch_metrics: false,
+            },
+        );
+        let stats = batch_alloc_stats();
+        assert_eq!(stats.cycles, 40, "4 devices x 10 cycles");
+        // One chunk: the first device grows the buffers, the rest reuse.
+        assert!(
+            stats.growth_events <= 2,
+            "scratch kept growing: {} growth events",
+            stats.growth_events
+        );
+    }
+}

@@ -173,8 +173,10 @@ pub struct CoefficientSweepPoint {
 ///
 /// Results are averaged over `trials` independent seeds. Every
 /// `(coefficient, trial)` cell is an independent capture-plus-walk pair,
-/// so the sweep fans the flattened grid out over worker threads and
-/// aggregates per coefficient in trial order — identical output to the
+/// so the sweep fans the flattened grid out over worker threads —
+/// dispatching one coefficient's trials as a contiguous chunk, since
+/// per-cell tasks are too small to amortise their scheduling overhead —
+/// and aggregates per coefficient in trial order. Identical output to the
 /// sequential nesting at any thread count.
 pub fn coefficient_sweep(
     coefficients: &[f64],
@@ -184,14 +186,16 @@ pub fn coefficient_sweep(
     let cells: Vec<(usize, u64)> = (0..coefficients.len())
         .flat_map(|ci| (0..trials).map(move |trial| (ci, trial)))
         .collect();
-    let outcomes: Vec<(f64, Option<usize>)> = exec::par_map_indexed(&cells, |_, &(ci, trial)| {
-        let coefficient = coefficients[ci];
-        let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
-        let config = PipelineConfig::paper_android().with_coefficient(coefficient);
-        let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), trial_seed);
-        let crossing = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle;
-        (capture.smoothed_std(), crossing)
-    });
+    let chunk = (trials as usize).max(1);
+    let outcomes: Vec<(f64, Option<usize>)> =
+        exec::par_map_chunked(&cells, chunk, |_, &(ci, trial)| {
+            let coefficient = coefficients[ci];
+            let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
+            let config = PipelineConfig::paper_android().with_coefficient(coefficient);
+            let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), trial_seed);
+            let crossing = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle;
+            (capture.smoothed_std(), crossing)
+        });
     coefficients
         .iter()
         .enumerate()

@@ -187,11 +187,17 @@ fn merge_fleet(
             records
         })
         .collect();
+    merge_streams(per_device)
+}
 
-    // Each pipeline returns chronologically ordered cycles, so the merge
-    // is a k-way merge over sorted runs: a min-heap holds one candidate
-    // per device, keyed `(time, device)` so simultaneous cycles keep
-    // device order — the same tie-break the event queue's FIFO gave.
+/// K-way merge of per-device cycle streams into one chronological event
+/// stream (shared by the scalar and batched fleet paths).
+///
+/// Each pipeline returns chronologically ordered cycles, so the merge
+/// is a k-way merge over sorted runs: a min-heap holds one candidate
+/// per device, keyed `(time, device)` so simultaneous cycles keep
+/// device order — the same tie-break the event queue's FIFO gave.
+pub(crate) fn merge_streams(per_device: Vec<Vec<CycleRecord>>) -> Vec<FleetEvent> {
     let total = per_device.iter().map(Vec::len).sum();
     let mut streams: Vec<_> = per_device
         .into_iter()

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod app_run;
+mod batch;
 mod collect;
 mod fault;
 mod fleet;
@@ -64,6 +65,10 @@ mod pipeline;
 mod scenario;
 
 pub use app_run::{run_app, AppRun};
+pub use batch::{
+    batch_alloc_stats, reset_batch_alloc_stats, run_fleet_batched, run_fleet_batched_recorded,
+    run_fleet_faulted_batched, run_fleet_faulted_batched_recorded, BatchAllocStats, BatchConfig,
+};
 pub use collect::{collect_dataset, features_from_snapshots, LabelledDataset, MISSING_DISTANCE};
 pub use fault::FaultPlan;
 pub use fleet::{

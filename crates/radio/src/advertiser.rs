@@ -146,6 +146,22 @@ impl Advertiser {
         rng: &mut R,
     ) -> Vec<Transmission> {
         let mut out = Vec::new();
+        self.schedule_into(from, until, rng, &mut out);
+        out
+    }
+
+    /// Like [`schedule`](Self::schedule), but clearing and filling a
+    /// caller-owned buffer so the hot batched path can reuse one allocation
+    /// across advertisers and devices. The events and RNG draws are
+    /// identical to [`schedule`](Self::schedule).
+    pub fn schedule_into<R: Rng + ?Sized>(
+        &self,
+        from: SimTime,
+        until: SimTime,
+        rng: &mut R,
+        out: &mut Vec<Transmission>,
+    ) {
+        out.clear();
         let mut t = from;
         let mut hop = 0usize;
         while t < until {
@@ -161,7 +177,6 @@ impl Advertiser {
             };
             t += self.interval + SimDuration::from_millis(jitter_ms);
         }
-        out
     }
 }
 

@@ -52,6 +52,23 @@ impl fmt::Display for TransmitterProfile {
     }
 }
 
+/// The deterministic part of one radio link, precomputed for a fixed
+/// transmitter/receiver geometry: the fading-free mean RSSI and the fading
+/// regime (Rician when line-of-sight, Rayleigh when a wall intervenes).
+///
+/// Produced by [`Channel::link_budget`] and consumed by
+/// [`Channel::sample_rssi_with_budget_on_at`]. Because both fields are pure
+/// functions of the link geometry, a budget may be cached for as long as the
+/// transmitter profile, both positions, and the environment stay fixed —
+/// the batched fleet path caches one per advertiser per static receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Mean (fading-free, noise-free) RSSI of the link, in dBm.
+    pub mean_dbm: f64,
+    /// The fading distribution the link's packets draw from.
+    pub fading: RicianFading,
+}
+
 /// The complete simulated radio channel.
 ///
 /// Combines, in dB:
@@ -147,6 +164,34 @@ impl Channel {
         self.sample_rssi_on_at(SimTime::ZERO, tx, tx_pos, rx, rx_pos, adv_channel, rng)
     }
 
+    /// Precomputes the deterministic part of one link at a fixed geometry:
+    /// the mean RSSI and which fading regime the path is in. The budget is a
+    /// pure function of the positions and profiles — no RNG is involved — so
+    /// callers whose geometry is static across a scan cycle can compute it
+    /// once and feed it to
+    /// [`sample_rssi_with_budget_on_at`](Self::sample_rssi_with_budget_on_at)
+    /// per packet, with bit-identical results to
+    /// [`sample_rssi_on_at`](Self::sample_rssi_on_at).
+    pub fn link_budget(
+        &self,
+        tx: &TransmitterProfile,
+        tx_pos: Point,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+    ) -> LinkBudget {
+        // Line-of-sight links fade gently (Rician); obstructed links lose
+        // their dominant path and fade hard (Rayleigh).
+        let fading = if self.environment.walls_crossed(tx_pos, rx_pos) == 0 {
+            RicianFading::new(tx.los_rice_factor)
+        } else {
+            RicianFading::rayleigh()
+        };
+        LinkBudget {
+            mean_dbm: self.mean_rssi_dbm(tx, tx_pos, rx, rx_pos),
+            fading,
+        }
+    }
+
     /// Samples the RSSI of one advertisement at simulation time `at`,
     /// including duty-cycled interference sources
     /// ([`Interferer`](crate::Interferer)).
@@ -161,6 +206,26 @@ impl Channel {
         adv_channel: AdvChannel,
         rng: &mut R,
     ) -> Option<f64> {
+        let budget = self.link_budget(tx, tx_pos, rx, rx_pos);
+        self.sample_rssi_with_budget_on_at(at, &budget, rx, rx_pos, adv_channel, rng)
+    }
+
+    /// Samples one advertisement against a precomputed [`LinkBudget`]. The
+    /// RNG draw order is exactly that of
+    /// [`sample_rssi_on_at`](Self::sample_rssi_on_at): collision coin (only
+    /// when the collision probability is positive), stack-loss coin (only
+    /// when the loss probability is positive), two fading normals, one noise
+    /// normal — so the two entry points are interchangeable sample-for-sample
+    /// whenever the budget matches the geometry.
+    pub fn sample_rssi_with_budget_on_at<R: Rng + ?Sized>(
+        &self,
+        at: SimTime,
+        budget: &LinkBudget,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        adv_channel: AdvChannel,
+        rng: &mut R,
+    ) -> Option<f64> {
         // Interference collisions destroy the packet outright.
         let collision = self.environment.collision_probability(at, rx_pos);
         if collision > 0.0 && rng.gen::<f64>() < collision {
@@ -170,16 +235,8 @@ impl Channel {
         if rx.sample_loss_probability > 0.0 && rng.gen::<f64>() < rx.sample_loss_probability {
             return None;
         }
-        let mean = self.mean_rssi_dbm(tx, tx_pos, rx, rx_pos);
-        // Line-of-sight links fade gently (Rician); obstructed links lose
-        // their dominant path and fade hard (Rayleigh).
-        let fading = if self.environment.walls_crossed(tx_pos, rx_pos) == 0 {
-            RicianFading::new(tx.los_rice_factor)
-        } else {
-            RicianFading::rayleigh()
-        };
-        let rssi = mean
-            + fading.sample_db(rng)
+        let rssi = budget.mean_dbm
+            + budget.fading.sample_db(rng)
             + adv_channel.gain_offset_db()
             + rx.noise_sigma_db * standard_normal(rng);
         if rssi < rx.sensitivity_dbm {
@@ -207,6 +264,28 @@ impl Channel {
         telemetry: &mut Recorder,
     ) -> Option<f64> {
         let sample = self.sample_rssi_on_at(at, tx, tx_pos, rx, rx_pos, adv_channel, rng);
+        telemetry.incr(match sample {
+            Some(_) => keys::RADIO_RX_RECEIVED,
+            None => keys::RADIO_RX_LOST,
+        });
+        sample
+    }
+
+    /// Like [`sample_rssi_with_budget_on_at`](Self::sample_rssi_with_budget_on_at),
+    /// but counts the outcome into `telemetry`. Recording never draws from
+    /// `rng`, so the sample is bit-identical to the unrecorded call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_rssi_with_budget_on_at_recorded<R: Rng + ?Sized>(
+        &self,
+        at: SimTime,
+        budget: &LinkBudget,
+        rx: &DeviceRxProfile,
+        rx_pos: Point,
+        adv_channel: AdvChannel,
+        rng: &mut R,
+        telemetry: &mut Recorder,
+    ) -> Option<f64> {
+        let sample = self.sample_rssi_with_budget_on_at(at, budget, rx, rx_pos, adv_channel, rng);
         telemetry.incr(match sample {
             Some(_) => keys::RADIO_RX_RECEIVED,
             None => keys::RADIO_RX_LOST,
@@ -434,6 +513,54 @@ mod tests {
         }
         assert!(means[0] > means[2], "ch37 {} ch39 {}", means[0], means[2]);
         assert!((means[0] - means[2]).abs() < 2.0);
+    }
+
+    #[test]
+    fn budget_path_is_bitwise_identical_to_direct_path() {
+        use crate::Interferer;
+        use roomsense_sim::SimDuration;
+        // Walls + an interferer + a lossy receiver exercise every draw site.
+        let mut env = Environment::free_space();
+        env.add_wall(crate::Wall::new(
+            Segment::new(Point::new(3.0, -5.0), Point::new(3.0, 5.0)),
+            crate::WallMaterial::Drywall,
+        ));
+        env.add_interferer(Interferer::new(
+            Point::new(1.0, 0.0),
+            3.0,
+            SimDuration::from_millis(100),
+            0.5,
+            0.4,
+        ));
+        let channel = Channel::new(env, 12);
+        let tx = TransmitterProfile::default();
+        let rx = DeviceRxProfile::new("lossy", 0.0, 1.5, 0.1, -95.0);
+        let mut direct_rng = rng::for_component(12, "budget");
+        let mut budget_rng = rng::for_component(12, "budget");
+        for i in 0..2_000u64 {
+            let at = SimTime::from_millis(i * 13);
+            // Sweep across the wall so both fading regimes are hit.
+            let rx_pos = Point::new(1.0 + (i % 5) as f64, 0.0);
+            let direct = channel.sample_rssi_on_at(
+                at,
+                &tx,
+                Point::new(0.0, 0.0),
+                &rx,
+                rx_pos,
+                AdvChannel::ALL[(i % 3) as usize],
+                &mut direct_rng,
+            );
+            let budget = channel.link_budget(&tx, Point::new(0.0, 0.0), &rx, rx_pos);
+            let via_budget = channel.sample_rssi_with_budget_on_at(
+                at,
+                &budget,
+                &rx,
+                rx_pos,
+                AdvChannel::ALL[(i % 3) as usize],
+                &mut budget_rng,
+            );
+            assert_eq!(direct.map(f64::to_bits), via_budget.map(f64::to_bits));
+        }
     }
 
     #[test]

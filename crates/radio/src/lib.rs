@@ -50,7 +50,7 @@ pub mod pathloss;
 pub mod shadowing;
 
 pub use advertiser::{AdvChannel, Advertiser, Transmission};
-pub use channel::{Channel, TransmitterProfile};
+pub use channel::{Channel, LinkBudget, TransmitterProfile};
 pub use device::DeviceRxProfile;
 pub use environment::{Environment, Wall, WallMaterial};
 pub use fault::TransmitterFault;

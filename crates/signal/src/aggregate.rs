@@ -49,6 +49,88 @@ impl fmt::Display for Observation {
     }
 }
 
+/// Reusable working memory for [`aggregate_cycle_into`]: the sort buffer
+/// that replaces the scalar path's per-cycle `BTreeMap` of pooled `Vec`s.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateScratch {
+    /// Samples of the current cycle, stably sorted by identity.
+    sorted: Vec<roomsense_stack::ScanSample>,
+    /// One beacon's RSSI pool (median sorting).
+    pool: Vec<f64>,
+}
+
+impl AggregateScratch {
+    /// A scratch with no reserved memory.
+    pub fn new() -> Self {
+        AggregateScratch::default()
+    }
+
+    /// Total reserved capacity across internal buffers, in elements (for
+    /// the debug allocation counter).
+    pub fn total_capacity(&self) -> usize {
+        self.sorted.capacity() + self.pool.capacity()
+    }
+}
+
+/// Allocation-reusing variant of [`aggregate_cycle`], operating on a flat
+/// sample slice (cycle end time passed explicitly) and appending to `out`.
+///
+/// Instead of pooling through a per-cycle `BTreeMap` of freshly allocated
+/// `Vec`s, the samples are stably sorted by identity in a reused scratch
+/// buffer. A stable sort preserves the arrival order within each beacon's
+/// group, so the pooled mean sums in the same order, the median sorts the
+/// same permutation, and the measured power is the same first-seen value —
+/// the appended observations are bit-identical to [`aggregate_cycle`]'s,
+/// in the same ascending-identity order.
+pub fn aggregate_cycle_into(
+    end: SimTime,
+    samples: &[roomsense_stack::ScanSample],
+    method: AggregateMethod,
+    ranging: &RangingConfig,
+    scratch: &mut AggregateScratch,
+    out: &mut Vec<Observation>,
+) {
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(samples);
+    scratch.sorted.sort_by_key(|s| s.identity);
+    let mut i = 0;
+    while i < scratch.sorted.len() {
+        let identity = scratch.sorted[i].identity;
+        let power = scratch.sorted[i].measured_power;
+        let mut j = i + 1;
+        while j < scratch.sorted.len() && scratch.sorted[j].identity == identity {
+            j += 1;
+        }
+        let group = &scratch.sorted[i..j];
+        let pooled = match method {
+            AggregateMethod::MeanDbm => {
+                group.iter().map(|s| s.rssi_dbm).sum::<f64>() / group.len() as f64
+            }
+            AggregateMethod::MedianDbm => {
+                scratch.pool.clear();
+                scratch.pool.extend(group.iter().map(|s| s.rssi_dbm));
+                scratch
+                    .pool
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite rssi"));
+                let mid = scratch.pool.len() / 2;
+                if scratch.pool.len().is_multiple_of(2) {
+                    (scratch.pool[mid - 1] + scratch.pool[mid]) / 2.0
+                } else {
+                    scratch.pool[mid]
+                }
+            }
+        };
+        out.push(Observation {
+            at: end,
+            identity,
+            rssi_dbm: pooled,
+            distance_m: estimate_distance_log(pooled, power, ranging),
+            sample_count: group.len(),
+        });
+        i = j;
+    }
+}
+
 /// Pools one cycle's samples per beacon and estimates distances.
 ///
 /// Returns observations sorted by beacon identity (deterministic order).
@@ -178,6 +260,34 @@ mod tests {
         let c = cycle(vec![sample(0, -60.0)]);
         let obs = aggregate_cycle(&c, AggregateMethod::MeanDbm, &RangingConfig::default());
         assert_eq!(obs[0].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn into_variant_matches_scalar_bit_for_bit() {
+        // Interleaved identities, duplicate RSSIs, both methods: the sorted
+        // group walk must reproduce the BTreeMap pooling exactly.
+        let samples = vec![
+            sample(4, -60.0),
+            sample(1, -61.5),
+            sample(4, -72.25),
+            sample(2, -61.5),
+            sample(1, -61.5),
+            sample(4, -58.0),
+            sample(1, -90.0),
+        ];
+        let c = cycle(samples);
+        let ranging = RangingConfig::default();
+        let mut scratch = AggregateScratch::new();
+        for method in [AggregateMethod::MeanDbm, AggregateMethod::MedianDbm] {
+            let scalar = aggregate_cycle(&c, method, &ranging);
+            let mut batched = Vec::new();
+            aggregate_cycle_into(c.end, &c.samples, method, &ranging, &mut scratch, &mut batched);
+            assert_eq!(scalar, batched, "{method:?}");
+            for (a, b) in scalar.iter().zip(&batched) {
+                assert_eq!(a.rssi_dbm.to_bits(), b.rssi_dbm.to_bits());
+                assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+            }
+        }
     }
 
     #[test]

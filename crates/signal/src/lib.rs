@@ -29,7 +29,7 @@ mod median;
 pub mod metrics;
 mod tracks;
 
-pub use aggregate::{aggregate_cycle, AggregateMethod, Observation};
+pub use aggregate::{aggregate_cycle, aggregate_cycle_into, AggregateMethod, AggregateScratch, Observation};
 pub use ewma::{DistanceFilter, EwmaFilter, LossPolicy, PAPER_COEFFICIENT};
 pub use kalman::KalmanFilter;
 pub use median::MedianFilter;

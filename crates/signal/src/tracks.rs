@@ -51,6 +51,9 @@ impl fmt::Display for TrackSnapshot {
 pub struct TrackManager {
     template: EwmaFilter,
     tracks: BTreeMap<BeaconIdentity, EwmaFilter>,
+    /// Reused per-cycle buffer of tracks to remove, so steady-state cycles
+    /// allocate nothing beyond their returned snapshots.
+    dropped_scratch: Vec<BeaconIdentity>,
 }
 
 impl TrackManager {
@@ -61,6 +64,7 @@ impl TrackManager {
         TrackManager {
             template,
             tracks: BTreeMap::new(),
+            dropped_scratch: Vec::new(),
         }
     }
 
@@ -97,6 +101,21 @@ impl TrackManager {
         observations: &[Observation],
         telemetry: &mut Recorder,
     ) -> Vec<TrackSnapshot> {
+        let mut snaps = Vec::new();
+        self.update_cycle_into_recorded(at, observations, telemetry, &mut snaps);
+        snaps
+    }
+
+    /// Like [`update_cycle_recorded`](Self::update_cycle_recorded), but
+    /// appending the snapshots to a caller-owned buffer (not cleared here),
+    /// so the batched pipeline controls the one remaining allocation.
+    pub fn update_cycle_into_recorded(
+        &mut self,
+        at: SimTime,
+        observations: &[Observation],
+        telemetry: &mut Recorder,
+        snaps: &mut Vec<TrackSnapshot>,
+    ) {
         // Start new tracks for beacons never seen before.
         for obs in observations {
             self.tracks
@@ -104,8 +123,8 @@ impl TrackManager {
                 .or_insert_with(|| self.template);
         }
         // Update every track: with its observation or with a loss.
-        let mut dropped = Vec::new();
-        let mut snaps = Vec::new();
+        let mut dropped = std::mem::take(&mut self.dropped_scratch);
+        dropped.clear();
         for (identity, filter) in &mut self.tracks {
             let obs = observations
                 .iter()
@@ -130,10 +149,10 @@ impl TrackManager {
                 }
             }
         }
-        for id in dropped {
-            self.tracks.remove(&id);
+        for id in &dropped {
+            self.tracks.remove(id);
         }
-        snaps
+        self.dropped_scratch = dropped;
     }
 
     /// The closest tracked beacon, if any — the proximity decision the

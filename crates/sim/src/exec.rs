@@ -135,6 +135,53 @@ where
         .collect()
 }
 
+/// Splits `0..len` into contiguous ranges of at most `chunk` items.
+///
+/// The partition depends only on `len` and `chunk` — never on the worker
+/// count — so chunk boundaries (and anything derived from them, like
+/// per-chunk telemetry children) are identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(chunk > 0, "chunk size must be non-zero");
+    (0..len.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, dispatching whole contiguous chunks
+/// of `chunk_size` items per task instead of one item per task, and
+/// returns the per-item results flattened back into input order.
+///
+/// Use this when per-item work is too small to amortise the dispatch cost
+/// of [`par_map_indexed`] — the 3×3 coefficient-sweep cells, or batched
+/// fleet rows. `f` still sees the *global* item index, so seed-derivation
+/// keyed on the index is unchanged and the output is bit-identical to
+/// `par_map_indexed(items, f)` at every worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero, and propagates panics from `f`.
+pub fn par_map_chunked<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let ranges = chunk_ranges(items.len(), chunk_size);
+    par_map_indexed(&ranges, |_, range| {
+        range
+            .clone()
+            .map(|i| f(i, &items[i]))
+            .collect::<Vec<U>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +233,34 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let got = with_thread_override(32, || par_map_indexed(&[1u8, 2], |_, &x| x * 2));
         assert_eq!(got, vec![2, 4]);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_the_index_space() {
+        assert_eq!(chunk_ranges(0, 4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(9, 4), vec![0..4, 4..8, 8..9]);
+        // Independent of worker count by construction: no thread input.
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        let _ = chunk_ranges(5, 0);
+    }
+
+    #[test]
+    fn chunked_map_matches_per_item_map_at_any_worker_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let expected = par_map_indexed(&items, |i, &x| x * 7 + i as u64);
+        for workers in [1, 2, 5, 16] {
+            for chunk in [1, 3, 8, 64] {
+                let got = with_thread_override(workers, || {
+                    par_map_chunked(&items, chunk, |i, &x| x * 7 + i as u64)
+                });
+                assert_eq!(got, expected, "workers {workers} chunk {chunk}");
+            }
+        }
     }
 }

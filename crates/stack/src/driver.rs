@@ -1,9 +1,12 @@
 //! Driving a receiver through the radio: receptions → scan cycles.
 
-use crate::{Reception, ScanConfig, ScanSample, ScannerModel};
+use crate::{Reception, ScanConfig, ScanScratch, ScanSample, ScannerModel};
 use rand::Rng;
 use roomsense_geom::Point;
-use roomsense_radio::{Advertiser, Channel, DeviceRxProfile, TransmitterFault, TransmitterProfile};
+use roomsense_radio::{
+    Advertiser, Channel, DeviceRxProfile, LinkBudget, Transmission, TransmitterFault,
+    TransmitterProfile,
+};
 use roomsense_sim::SimTime;
 use roomsense_telemetry::{keys, Recorder};
 
@@ -44,6 +47,46 @@ impl ScanCycleReport {
             Some(xs.iter().sum::<f64>() / xs.len() as f64)
         }
     }
+}
+
+/// Reusable working memory for the batched radio stage: the advertising
+/// schedule buffer (one `Vec` reused across advertisers and devices instead
+/// of one allocation per advertiser per run).
+#[derive(Debug, Clone, Default)]
+pub struct RadioScratch {
+    schedule: Vec<Transmission>,
+}
+
+impl RadioScratch {
+    /// A scratch with no reserved memory.
+    pub fn new() -> Self {
+        RadioScratch::default()
+    }
+
+    /// Total reserved capacity across internal buffers, in elements (for
+    /// the debug allocation counter).
+    pub fn total_capacity(&self) -> usize {
+        self.schedule.capacity()
+    }
+}
+
+/// One scan cycle's extent inside a flat sample batch: the samples of cycle
+/// `i` are `samples[span.sample_begin..span.sample_end]` of the batch buffer
+/// filled by [`run_scan_batch_recorded`].
+///
+/// This is the struct-of-arrays replacement for [`ScanCycleReport`]: one
+/// flat `Vec<ScanSample>` per run plus one small span per cycle, instead of
+/// one owned `Vec` per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSpan {
+    /// Cycle start (inclusive).
+    pub start: SimTime,
+    /// Cycle end (exclusive).
+    pub end: SimTime,
+    /// First index of this cycle's samples in the flat batch buffer.
+    pub sample_begin: usize,
+    /// One past the last index of this cycle's samples.
+    pub sample_end: usize,
 }
 
 /// Simulates every advertisement that physically reaches the receiver in
@@ -122,6 +165,70 @@ where
     }
     receptions.sort_by_key(|r| r.at);
     receptions
+}
+
+/// Allocation-reusing variant of [`simulate_receptions_recorded`]: clears
+/// and fills a caller-owned receptions buffer, reuses the scratch's schedule
+/// buffer across advertisers, and memoizes the deterministic
+/// [`LinkBudget`] per advertiser while the receiver position is unchanged
+/// (a static receiver pays the path-loss/obstruction/shadowing evaluation
+/// once per advertiser instead of once per packet).
+///
+/// The RNG draw order and the resulting receptions are bit-identical to
+/// [`simulate_receptions_recorded`]: budget memoization only skips
+/// recomputing a pure function of unchanged inputs, and the budget-based
+/// sampler preserves the exact per-packet draw sequence.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_receptions_into_recorded<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+    scratch: &mut RadioScratch,
+    out: &mut Vec<Reception>,
+) where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
+    out.clear();
+    for placed in advertisers {
+        placed
+            .advertiser
+            .schedule_into(from, until, rng, &mut scratch.schedule);
+        let mut cached: Option<(Point, LinkBudget)> = None;
+        for tx_event in &scratch.schedule {
+            let rx_pos = rx_position(tx_event.at);
+            let budget = match cached {
+                Some((pos, budget)) if pos == rx_pos => budget,
+                _ => {
+                    let budget = channel.link_budget(&placed.profile, placed.position, rx, rx_pos);
+                    cached = Some((rx_pos, budget));
+                    budget
+                }
+            };
+            if let Some(rssi) = channel.sample_rssi_with_budget_on_at_recorded(
+                tx_event.at,
+                &budget,
+                rx,
+                rx_pos,
+                tx_event.channel,
+                rng,
+                telemetry,
+            ) {
+                out.push(Reception {
+                    at: tx_event.at,
+                    packet: *placed.advertiser.packet(),
+                    rssi_dbm: rssi,
+                    channel: tx_event.channel,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|r| r.at);
 }
 
 /// Like [`simulate_receptions`], but with a [`TransmitterFault`] per
@@ -219,6 +326,77 @@ where
     }
     receptions.sort_by_key(|r| r.at);
     receptions
+}
+
+/// Allocation-reusing variant of [`simulate_receptions_faulty_recorded`],
+/// the faulted counterpart of [`simulate_receptions_into_recorded`]. The
+/// budget memo additionally keys on the effective transmitter profile,
+/// because a degraded-power fault window changes it mid-run.
+///
+/// # Panics
+///
+/// Panics if `faults` is not exactly one entry per advertiser.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_receptions_faulty_into_recorded<R, F>(
+    channel: &Channel,
+    advertisers: &[PlacedAdvertiser],
+    faults: &[TransmitterFault],
+    rx: &DeviceRxProfile,
+    rx_position: F,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+    scratch: &mut RadioScratch,
+    out: &mut Vec<Reception>,
+) where
+    R: Rng + ?Sized,
+    F: Fn(SimTime) -> Point,
+{
+    assert_eq!(
+        advertisers.len(),
+        faults.len(),
+        "need exactly one TransmitterFault per advertiser"
+    );
+    out.clear();
+    for (placed, fault) in advertisers.iter().zip(faults) {
+        placed
+            .advertiser
+            .schedule_into(from, until, rng, &mut scratch.schedule);
+        let mut cached: Option<(TransmitterProfile, Point, LinkBudget)> = None;
+        for tx_event in &scratch.schedule {
+            if !fault.transmits_at(tx_event.at) {
+                continue;
+            }
+            let profile = fault.profile_at(tx_event.at, &placed.profile);
+            let rx_pos = rx_position(tx_event.at);
+            let budget = match cached {
+                Some((p, pos, budget)) if p == profile && pos == rx_pos => budget,
+                _ => {
+                    let budget = channel.link_budget(&profile, placed.position, rx, rx_pos);
+                    cached = Some((profile, rx_pos, budget));
+                    budget
+                }
+            };
+            if let Some(rssi) = channel.sample_rssi_with_budget_on_at_recorded(
+                tx_event.at,
+                &budget,
+                rx,
+                rx_pos,
+                tx_event.channel,
+                rng,
+                telemetry,
+            ) {
+                out.push(Reception {
+                    at: tx_event.at,
+                    packet: *placed.advertiser.packet(),
+                    rssi_dbm: rssi,
+                    channel: tx_event.channel,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|r| r.at);
 }
 
 /// Groups receptions into scan cycles and runs the scanner model on each.
@@ -323,6 +501,59 @@ where
         start = end;
     }
     cycles
+}
+
+/// Struct-of-arrays variant of [`run_scan_recorded`]: instead of one owned
+/// `Vec<ScanSample>` per cycle, all samples land back to back in
+/// `scratch.samples` (cleared on entry) and `spans` (cleared on entry)
+/// records each cycle's extent. Cycle boundaries, samples, RNG draws and
+/// telemetry are identical to [`run_scan_recorded`] — the flat buffer holds
+/// exactly the concatenation of the per-cycle sample vectors, in order.
+///
+/// # Panics
+///
+/// Panics if `config.scan_period` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scan_batch_recorded<M, R>(
+    receptions: &[Reception],
+    model: &M,
+    config: ScanConfig,
+    from: SimTime,
+    until: SimTime,
+    rng: &mut R,
+    telemetry: &mut Recorder,
+    scratch: &mut ScanScratch,
+    spans: &mut Vec<CycleSpan>,
+) where
+    M: ScannerModel,
+    R: Rng + ?Sized,
+{
+    assert!(
+        !config.scan_period.is_zero(),
+        "scan period must be non-zero"
+    );
+    scratch.samples.clear();
+    spans.clear();
+    let mut start = from;
+    let mut idx = 0usize;
+    while start < until {
+        let end = (start + config.scan_period).min(until);
+        // Receptions are sorted; take the slice within [start, end).
+        let begin = idx;
+        while idx < receptions.len() && receptions[idx].at < end {
+            idx += 1;
+        }
+        telemetry.incr(keys::SCAN_CYCLES);
+        let sample_begin = scratch.samples.len();
+        model.filter_cycle_scratch_recorded(start, &receptions[begin..idx], rng, telemetry, scratch);
+        spans.push(CycleSpan {
+            start,
+            end,
+            sample_begin,
+            sample_end: scratch.samples.len(),
+        });
+        start = end;
+    }
 }
 
 #[cfg(test)]

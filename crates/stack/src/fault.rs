@@ -115,6 +115,44 @@ impl<M: ScannerModel> ScannerModel for FaultyScanner<M> {
             .filter_cycle_recorded(cycle_start, &survivors, rng, telemetry)
     }
 
+    fn filter_cycle_scratch_recorded<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+        telemetry: &mut Recorder,
+        scratch: &mut crate::ScanScratch,
+    ) {
+        // The survivors buffer is taken out of the scratch while the inner
+        // model borrows the rest of it, then put back so its capacity is
+        // reused next cycle. Filter predicates and draw order are exactly
+        // those of `filter_cycle_recorded`.
+        let mut survivors = scratch.take_survivors();
+        survivors.clear();
+        survivors.extend(
+            receptions
+                .iter()
+                .filter(|r| !self.stalls.active_at(r.at))
+                .filter(|r| {
+                    !(self.storms.active_at(r.at)
+                        && self.storm_loss > 0.0
+                        && rng.gen::<f64>() < self.storm_loss)
+                })
+                .copied(),
+        );
+        let dropped = (receptions.len() - survivors.len()) as u64;
+        if dropped > 0 {
+            telemetry.add(keys::SCAN_SAMPLES_DROPPED, dropped);
+            telemetry.record_event(TelemetryEvent::SampleDropped {
+                at: cycle_start,
+                count: dropped,
+            });
+        }
+        self.inner
+            .filter_cycle_scratch_recorded(cycle_start, &survivors, rng, telemetry, scratch);
+        scratch.put_survivors(survivors);
+    }
+
     fn name(&self) -> &'static str {
         match self.inner.name() {
             "android-4.x" => "android-4.x+faults",

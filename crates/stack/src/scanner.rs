@@ -65,6 +65,58 @@ impl Default for ScanConfig {
     }
 }
 
+/// Reusable per-cycle working memory for the scratch-based scanner path.
+///
+/// The scalar path allocates a fresh samples `Vec`, dedup set and stall map
+/// per cycle; at fleet scale those allocations dominate the pipeline. A
+/// `ScanScratch` owns all of that memory once and is reused cycle after
+/// cycle (and device after device within a batch chunk), so steady-state
+/// cycles allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ScanScratch {
+    /// The current cycle's output samples. The driver clears this before
+    /// each cycle; scanner models append to it.
+    pub samples: Vec<ScanSample>,
+    /// Per-window dedup set: `(window, identity)` pairs already delivered.
+    seen: Vec<(u64, BeaconIdentity)>,
+    /// Per-window stall outcomes, in first-reception order.
+    windows: Vec<(u64, bool)>,
+    /// Receptions surviving scheduled faults ([`crate::FaultyScanner`]).
+    survivors: Vec<Reception>,
+}
+
+impl ScanScratch {
+    /// A scratch with no reserved memory; buffers grow on first use and are
+    /// then reused.
+    pub fn new() -> Self {
+        ScanScratch::default()
+    }
+
+    /// Moves the survivors buffer out (so a wrapper can fill it while the
+    /// inner model borrows the rest of the scratch); pair with
+    /// [`put_survivors`](Self::put_survivors) to return its capacity.
+    pub fn take_survivors(&mut self) -> Vec<Reception> {
+        std::mem::take(&mut self.survivors)
+    }
+
+    /// Returns a buffer taken with [`take_survivors`](Self::take_survivors)
+    /// so its capacity is reused by later cycles.
+    pub fn put_survivors(&mut self, survivors: Vec<Reception>) {
+        self.survivors = survivors;
+    }
+
+    /// Total reserved capacity across every internal buffer, in elements.
+    /// The batched driver samples this before and after each cycle: any
+    /// increase is a scratch reallocation, counted by the debug
+    /// allocation counter so bench regressions are attributable.
+    pub fn total_capacity(&self) -> usize {
+        self.samples.capacity()
+            + self.seen.capacity()
+            + self.windows.capacity()
+            + self.survivors.capacity()
+    }
+}
+
 /// How an operating system turns radio receptions into app-visible samples.
 ///
 /// Implementations are stateless between cycles; all state lives in the
@@ -95,6 +147,29 @@ pub trait ScannerModel {
         rng: &mut R,
     ) -> Vec<ScanSample> {
         self.filter_cycle_recorded(cycle_start, receptions, rng, &mut Recorder::default())
+    }
+
+    /// Allocation-free variant of
+    /// [`filter_cycle_recorded`](Self::filter_cycle_recorded): appends the
+    /// cycle's samples to `scratch.samples` (which the caller clears between
+    /// cycles) using the scratch's reusable working memory instead of
+    /// per-cycle collections.
+    ///
+    /// The RNG draw order, the appended samples, and the recorded telemetry
+    /// must be identical to [`filter_cycle_recorded`](Self::filter_cycle_recorded);
+    /// the in-tree models override the default (which delegates and pays the
+    /// allocation) with true scratch-based implementations, and
+    /// `tests/batch_equivalence.rs` holds them to the contract.
+    fn filter_cycle_scratch_recorded<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+    ) {
+        let samples = self.filter_cycle_recorded(cycle_start, receptions, rng, telemetry);
+        scratch.samples.extend_from_slice(&samples);
     }
 
     /// A short name for reports and logs.
@@ -237,6 +312,59 @@ impl ScannerModel for AndroidScanner {
         out
     }
 
+    fn filter_cycle_scratch_recorded<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        rng: &mut R,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+    ) {
+        // Same walk as `filter_cycle_recorded`, with the per-cycle HashMap
+        // and HashSet replaced by linear scans over reused scratch vectors
+        // (a cycle holds a handful of windows and beacons, so linear wins).
+        // Membership answers are identical, so the RNG stream and telemetry
+        // are bit-for-bit those of the scalar path.
+        scratch.windows.clear();
+        scratch.seen.clear();
+        let appended_from = scratch.samples.len();
+        for r in receptions {
+            let window = r.at.saturating_since(cycle_start).as_millis()
+                / self.restart_interval.as_millis();
+            let is_stalled = match scratch.windows.iter().find(|(w, _)| *w == window) {
+                Some(&(_, stall)) => stall,
+                None => {
+                    let stall =
+                        self.stall_probability > 0.0 && rng.gen::<f64>() < self.stall_probability;
+                    scratch.windows.push((window, stall));
+                    telemetry.incr(keys::SCAN_WINDOWS);
+                    if stall {
+                        telemetry.incr(keys::SCAN_STALLS);
+                        telemetry.record_event(TelemetryEvent::ScanStall {
+                            at: cycle_start + self.restart_interval * window,
+                            window,
+                        });
+                    }
+                    stall
+                }
+            };
+            if is_stalled {
+                continue;
+            }
+            let key = (window, r.packet.identity());
+            if scratch.seen.contains(&key) {
+                telemetry.incr(keys::SCAN_DEDUP_SUPPRESSED);
+            } else {
+                scratch.seen.push(key);
+                scratch.samples.push(ScanSample::from_reception(r));
+            }
+        }
+        telemetry.add(
+            keys::SCAN_SAMPLES,
+            (scratch.samples.len() - appended_from) as u64,
+        );
+    }
+
     fn name(&self) -> &'static str {
         "android-4.x"
     }
@@ -334,6 +462,28 @@ impl ScannerModel for AndroidLScanner {
         }
     }
 
+    fn filter_cycle_scratch_recorded<R: Rng + ?Sized>(
+        &self,
+        cycle_start: SimTime,
+        receptions: &[Reception],
+        _rng: &mut R,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+    ) {
+        telemetry.add(keys::SCAN_SAMPLES, receptions.len() as u64);
+        match self.report_delay {
+            None => scratch
+                .samples
+                .extend(receptions.iter().map(ScanSample::from_reception)),
+            Some(delay) => scratch.samples.extend(receptions.iter().map(|r| {
+                let mut sample = ScanSample::from_reception(r);
+                let batch = r.at.saturating_since(cycle_start).as_millis() / delay.as_millis();
+                sample.at = cycle_start + delay * (batch + 1);
+                sample
+            })),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "android-l"
     }
@@ -363,6 +513,20 @@ impl ScannerModel for IosScanner {
     ) -> Vec<ScanSample> {
         telemetry.add(keys::SCAN_SAMPLES, receptions.len() as u64);
         receptions.iter().map(ScanSample::from_reception).collect()
+    }
+
+    fn filter_cycle_scratch_recorded<R: Rng + ?Sized>(
+        &self,
+        _cycle_start: SimTime,
+        receptions: &[Reception],
+        _rng: &mut R,
+        telemetry: &mut Recorder,
+        scratch: &mut ScanScratch,
+    ) {
+        telemetry.add(keys::SCAN_SAMPLES, receptions.len() as u64);
+        scratch
+            .samples
+            .extend(receptions.iter().map(ScanSample::from_reception));
     }
 
     fn name(&self) -> &'static str {

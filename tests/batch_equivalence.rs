@@ -1,0 +1,208 @@
+//! The batching contract: the struct-of-arrays fleet path is bit-for-bit
+//! the scalar per-device pipeline — same events in the same order, same
+//! telemetry checksums — for any seed, fleet size, chunk width, and worker
+//! count. The scalar path is the oracle; these tests compare the actual
+//! structured outputs, not summaries.
+
+use proptest::prelude::*;
+use roomsense::{
+    run_fleet, run_fleet_batched, run_fleet_batched_recorded, run_fleet_faulted,
+    run_fleet_faulted_batched, run_fleet_recorded, BatchConfig, FaultPlan, FleetEvent,
+    PipelineConfig, Scenario,
+};
+use roomsense_building::mobility::{MobilityModel, StaticPosition};
+use roomsense_building::presets;
+use roomsense_geom::Point;
+use roomsense_ml::{CachedSvmEvaluator, Classifier, Dataset, SvmClassifier, SvmParams};
+use roomsense_sim::exec::with_thread_override;
+use roomsense_sim::SimDuration;
+use roomsense_telemetry::Recorder;
+
+fn corridor_spots(occupant_count: usize) -> Vec<StaticPosition> {
+    (0..occupant_count)
+        .map(|i| StaticPosition::new(Point::new(1.0 + 1.5 * i as f64, 1.0)))
+        .collect()
+}
+
+fn scalar_fleet(seed: u64, spots: &[StaticPosition], secs: u64) -> Vec<FleetEvent> {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+    let occupants: Vec<&dyn MobilityModel> = spots.iter().map(|s| s as _).collect();
+    run_fleet(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        &occupants,
+        SimDuration::from_secs(secs),
+        seed,
+    )
+}
+
+fn batched_fleet(
+    seed: u64,
+    spots: &[StaticPosition],
+    secs: u64,
+    rows_per_chunk: usize,
+) -> Vec<FleetEvent> {
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
+    let occupants: Vec<&dyn MobilityModel> = spots.iter().map(|s| s as _).collect();
+    run_fleet_batched(
+        &scenario,
+        &PipelineConfig::paper_android(),
+        &occupants,
+        SimDuration::from_secs(secs),
+        seed,
+        &BatchConfig {
+            rows_per_chunk,
+            record_batch_metrics: false,
+        },
+    )
+}
+
+#[test]
+fn batched_fleet_equals_scalar_across_chunk_widths_and_workers() {
+    let spots = corridor_spots(5);
+    let scalar = with_thread_override(1, || scalar_fleet(23, &spots, 20));
+    for rows_per_chunk in [1, 2, 3, 8] {
+        for workers in [1, 2, 4] {
+            let batched =
+                with_thread_override(workers, || batched_fleet(23, &spots, 20, rows_per_chunk));
+            assert_eq!(
+                batched, scalar,
+                "diverged at rows_per_chunk={rows_per_chunk}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_telemetry_checksum_is_thread_and_chunk_invariant() {
+    let spots = corridor_spots(4);
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 31);
+    let occupants: Vec<&dyn MobilityModel> = spots.iter().map(|s| s as _).collect();
+    let config = PipelineConfig::paper_android();
+    let duration = SimDuration::from_secs(16);
+
+    let mut scalar_telemetry = Recorder::default();
+    run_fleet_recorded(
+        &scenario,
+        &config,
+        &occupants,
+        duration,
+        31,
+        &mut scalar_telemetry,
+    );
+    let scalar_checksum = scalar_telemetry.checksum();
+
+    for rows_per_chunk in [1, 2, 4] {
+        for workers in [1, 3, 8] {
+            let checksum = with_thread_override(workers, || {
+                let mut telemetry = Recorder::default();
+                run_fleet_batched_recorded(
+                    &scenario,
+                    &config,
+                    &occupants,
+                    duration,
+                    31,
+                    &BatchConfig {
+                        rows_per_chunk,
+                        record_batch_metrics: false,
+                    },
+                    &mut telemetry,
+                );
+                telemetry.checksum()
+            });
+            assert_eq!(
+                checksum, scalar_checksum,
+                "telemetry diverged at rows_per_chunk={rows_per_chunk}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_faulted_fleet_equals_scalar_faulted() {
+    let spots = corridor_spots(4);
+    let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 47);
+    let occupants: Vec<&dyn MobilityModel> = spots.iter().map(|s| s as _).collect();
+    let config = PipelineConfig::paper_android();
+    let duration = SimDuration::from_secs(24);
+    let plan = FaultPlan::generate(scenario.advertisers().len(), duration, 0.7, 47);
+
+    let scalar = with_thread_override(1, || {
+        run_fleet_faulted(&scenario, &config, &occupants, duration, 47, &plan)
+    });
+    for workers in [1, 4] {
+        let batched = with_thread_override(workers, || {
+            run_fleet_faulted_batched(
+                &scenario,
+                &config,
+                &occupants,
+                duration,
+                47,
+                &plan,
+                &BatchConfig::default(),
+            )
+        });
+        assert_eq!(batched, scalar, "faulted fleet diverged at {workers} workers");
+    }
+}
+
+fn room_classifier() -> (SvmClassifier, Dataset) {
+    let mut data = Dataset::new(3, vec!["a".into(), "b".into(), "c".into()]).expect("valid");
+    for i in 0..20 {
+        let t = f64::from(i) * 0.09;
+        data.push(vec![1.0 + t, 1.0, 4.0 - t], 0).expect("row");
+        data.push(vec![4.5 - t, 1.0 + t, 1.0], 1).expect("row");
+        data.push(vec![1.0, 4.5 - t, 2.0 + t], 2).expect("row");
+    }
+    let svm = SvmClassifier::fit(&data, &SvmParams::default()).expect("trains");
+    (svm, data)
+}
+
+#[test]
+fn cached_evaluator_shares_kernel_rows() {
+    let (svm, _) = room_classifier();
+    let mut evaluator = CachedSvmEvaluator::new(&svm);
+    // `pair_splits` clones each class's rows into every one-vs-one machine,
+    // so the dedup must find real sharing for the cache to pay off.
+    assert!(evaluator.unique_row_count() < evaluator.reference_count());
+    evaluator.predict(&[2.0, 2.0, 2.0]);
+    assert_eq!(
+        evaluator.cache_misses(),
+        evaluator.unique_row_count() as u64
+    );
+    assert!(evaluator.cache_hits() > 0);
+}
+
+proptest! {
+    /// For arbitrary seeds, fleet sizes, and chunk widths, the batched
+    /// fleet is indistinguishable from the scalar fleet at any worker
+    /// count — same events, same order, same record contents.
+    #[test]
+    fn batched_equivalence_holds_for_any_seed_size_and_chunk(
+        seed in any::<u64>(),
+        occupant_count in 0usize..5,
+        rows_per_chunk in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        let spots = corridor_spots(occupant_count);
+        let scalar = with_thread_override(1, || scalar_fleet(seed, &spots, 12));
+        let batched = with_thread_override(workers, || {
+            batched_fleet(seed, &spots, 12, rows_per_chunk)
+        });
+        prop_assert_eq!(batched, scalar);
+    }
+
+    /// The cached one-vs-one evaluator votes exactly like the direct
+    /// per-machine evaluation for any query point.
+    #[test]
+    fn cached_svm_predicts_like_plain_svm(
+        a in -1.0f64..6.0,
+        b in -1.0f64..6.0,
+        c in -1.0f64..6.0,
+    ) {
+        let (svm, _) = room_classifier();
+        let mut evaluator = CachedSvmEvaluator::new(&svm);
+        let query = [a, b, c];
+        prop_assert_eq!(evaluator.predict(&query), svm.predict(&query));
+    }
+}
