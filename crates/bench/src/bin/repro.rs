@@ -1,6 +1,6 @@
 //! `repro` — regenerates every figure and headline claim of the paper.
 //!
-//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|bench|all]`
+//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|archive|bench|all]`
 //!
 //! The `bench` arm is not a paper figure: it is the performance regression
 //! gate. It times the scalar sequential, scalar parallel, and batched
@@ -13,11 +13,11 @@
 //! reports; `EXPERIMENTS.md` records paper-vs-measured.
 
 use roomsense::experiments::{
-    chaos_experiment, classification_cross_validation, classification_experiment,
-    coefficient_sweep, device_comparison, dynamic_walk, energy_experiment, faults_experiment,
-    run_tx_power_calibration, multifloor_experiment, overload_experiment, sampling_comparison,
-    scale_experiment, scaling_experiment, static_capture, telemetry_experiment,
-    tracking_experiment,
+    archive_experiment, chaos_experiment, classification_cross_validation,
+    classification_experiment, coefficient_sweep, device_comparison, dynamic_walk,
+    energy_experiment, faults_experiment, run_tx_power_calibration, multifloor_experiment,
+    overload_experiment, sampling_comparison, scale_experiment, scaling_experiment,
+    static_capture, telemetry_experiment, tracking_experiment,
 };
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
@@ -55,6 +55,7 @@ fn main() {
         "telemetry" => telemetry(),
         "scale" => scale(),
         "overload" => overload(),
+        "archive" => archive(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -76,11 +77,12 @@ fn main() {
             telemetry();
             scale();
             overload();
+            archive();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|bench|all]"
+                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|archive|bench|all]"
             );
             std::process::exit(2);
         }
@@ -621,6 +623,91 @@ fn overload() {
     );
     println!(
         "  overload checksum: {:016x} (threads: {})",
+        fnv1a(&format!("{f:?}")),
+        exec::thread_count()
+    );
+}
+
+/// Archive arm: the crash-safe tiered-retention gate. A 240-device fleet
+/// spills retention-compacted reports to per-shard segment logs on a
+/// fault-injected simulated disk, crashes mid-run, and recovers from
+/// checkpoint + segment scan + journal replay — once per disk-fault mode.
+/// Asserts that every covered recovery is bit-for-bit the never-crashed
+/// oracle, that every lossy recovery *reports* its loss (coverage fails
+/// and below-floor queries come back flagged), and that no historical
+/// query is ever answered complete-but-wrong, then prints the
+/// deterministic fingerprint's FNV-1a checksum — `scripts/check.sh`
+/// compares it across thread counts.
+fn archive() {
+    header("archive: durable segment-log retention under disk faults (crash -> recover -> verify)");
+    let result = archive_experiment(SEED, 240, 4);
+    let f = &result.fingerprint;
+    let t = &result.timings;
+    println!(
+        "  fleet: {} devices -> {} shards, {} reports/scenario, 300 s retention spilling to segment logs",
+        f.devices, f.shards, f.reports_per_scenario
+    );
+    println!(
+        "  scenario               segs trunc foot  scan     covered  missing  records  respill  digest  probes(exact/flagged)  loss"
+    );
+    for s in &f.scenarios {
+        println!(
+            "  {:<21} {:>5} {:>5} {:>4}  {:<7}  {:<7}  {:>7}  {:>7}  {:>7}  {:<6}  {:>9}/{:<7}  {}",
+            s.name,
+            s.segments_scanned,
+            s.truncated_segments,
+            s.footer_mismatches,
+            if s.scan_clean { "clean" } else { "repair" },
+            s.covered,
+            s.missing_records,
+            s.archive_records,
+            s.respill_suppressed,
+            s.digest_match,
+            s.exact_probes,
+            s.flagged_probes,
+            if s.silent_loss { "SILENT" } else { "none" },
+        );
+    }
+    println!(
+        "  timings: generate {:.2} s, scenarios {:.2} s",
+        t.generate_secs, t.run_secs
+    );
+    assert!(
+        f.no_silent_loss(),
+        "a historical query was answered complete but wrong"
+    );
+    assert!(
+        f.covered_scenarios_exact(),
+        "a covered recovery diverged from the never-crashed oracle"
+    );
+    assert!(
+        f.lossy_scenarios_flagged(),
+        "a lossy recovery failed to surface its data loss"
+    );
+    assert!(
+        f.live_state_always_exact(),
+        "checkpoint + journal replay lost live state"
+    );
+    assert!(
+        f.faults_exercised(),
+        "a fault scenario injected nothing — the matrix degraded to clean runs"
+    );
+    for s in &f.scenarios {
+        let expect_covered = matches!(s.name, "clean" | "crash_mid_compaction" | "torn_tail");
+        assert_eq!(
+            s.covered, expect_covered,
+            "{}: expected covered={expect_covered}",
+            s.name
+        );
+    }
+    let lossy = f.scenarios.iter().filter(|s| !s.covered).count();
+    println!(
+        "  {} covered scenarios exact; {} lossy scenarios flagged; zero silent loss",
+        f.scenarios.len() - lossy,
+        lossy
+    );
+    println!(
+        "  archive checksum: {:016x} (threads: {})",
         fnv1a(&format!("{f:?}")),
         exec::thread_count()
     );

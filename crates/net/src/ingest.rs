@@ -396,6 +396,24 @@ impl IngestTier {
         self.fleet.state_digest()
     }
 
+    /// The fleet's historical floor (see
+    /// [`ShardedBmsServer::historical_floor`]): `None` when every shard's
+    /// durable archive can answer exactly at any instant.
+    pub fn historical_floor(&self) -> Option<SimTime> {
+        self.fleet.historical_floor()
+    }
+
+    /// Archive-aware historical occupancy across the fleet (see
+    /// [`ShardedBmsServer::occupancy_at_checked`]). Note this reads the
+    /// shards directly — reports still queued in mailboxes are invisible
+    /// until [`pump`](Self::pump) delivers them.
+    pub fn occupancy_at_checked(
+        &self,
+        at: SimTime,
+    ) -> crate::Windowed<std::collections::BTreeMap<crate::RoomLabel, usize>> {
+        self.fleet.occupancy_at_checked(at)
+    }
+
     /// The fleet's merged telemetry plus the tier's own admission
     /// counters and the peak-mailbox-depth gauge, merged in a fixed order
     /// (shards, then tier) so the snapshot is deterministic at any

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod analytics;
+mod archive;
 mod batch;
 mod bms;
 mod demand;
@@ -33,10 +34,13 @@ mod shard;
 mod transport;
 
 pub use analytics::{DebouncedRoom, MovementAnalytics, RoomTransition};
+pub use archive::{
+    ArchiveConfig, ArchiveSink, ArchiveStats, Coverage, DeviceMark, RecoveryReport,
+};
 pub use batch::BatchingTransport;
 pub use bms::{
-    BmsCheckpoint, BmsServer, IngestOutcome, OccupancyEstimator, OccupancyView, RoomLabel,
-    RoomPresence, ServerStats, Windowed,
+    BmsCheckpoint, BmsServer, IngestOutcome, OccupancyEstimator, OccupancyView, RestoreError,
+    RoomLabel, RoomPresence, ServerStats, Windowed,
 };
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
 pub use fault::FaultyTransport;

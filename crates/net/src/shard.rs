@@ -14,10 +14,11 @@
 
 use crate::bms::{digest_state, Windowed};
 use crate::{
-    BmsCheckpoint, BmsServer, DeviceId, IngestOutcome, ObservationReport, OccupancyEstimator,
-    OccupancyView, RoomLabel, RoomPresence, ServerStats,
+    ArchiveConfig, ArchiveSink, ArchiveStats, BmsCheckpoint, BmsServer, Coverage, DeviceId,
+    IngestOutcome, ObservationReport, OccupancyEstimator, OccupancyView, RecoveryReport,
+    RestoreError, RoomLabel, RoomPresence, ServerStats,
 };
-use roomsense_sim::{exec, SimDuration, SimTime};
+use roomsense_sim::{exec, SharedDisk, SimDuration, SimTime};
 use roomsense_telemetry::Recorder;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -115,6 +116,22 @@ impl ShardedBmsServer {
             .shards
             .into_iter()
             .map(|s| s.with_retention(window))
+            .collect();
+        self
+    }
+
+    /// Attaches one durable archive sink per shard, namespaced under the
+    /// config prefix as `shard-NNNN/` on the shared disk (see
+    /// [`BmsServer::with_archive`]). Device sets are disjoint across
+    /// shards, so the union of per-shard archive marks equals a single
+    /// server's — the digest equivalence the scale gate checks extends to
+    /// the durable tier.
+    pub fn with_archives(mut self, disk: SharedDisk, config: ArchiveConfig) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.with_archive(ArchiveSink::new(disk.clone(), config.for_shard(i))))
             .collect();
         self
     }
@@ -242,15 +259,22 @@ impl ShardedBmsServer {
 
     /// [`occupancy_at`](Self::occupancy_at) with the merged completeness
     /// flag: complete iff every shard's answer was complete; the floor is
-    /// the worst (latest) shard floor.
+    /// the worst (latest) shard floor. Shards with healed archives answer
+    /// below their retention floor from the segment log, so the merged
+    /// answer stays exact wherever every shard's history survives.
     pub fn occupancy_at_checked(&self, at: SimTime) -> Windowed<BTreeMap<RoomLabel, usize>> {
-        let value = self.occupancy_at(at);
-        let floor = self.retention_floor();
-        Windowed {
-            value,
-            complete: floor.is_none_or(|f| at >= f),
-            floor,
+        let mut value = BTreeMap::new();
+        let mut complete = true;
+        let mut floor = None;
+        for shard in &self.shards {
+            let answer = shard.occupancy_at_checked(at);
+            for (room, count) in answer.value {
+                *value.entry(room).or_insert(0) += count;
+            }
+            complete &= answer.complete;
+            floor = floor.max(answer.floor);
         }
+        Windowed { value, complete, floor }
     }
 
     /// The merged counters across shards.
@@ -286,6 +310,26 @@ impl ShardedBmsServer {
         self.shards.iter().filter_map(BmsServer::retention_floor).max()
     }
 
+    /// The fleet-wide historical floor: `None` when every shard can answer
+    /// exactly at any instant (healed archives), otherwise the latest
+    /// floor among shards whose history is bounded (see
+    /// [`BmsServer::historical_floor`]).
+    pub fn historical_floor(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(BmsServer::historical_floor)
+            .max()
+    }
+
+    /// Merged archive counters across shards; `None` when no shard has an
+    /// archive attached.
+    pub fn archive_stats(&self) -> Option<ArchiveStats> {
+        self.shards
+            .iter()
+            .filter_map(BmsServer::archive_stats)
+            .reduce(ArchiveStats::merged)
+    }
+
     /// All retained reports in `[from, to)` across shards, in the same
     /// `(time, device, seq)` order [`BmsServer::reports_between`] uses —
     /// the merge is invisible to callers.
@@ -317,11 +361,13 @@ impl ShardedBmsServer {
     }
 
     /// Rebuilds the fleet from a [`checkpoint`](Self::checkpoint); shard
-    /// count and per-shard configuration come from the snapshot.
+    /// count and per-shard configuration come from the snapshot. Every
+    /// shard snapshot is digest-validated first — one tampered shard
+    /// refuses the whole restore.
     pub fn restore(
         estimator: Arc<dyn OccupancyEstimator>,
         checkpoint: ShardedBmsCheckpoint,
-    ) -> Self {
+    ) -> Result<Self, RestoreError> {
         let shards = checkpoint
             .shards
             .into_iter()
@@ -331,8 +377,41 @@ impl ShardedBmsServer {
                     snapshot,
                 )
             })
-            .collect();
-        ShardedBmsServer { shards }
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedBmsServer { shards })
+    }
+
+    /// Crash recovery for an archived fleet: scans every shard's segment
+    /// log on `disk` (truncating torn tails at the first corrupt record),
+    /// verifies each surviving log against its shard checkpoint's archive
+    /// marks, and rebuilds the fleet with the recovered sinks attached.
+    /// Returns the merged scan report and coverage verdict; when coverage
+    /// fails for any shard the fleet degrades to lossy mode — below-floor
+    /// answers are flagged incomplete, never silently wrong.
+    pub fn restore_with_archives(
+        estimator: Arc<dyn OccupancyEstimator>,
+        checkpoint: ShardedBmsCheckpoint,
+        disk: SharedDisk,
+        config: ArchiveConfig,
+    ) -> Result<(Self, RecoveryReport, Coverage), RestoreError> {
+        let mut shards = Vec::with_capacity(checkpoint.shards.len());
+        let mut recovery = RecoveryReport::default();
+        let mut coverage = Coverage {
+            covered: true,
+            ..Coverage::default()
+        };
+        for (i, snapshot) in checkpoint.shards.into_iter().enumerate() {
+            let (sink, report) = ArchiveSink::recover(disk.clone(), config.for_shard(i));
+            recovery = recovery.merged(report);
+            let (server, shard_coverage) = BmsServer::restore_with_archive(
+                Box::new(SharedEstimator(Arc::clone(&estimator))),
+                snapshot,
+                sink,
+            )?;
+            coverage = coverage.merged(shard_coverage);
+            shards.push(server);
+        }
+        Ok((ShardedBmsServer { shards }, recovery, coverage))
     }
 
     /// One recorder holding every shard's counters and journal, merged in
@@ -486,7 +565,8 @@ mod tests {
         let snapshot = fleet.checkpoint();
         assert_eq!(snapshot.shard_count(), 3);
         assert_eq!(snapshot.report_count(), fleet.report_count());
-        let restored = ShardedBmsServer::restore(minor_estimator(), snapshot);
+        let restored = ShardedBmsServer::restore(minor_estimator(), snapshot)
+            .expect("untampered checkpoint");
         assert_eq!(restored.shard_count(), 3);
         assert_eq!(restored.state_digest(), fleet.state_digest());
         // The restored fleet keeps the snapshotted config: further traffic
@@ -534,5 +614,56 @@ mod tests {
     #[should_panic(expected = "shard count must be non-zero")]
     fn zero_shards_panics() {
         let _ = ShardedBmsServer::new(minor_estimator(), 0);
+    }
+
+    #[test]
+    fn sharded_archives_merge_digest_equal_with_a_single_server() {
+        use roomsense_sim::{SharedDisk, SimDisk};
+        let window = SimDuration::from_secs(120);
+        let config = ArchiveConfig {
+            segment_records: 16,
+            ..ArchiveConfig::default()
+        };
+        let fleet_disk = SharedDisk::new(SimDisk::pristine(21));
+        let fleet = ShardedBmsServer::new(minor_estimator(), 4)
+            .with_retention(window)
+            .with_archives(fleet_disk.clone(), config.clone());
+        let single_disk = SharedDisk::new(SimDisk::pristine(22));
+        let single = BmsServer::new(boxed_minor_estimator())
+            .with_retention(window)
+            .with_archive(ArchiveSink::new(single_disk, config.clone()));
+        for r in stream() {
+            fleet.ingest(r.clone());
+            single.ingest(r);
+        }
+        // Archive marks ride the state digest: disjoint per-shard logs
+        // union to exactly the single server's durable history.
+        assert_eq!(fleet.state_digest(), single.state_digest());
+        assert_eq!(fleet.historical_floor(), None, "healed everywhere");
+        let stats = fleet.archive_stats().expect("archives attached");
+        assert_eq!(stats.records, single.archive_stats().expect("attached").records);
+        for t in [0u64, 100, 700, 1393] {
+            let at = SimTime::from_secs(t);
+            let fleet_answer = fleet.occupancy_at_checked(at);
+            let single_answer = single.occupancy_at_checked(at);
+            assert!(fleet_answer.complete, "t={t}");
+            assert_eq!(fleet_answer.value, single_answer.value, "t={t}");
+        }
+        // Crash the fleet and recover from disk + checkpoint.
+        let snapshot = fleet.checkpoint();
+        let digest = fleet.state_digest();
+        drop(fleet);
+        fleet_disk.crash(SimTime::from_secs(2000));
+        let (restored, recovery, coverage) = ShardedBmsServer::restore_with_archives(
+            minor_estimator(),
+            snapshot,
+            fleet_disk,
+            config,
+        )
+        .expect("valid shard checkpoints");
+        assert!(coverage.covered, "flushed at checkpoint: {recovery:?}");
+        assert!(recovery.segments >= 4, "one log per shard scanned");
+        assert_eq!(restored.state_digest(), digest);
+        assert_eq!(restored.historical_floor(), None);
     }
 }

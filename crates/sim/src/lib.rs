@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+mod disk;
 mod fault;
 mod mailbox;
 mod queue;
 pub mod rng;
 mod time;
 
+pub use disk::{DiskFaultPlan, DiskStats, SharedDisk, SimDisk};
 pub use fault::{FaultSchedule, FaultWindow};
 pub use mailbox::{Mailbox, TickClock};
 pub use queue::EventQueue;

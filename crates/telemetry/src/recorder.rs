@@ -80,6 +80,21 @@ pub mod keys {
     pub const BMS_RETENTION_COMPACTED: MetricKey = MetricKey("bms.retention.compacted");
     /// Peak resident report count observed during a run (gauge).
     pub const BMS_REPORTS_RETAINED_PEAK: MetricKey = MetricKey("bms.reports.retained_peak");
+    /// Records (reports + assignments) spilled into the durable archive.
+    pub const BMS_ARCHIVE_RECORDS: MetricKey = MetricKey("bms.archive.records");
+    /// Archive segments sealed with a verified footer.
+    pub const BMS_ARCHIVE_SEGMENTS_SEALED: MetricKey = MetricKey("bms.archive.segments_sealed");
+    /// Bytes appended to archive segment files.
+    pub const BMS_ARCHIVE_BYTES: MetricKey = MetricKey("bms.archive.bytes");
+    /// Archive recovery passes run against a crashed disk.
+    pub const BMS_ARCHIVE_RECOVERIES: MetricKey = MetricKey("bms.archive.recoveries");
+    /// Archived records lost to truncation at recovery, vs checkpoint marks.
+    pub const BMS_ARCHIVE_TRUNCATED_RECORDS: MetricKey = MetricKey("bms.archive.truncated_records");
+    /// Query-time segment scans that hit corruption which landed after
+    /// recovery; each one demotes the sink to lossy on the spot.
+    pub const BMS_ARCHIVE_READ_CORRUPTIONS: MetricKey = MetricKey("bms.archive.read_corruptions");
+    /// Re-spills of already-archived records suppressed after journal replay.
+    pub const BMS_ARCHIVE_RESPILL_SUPPRESSED: MetricKey = MetricKey("bms.archive.respill_suppressed");
     /// Queries answered exactly — no shard had backlog at query time.
     pub const BMS_QUERIES_EXACT: MetricKey = MetricKey("bms.queries.exact");
     /// Queries answered from the stale-marked view while shards lagged.

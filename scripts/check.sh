@@ -28,6 +28,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 ROOMSENSE_THREADS=1 cargo test -q --offline --workspace
 cargo test -q --offline --workspace
+# One full pass under background disk chaos: every SimDisk consults the
+# seeded ROOMSENSE_DISK_FAULTS plan (torn tails, short writes, bit rot,
+# fsync lies), so the archive's never-silently-wrong contract is exercised
+# by the whole suite, not just the fault-injection tests.
+ROOMSENSE_DISK_FAULTS=1 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 
@@ -90,4 +95,20 @@ if [ -z "$seq_osum" ] || [ "$seq_osum" != "$par_osum" ]; then
 fi
 echo "overload fingerprint checksum $seq_osum identical at threads=1 and default"
 
-echo "check.sh: build + tests (threads=1 and default) + clippy + doc + bench + chaos + telemetry + scale + overload all green"
+archive_sum() {
+    sed -n 's/.*archive checksum: \([0-9a-f]*\).*/\1/p'
+}
+# The archive arm itself asserts zero silent loss (every complete answer
+# equals the unbounded oracle), covered crash recoveries bit-for-bit equal
+# to a never-crashed fleet, lossy recoveries flagged with a floor, and
+# every fault mode actually exercised; any violation exits non-zero
+# before the checksum comparison runs.
+seq_asum=$(ROOMSENSE_THREADS=1 ./target/release/repro archive | archive_sum)
+par_asum=$(env -u ROOMSENSE_THREADS ./target/release/repro archive | archive_sum)
+if [ -z "$seq_asum" ] || [ "$seq_asum" != "$par_asum" ]; then
+    echo "check.sh: archive run diverged across thread counts ($seq_asum vs $par_asum)" >&2
+    exit 1
+fi
+echo "archive fingerprint checksum $seq_asum identical at threads=1 and default"
+
+echo "check.sh: build + tests (threads=1, default, disk-chaos) + clippy + doc + bench + chaos + telemetry + scale + overload + archive all green"

@@ -185,7 +185,8 @@ proptest! {
                         r.beacons.first().map(|b| b.identity.minor.value() as usize)
                     }),
                     checkpoint.clone(),
-                );
+                )
+                .expect("untampered checkpoint");
                 for replayed in &journal[checkpoint_len..] {
                     crashed.ingest(replayed.clone());
                 }

@@ -124,7 +124,8 @@ proptest! {
         );
 
         // Checkpoint/restore round-trips the whole fleet.
-        let restored = ShardedBmsServer::restore(arc_estimator(), fleet.checkpoint());
+        let restored = ShardedBmsServer::restore(arc_estimator(), fleet.checkpoint())
+            .expect("untampered checkpoint");
         prop_assert_eq!(restored.state_digest(), single.state_digest());
     }
 
