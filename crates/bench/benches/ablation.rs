@@ -5,7 +5,7 @@
 //! paper made (or proposed as future work). Sweeps run in parallel with
 //! crossbeam scoped threads.
 
-use roomsense::experiments::{coefficient_sweep, static_capture};
+use roomsense::experiments::ExperimentCtx;
 use roomsense::{
     collect_dataset, LabelledDataset, OccupancyModel, PipelineConfig, Scenario,
     MISSING_DISTANCE,
@@ -130,7 +130,7 @@ fn ablate_coefficient() {
     section("ablate_coeff: EWMA coefficient (paper settles on 0.65)");
     let coefficients = [0.0, 0.2, 0.4, 0.65, 0.8, 0.95];
     println!("  coeff  static std (m)  crossover cycle");
-    for point in coefficient_sweep(&coefficients, 5, SEED) {
+    for point in ExperimentCtx::new(SEED).coefficient_sweep(&coefficients, 5) {
         println!(
             "  {:>5.2}  {:>14.3}  {:>8}",
             point.coefficient,
@@ -168,12 +168,8 @@ fn ablate_loss_hold() {
                                 },
                                 ..PipelineConfig::paper_android().with_loss_policy(*policy)
                             };
-                            let capture = static_capture(
-                                &config,
-                                2.0,
-                                SimDuration::from_secs(240),
-                                SEED ^ trial,
-                            );
+                            let capture = ExperimentCtx::new(SEED ^ trial)
+                                .static_capture(&config, 2.0, SimDuration::from_secs(240));
                             // Availability: smoothed estimates per scheduled cycle.
                             total += 120;
                             available += capture.smoothed.len();
@@ -205,8 +201,8 @@ fn ablate_scan_period() {
         let mut rmses = Vec::new();
         let mut rates = Vec::new();
         for trial in 0..8u64 {
-            let capture =
-                static_capture(&config, 2.0, SimDuration::from_secs(300), SEED ^ trial);
+            let capture = ExperimentCtx::new(SEED ^ trial)
+                .static_capture(&config, 2.0, SimDuration::from_secs(300));
             stds.push(capture.raw_std());
             rmses.push(capture.raw_rmse());
             rates.push(capture.raw.len() as f64 / 5.0);
@@ -239,7 +235,8 @@ fn ablate_calibration() {
         ("Nexus 5 calibrated", DeviceRxProfile::nexus_5().calibrated()),
     ] {
         let test_cfg = PipelineConfig::paper_android().with_device(device);
-        let capture = static_capture(&test_cfg, 2.0, SimDuration::from_secs(240), SEED ^ 0xcafe);
+        let capture = ExperimentCtx::new(SEED ^ 0xcafe)
+            .static_capture(&test_cfg, 2.0, SimDuration::from_secs(240));
         let test =
             collect_dataset(&scenario, &test_cfg, SimDuration::from_secs(30), 1, SEED ^ 0xbeef);
         let cm = model.evaluate(&test.data);

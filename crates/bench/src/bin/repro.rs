@@ -1,6 +1,13 @@
 //! `repro` — regenerates every figure and headline claim of the paper.
 //!
-//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|archive|bench|all]`
+//! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|<system arm>|bench|all]`
+//!
+//! System arms (tracking, scaling, floors, faults, chaos, telemetry,
+//! scale, overload, archive, counting) dispatch through the
+//! [`roomsense::experiments::ARMS`] table: `repro` prints each arm's
+//! [`roomsense::experiments::ExperimentReport`] summary, asserts its
+//! invariants, and prints a unified `  <name> checksum: <hex> (threads: N)`
+//! line that `scripts/check.sh` compares across thread counts.
 //!
 //! The `bench` arm is not a paper figure: it is the performance regression
 //! gate. It times the scalar sequential, scalar parallel, and batched
@@ -12,13 +19,7 @@
 //! Each subcommand prints the rows/series the corresponding paper artifact
 //! reports; `EXPERIMENTS.md` records paper-vs-measured.
 
-use roomsense::experiments::{
-    archive_experiment, chaos_experiment, classification_cross_validation,
-    classification_experiment, coefficient_sweep, device_comparison, dynamic_walk,
-    energy_experiment, faults_experiment, run_tx_power_calibration, multifloor_experiment,
-    overload_experiment, sampling_comparison, scale_experiment, scaling_experiment,
-    static_capture, telemetry_experiment, tracking_experiment,
-};
+use roomsense::experiments::{self, ExperimentArm, ExperimentCtx};
 use roomsense::PipelineConfig;
 use roomsense_bench::REPRO_SEED as SEED;
 use roomsense_ibeacon::{Major, MeasuredPower, Minor, Packet, ProximityUuid, Region, RegionId};
@@ -47,15 +48,6 @@ fn main() {
         "fig11" => fig11(),
         "sampling" => sampling(),
         "calibration" => calibration(),
-        "tracking" => tracking(),
-        "scaling" => scaling(),
-        "floors" => floors(),
-        "faults" => faults(),
-        "chaos" => chaos(),
-        "telemetry" => telemetry(),
-        "scale" => scale(),
-        "overload" => overload(),
-        "archive" => archive(),
         "bench" => bench(),
         "all" => {
             fig1();
@@ -69,24 +61,42 @@ fn main() {
             fig11();
             sampling();
             calibration();
-            tracking();
-            scaling();
-            floors();
-            faults();
-            chaos();
-            telemetry();
-            scale();
-            overload();
-            archive();
+            for arm in experiments::ARMS {
+                run_system(arm);
+            }
         }
-        other => {
-            eprintln!("unknown experiment {other:?}");
-            eprintln!(
-                "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|tracking|scaling|floors|faults|chaos|telemetry|scale|overload|archive|bench|all]"
-            );
-            std::process::exit(2);
-        }
+        other => match experiments::arm(other) {
+            Some(arm) => run_system(arm),
+            None => {
+                let arms: Vec<&str> = experiments::ARMS.iter().map(|a| a.name).collect();
+                eprintln!("unknown experiment {other:?}");
+                eprintln!(
+                    "usage: repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|{}|bench|all]",
+                    arms.join("|")
+                );
+                std::process::exit(2);
+            }
+        },
     }
+}
+
+/// Runs one registered system arm under the canonical seed: summary,
+/// invariants, then the unified checksum line `scripts/check.sh` diffs
+/// across thread counts.
+fn run_system(arm: &'static ExperimentArm) {
+    header(arm.title);
+    let ctx = ExperimentCtx::new(SEED);
+    let report = (arm.run)(&ctx);
+    for row in report.summary_rows() {
+        println!("{row}");
+    }
+    report.assert_invariants();
+    println!(
+        "  {} checksum: {:016x} (threads: {})",
+        report.name(),
+        report.checksum(),
+        exec::thread_count()
+    );
 }
 
 fn header(title: &str) {
@@ -162,7 +172,7 @@ fn fig_static(period_secs: u64, tag: &str) {
     ));
     let config =
         PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(period_secs));
-    let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), SEED);
+    let capture = ExperimentCtx::new(SEED).static_capture(&config, 2.0, SimDuration::from_secs(120));
     println!("  t(s)   raw distance (m)");
     for (t, d) in &capture.raw {
         println!("  {t:>5.0}  {d:>6.2}  {}", bar(*d, 6.0));
@@ -178,11 +188,10 @@ fn fig_static(period_secs: u64, tag: &str) {
 /// Fig 5: the same capture after the EWMA(0.65) filter.
 fn fig5() {
     header("fig5: static evaluation with coeff = 0.65");
-    let capture = static_capture(
+    let capture = ExperimentCtx::new(SEED).static_capture(
         &PipelineConfig::paper_android(),
         2.0,
         SimDuration::from_secs(120),
-        SEED,
     );
     println!("  t(s)   smoothed distance (m)");
     for (t, d) in &capture.smoothed {
@@ -200,7 +209,7 @@ fn fig7_8() {
     header("fig7_8: coefficient tuning (stability vs responsiveness)");
     let coefficients = [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95];
     println!("  coeff  static std (m)  crossover cycle (walk @1.2 m/s)");
-    for point in coefficient_sweep(&coefficients, 5, SEED) {
+    for point in ExperimentCtx::new(SEED).coefficient_sweep(&coefficients, 5) {
         let crossing = point
             .crossover_cycle
             .map_or("never".to_string(), |c| c.to_string());
@@ -211,7 +220,7 @@ fn fig7_8() {
     }
     println!();
     println!("dynamic walk at the chosen coeff = 0.65:");
-    let walk = dynamic_walk(0.65, 1.2, SEED);
+    let walk = ExperimentCtx::new(SEED).dynamic_walk(0.65, 1.2);
     println!("  t(s)   d(west)  d(east)");
     for (t, a, b) in &walk.series {
         println!("  {t:>5.1}  {:>7}  {:>7}", fmt_opt(*a), fmt_opt(*b));
@@ -226,7 +235,7 @@ fn fig7_8() {
 /// Fig 9: classification accuracy and confusion matrix.
 fn fig9() {
     header("fig9: classification results on the paper house");
-    let result = classification_experiment(SEED);
+    let result = ExperimentCtx::new(SEED).classification();
     let (svm, proximity) = result.headline();
     println!("  svm (scene analysis, rbf): {:.1}%", svm * 100.0);
     println!("  proximity baseline:        {:.1}%", proximity * 100.0);
@@ -244,7 +253,7 @@ fn fig9() {
             .map(|c| result.svm.false_negatives(c))
             .sum::<u64>()
     );
-    let cv = classification_cross_validation(SEED, 5);
+    let cv = ExperimentCtx::new(SEED).cross_validation(5);
     let mean_cv = cv.iter().sum::<f64>() / cv.len() as f64;
     println!(
         "5-fold cross-validation: mean {:.1}% (folds: {})",
@@ -259,7 +268,7 @@ fn fig9() {
 /// Fig 10: battery traces and the Wi-Fi vs Bluetooth saving.
 fn fig10() {
     header("fig10: energy consumption, wifi vs bluetooth uplink (S3 Mini, mean of 10 runs)");
-    let result = energy_experiment(SimDuration::from_secs(3600), 10, SEED);
+    let result = ExperimentCtx::new(SEED).energy(SimDuration::from_secs(3600), 10);
     println!(
         "  mean power: wifi {:.0} mW, bluetooth {:.0} mW",
         result.wifi_mean_mw, result.bt_mean_mw
@@ -288,14 +297,13 @@ fn fig10() {
 /// Fig 11: per-device RSSI differences.
 fn fig11() {
     header("fig11: received signal strength per device, same transmitter, D = 2 m");
-    let rows = device_comparison(
+    let rows = ExperimentCtx::new(SEED).device_comparison(
         &[
             DeviceRxProfile::galaxy_s3_mini(),
             DeviceRxProfile::nexus_5(),
         ],
         2.0,
         SimDuration::from_secs(240),
-        SEED,
     );
     println!("  device                      mean rssi   std    est. distance");
     for row in rows {
@@ -309,7 +317,7 @@ fn fig11() {
 /// Section V: the 5 vs 300 samples example.
 fn sampling() {
     header("sampling: Android vs iOS samples (10 s window, 30 Hz beacon, 2 s scan period)");
-    let s = sampling_comparison(SEED);
+    let s = ExperimentCtx::new(SEED).sampling();
     println!("  android 4.x: {:>4} samples (paper: 5)", s.android_samples);
     println!("  android L:   {:>4} samples (paper's future work, implemented)", s.android_l_samples);
     println!("  ios:         {:>4} samples (paper: ~300)", s.ios_samples);
@@ -318,7 +326,7 @@ fn sampling() {
 /// Section IV-A: the TX-power calibration procedure, run end to end.
 fn calibration() {
     header("calibration: TX-power field calibration at one metre (Section IV-A)");
-    let outcome = run_tx_power_calibration(SEED);
+    let outcome = ExperimentCtx::new(SEED).calibration();
     println!(
         "  collected {} one-metre samples -> measured power = {}",
         outcome.sample_count, outcome.measured_power
@@ -326,390 +334,6 @@ fn calibration() {
     println!(
         "  verification capture estimates {:.2} m at a true 1.00 m",
         outcome.verified_distance_m
-    );
-}
-
-/// System-level occupancy tracking vs ground truth (three occupants).
-fn tracking() {
-    header("tracking: BMS occupancy table vs ground truth (3 occupants, 4 min)");
-    let result = tracking_experiment(SEED);
-    println!(
-        "  per-device agreement: {:.1}% over {} samples",
-        result.device_agreement * 100.0,
-        result.samples
-    );
-    println!(
-        "  whole-table exact matches: {:.1}%",
-        result.table_agreement * 100.0
-    );
-}
-
-/// Commercial-building scale: the office-floor classification study.
-fn scaling() {
-    header("scaling: classification on the office floor (commercial scale)");
-    let result = scaling_experiment(SEED);
-    println!(
-        "  {} rooms, {} beacons: svm {:.1}%, proximity {:.1}%",
-        result.rooms,
-        result.beacons,
-        result.office_svm * 100.0,
-        result.office_proximity * 100.0
-    );
-}
-
-/// Multi-floor extension: floor identification via the major field.
-fn floors() {
-    header("floors: two-storey building, floor + room identification");
-    let result = multifloor_experiment(SEED);
-    println!(
-        "  {} floors, {} beacons: floor accuracy {:.1}%, room accuracy {:.1}%",
-        result.floors,
-        result.beacons,
-        result.floor_accuracy * 100.0,
-        result.room_accuracy * 100.0
-    );
-}
-
-/// Robustness: the fault-intensity sweep, bare uplink vs store-and-forward.
-fn faults() {
-    header("faults: graceful degradation under injected faults (2 occupants, 10 min)");
-    println!("  per fault intensity: report delivery, online BMS-vs-truth agreement,");
-    println!("  mean knowledge staleness, uplink energy, and stale-evidence conditioning");
-    println!();
-    println!("  intensity  path down  arm        delivery  agreement  staleness  energy    stale-hvac");
-    let result = faults_experiment(SEED);
-    for point in &result.points {
-        for (name, arm) in [("bare", &point.bare), ("queueing", &point.resilient)] {
-            println!(
-                "  {:>9.2}  {:>8}  {:<9} {:>8}  {:>8.1}%  {:>8.1}s  {:>7.0} mJ  {:>8.1}s",
-                point.intensity,
-                format!("{}", point.uplink_downtime),
-                name,
-                arm.delivery_rate
-                    .map_or("    -".to_string(), |r| format!("{:.1}%", r * 100.0)),
-                arm.device_agreement * 100.0,
-                arm.mean_staleness.as_secs_f64(),
-                arm.energy_mj,
-                arm.stale_conditioning.as_secs_f64(),
-            );
-        }
-    }
-}
-
-/// Reliable delivery: the chaos sweep. Lossy acks force retransmission
-/// duplicates and reordering in every cell; the `blackout` and `storm`
-/// patterns add a long Wi-Fi outage and mid-run server crashes. The arm
-/// asserts the sweep's invariants and that every failover+dedup cell
-/// converged to the clean oracle, then prints an FNV-1a checksum of the
-/// full result — `scripts/check.sh` compares it across thread counts.
-fn chaos() {
-    header("chaos: end-to-end reliable delivery (duplicates, reorder, crash/restore, failover)");
-    let onoff = |b: bool| if b { "on" } else { "off" };
-    let result = chaos_experiment(SEED);
-    println!(
-        "  pattern   failover dedup  offered delivered dropped  retx  dup-wire dup-rej fo-sends probes crashes replayed  energy     oracle    invariants"
-    );
-    for c in &result.cells {
-        println!(
-            "  {:<9} {:>8} {:>5}  {:>7} {:>9} {:>7} {:>5} {:>9} {:>7} {:>8} {:>6} {:>7} {:>8}  {:>7.0} mJ  {:<8}  {}",
-            c.pattern,
-            onoff(c.failover),
-            onoff(c.dedup),
-            c.offered,
-            c.delivered,
-            c.dropped,
-            c.retransmits,
-            c.duplicates_on_wire,
-            c.duplicates_rejected,
-            c.failover_sends,
-            c.probes,
-            c.crashes,
-            c.replayed,
-            c.energy_mj,
-            if c.view_matches_oracle { "match" } else { "DIVERGED" },
-            if c.invariants_hold() { "ok" } else { "VIOLATED" },
-        );
-    }
-    assert!(
-        result.all_invariants_hold(),
-        "chaos sweep invariant violated"
-    );
-    assert!(
-        result.reliable_cells_match_oracle(),
-        "a failover+dedup cell diverged from the clean oracle"
-    );
-    println!();
-    println!("  invariants hold at every cell; failover+dedup cells match the clean oracle");
-    println!(
-        "  sweep checksum: {:016x} (threads: {})",
-        fnv1a(&format!("{result:?}")),
-        exec::thread_count()
-    );
-}
-
-/// Telemetry arm: one instrumented end-to-end run, printed as a
-/// metric-to-figure table plus the recorder checksum that
-/// `scripts/check.sh` diffs across thread counts.
-fn telemetry() {
-    use roomsense_telemetry::keys;
-
-    header("telemetry: one recorder across fleet, filter, uplink, BMS, and energy");
-    let result = telemetry_experiment(SEED);
-    let r = &result.recorder;
-    let count_of = |k| r.histogram(k).map_or(0, |h| h.count());
-    let mean_of = |k| r.histogram(k).and_then(|h| h.mean()).unwrap_or(0.0);
-    println!("  metric                       value      paper artifact");
-    let counters: [(&str, u64, &str); 12] = [
-        ("scan.cycles", r.counter(keys::SCAN_CYCLES), "Section V scan loop"),
-        ("scan.stalls", r.counter(keys::SCAN_STALLS), "Fig 5 Android stalls"),
-        ("scan.samples", r.counter(keys::SCAN_SAMPLES), "Section V (5 samples/cycle)"),
-        ("scan.samples_dropped", r.counter(keys::SCAN_SAMPLES_DROPPED), "fault-layer loss"),
-        ("filter.holds", r.counter(keys::FILTER_HOLDS), "Section V loss policy"),
-        ("filter.drops", r.counter(keys::FILTER_DROPS), "Section V loss policy"),
-        ("radio.rx.lost", r.counter(keys::RADIO_RX_LOST), "Fig 5 loss rate"),
-        ("net.queue.retransmits", r.counter(keys::NET_QUEUE_RETRANSMITS), "uplink reliability"),
-        ("net.failover.sends", r.counter(keys::NET_FAILOVER_SENDS), "Wi-Fi->BT failover"),
-        ("bms.ingest.duplicates", r.counter(keys::BMS_INGEST_DUPLICATES), "exactly-once ingest"),
-        ("bms.ingest.accepted", r.counter(keys::BMS_INGEST_ACCEPTED), "occupancy table input"),
-        ("bms.checkpoints", r.counter(keys::BMS_CHECKPOINTS), "crash/restore"),
-    ];
-    for (name, value, artifact) in counters {
-        println!("  {name:<28} {value:>8}   {artifact}");
-    }
-    println!(
-        "  {:<28} {:>8}   Fig 9 decision margins (mean {:+.2})",
-        "ml.svm.margin",
-        count_of(keys::ML_SVM_MARGIN),
-        mean_of(keys::ML_SVM_MARGIN),
-    );
-    println!(
-        "  {:<28} {:>8.0}   Figs 8-10 energy account (mJ)",
-        "energy.total_mj",
-        r.gauge(keys::ENERGY_TOTAL_MJ).unwrap_or(0.0),
-    );
-    println!(
-        "  uplink: {}/{} reports delivered; journal holds {} events ({} dropped past capacity)",
-        result.delivered,
-        result.offered,
-        r.journal().count(),
-        r.journal_dropped(),
-    );
-    println!(
-        "  telemetry checksum: {:016x} (threads: {})",
-        r.checksum(),
-        exec::thread_count()
-    );
-}
-
-/// Scale arm: a 10 000-device synthetic fleet through batching uplinks
-/// into a 16-shard BMS, with a single-server reference fed the identical
-/// stream. Asserts the sharded state is bit-for-bit the single server's,
-/// that crash recovery reproduced the pre-crash digest, and that peak
-/// resident state stayed under the retention bound, then prints an FNV-1a
-/// checksum of the deterministic fingerprint (wall-clock timings are
-/// reported but never hashed) — `scripts/check.sh` compares it across
-/// thread counts.
-fn scale() {
-    header("scale: 10k-device fleet, sharded + batched + bounded-memory BMS");
-    let result = scale_experiment(SEED, 10_000, 16);
-    let f = &result.fingerprint;
-    let t = &result.timings;
-    println!(
-        "  fleet: {} devices -> {} shards (batch <= 8 reports/burst, 300 s retention)",
-        f.devices, f.shards
-    );
-    println!(
-        "  uplink: {} offered, {} delivered, {} retransmitted, {} dropped, {} undelivered",
-        f.offered, f.delivered, f.retransmits, f.dropped, f.undelivered
-    );
-    println!(
-        "  coalescing: {} bursts, mean {:.2} reports/burst",
-        f.bursts, f.mean_batch_size
-    );
-    println!(
-        "  server: {} stored, {} duplicates rejected, {} compacted, {} replayed after crash",
-        f.stored, f.duplicates, f.compacted, f.recovered_reports
-    );
-    println!(
-        "  memory: peak {} retained reports (cap {}), final {}",
-        f.peak_retained, f.retained_cap, f.final_retained
-    );
-    println!(
-        "  occupancy: {} rooms, {} devices; history sweep probed {} room-slots",
-        f.occupied_rooms, f.occupants, f.history_rooms_probed
-    );
-    println!(
-        "  energy: batched {:.0} mJ vs always-on wifi {:.0} mJ ({:.1}% saved)",
-        f.batched_energy_mj,
-        f.always_on_energy_mj,
-        f.batched_saving_fraction() * 100.0
-    );
-    println!(
-        "  timings: generate {:.2} s, ingest {:.2} s ({:.0} reports/s), query {:.0} us mean",
-        t.generate_secs, t.ingest_secs, t.ingest_reports_per_sec, t.query_micros
-    );
-    assert!(f.digests_match, "sharded fleet diverged from the single server");
-    assert!(f.restore_digest_match, "crash recovery lost state");
-    assert!(
-        f.retention_bounded(),
-        "peak retained {} exceeds the retention cap {}",
-        f.peak_retained,
-        f.retained_cap
-    );
-    assert!(
-        !f.early_query_complete,
-        "a query below the retention floor was marked complete"
-    );
-    println!(
-        "  sharded == single-server state: {}; crash recovery exact: {}; memory bounded: {}",
-        f.digests_match, f.restore_digest_match, f.retention_bounded()
-    );
-    println!(
-        "  scale checksum: {:016x} (threads: {})",
-        fnv1a(&format!("{f:?}")),
-        exec::thread_count()
-    );
-}
-
-/// Overload arm: a two-building campus federation driven past capacity by
-/// a lecture-hall surge. Asserts mailbox memory stayed under the
-/// configured bound, that no report was lost despite load-shedding, that
-/// every degraded answer matched the pumped-prefix oracle (stale, never
-/// wrong), and that post-drain state equals the unthrottled single-server
-/// oracles, then prints the deterministic fingerprint's FNV-1a checksum —
-/// `scripts/check.sh` compares it across thread counts.
-fn overload() {
-    header("overload: lecture-hall surge through bounded mailboxes + campus federation");
-    let result = overload_experiment(SEED, 600, 8);
-    let f = &result.fingerprint;
-    let t = &result.timings;
-    println!(
-        "  campus: {} devices over 2 buildings, {} shards each (mailbox cap {}, service {} reports/shard/tick)",
-        f.devices, f.shards, f.mailbox_capacity, 4
-    );
-    println!(
-        "  admission: {} offered, {} admitted, {} shed (retried), {} gate pauses",
-        f.offered, f.admitted, f.shed, f.pauses
-    );
-    println!(
-        "  memory: peak mailbox depth {} (cap {}), deepest client retry queue {}",
-        f.peak_mailbox_depth, f.mailbox_capacity, f.max_client_queue
-    );
-    println!(
-        "  queries: {} exact, {} degraded; drained in {} ticks; final view {} occupants",
-        f.exact_queries, f.degraded_queries, f.ticks_to_drain, f.occupants
-    );
-    println!(
-        "  timings: generate {:.2} s, event loop {:.2} s ({:.0} admitted/s)",
-        t.generate_secs, t.run_secs, t.admitted_per_sec
-    );
-    assert!(f.memory_bounded(), "peak mailbox depth exceeded the configured capacity");
-    assert_eq!(f.admitted, f.offered, "load shedding lost reports");
-    assert!(f.shed > 0, "the surge never exercised backpressure");
-    assert!(f.degraded_queries > 0, "the surge never degraded a query");
-    assert!(
-        f.degraded_consistent,
-        "a degraded answer diverged from the pumped-prefix oracle"
-    );
-    assert!(
-        f.digests_match,
-        "post-drain state diverged from the unthrottled oracle"
-    );
-    println!(
-        "  memory bounded: {}; shed-period answers consistent: {}; post-drain digests exact: {}",
-        f.memory_bounded(),
-        f.degraded_consistent,
-        f.digests_match
-    );
-    println!(
-        "  overload checksum: {:016x} (threads: {})",
-        fnv1a(&format!("{f:?}")),
-        exec::thread_count()
-    );
-}
-
-/// Archive arm: the crash-safe tiered-retention gate. A 240-device fleet
-/// spills retention-compacted reports to per-shard segment logs on a
-/// fault-injected simulated disk, crashes mid-run, and recovers from
-/// checkpoint + segment scan + journal replay — once per disk-fault mode.
-/// Asserts that every covered recovery is bit-for-bit the never-crashed
-/// oracle, that every lossy recovery *reports* its loss (coverage fails
-/// and below-floor queries come back flagged), and that no historical
-/// query is ever answered complete-but-wrong, then prints the
-/// deterministic fingerprint's FNV-1a checksum — `scripts/check.sh`
-/// compares it across thread counts.
-fn archive() {
-    header("archive: durable segment-log retention under disk faults (crash -> recover -> verify)");
-    let result = archive_experiment(SEED, 240, 4);
-    let f = &result.fingerprint;
-    let t = &result.timings;
-    println!(
-        "  fleet: {} devices -> {} shards, {} reports/scenario, 300 s retention spilling to segment logs",
-        f.devices, f.shards, f.reports_per_scenario
-    );
-    println!(
-        "  scenario               segs trunc foot  scan     covered  missing  records  respill  digest  probes(exact/flagged)  loss"
-    );
-    for s in &f.scenarios {
-        println!(
-            "  {:<21} {:>5} {:>5} {:>4}  {:<7}  {:<7}  {:>7}  {:>7}  {:>7}  {:<6}  {:>9}/{:<7}  {}",
-            s.name,
-            s.segments_scanned,
-            s.truncated_segments,
-            s.footer_mismatches,
-            if s.scan_clean { "clean" } else { "repair" },
-            s.covered,
-            s.missing_records,
-            s.archive_records,
-            s.respill_suppressed,
-            s.digest_match,
-            s.exact_probes,
-            s.flagged_probes,
-            if s.silent_loss { "SILENT" } else { "none" },
-        );
-    }
-    println!(
-        "  timings: generate {:.2} s, scenarios {:.2} s",
-        t.generate_secs, t.run_secs
-    );
-    assert!(
-        f.no_silent_loss(),
-        "a historical query was answered complete but wrong"
-    );
-    assert!(
-        f.covered_scenarios_exact(),
-        "a covered recovery diverged from the never-crashed oracle"
-    );
-    assert!(
-        f.lossy_scenarios_flagged(),
-        "a lossy recovery failed to surface its data loss"
-    );
-    assert!(
-        f.live_state_always_exact(),
-        "checkpoint + journal replay lost live state"
-    );
-    assert!(
-        f.faults_exercised(),
-        "a fault scenario injected nothing — the matrix degraded to clean runs"
-    );
-    for s in &f.scenarios {
-        let expect_covered = matches!(s.name, "clean" | "crash_mid_compaction" | "torn_tail");
-        assert_eq!(
-            s.covered, expect_covered,
-            "{}: expected covered={expect_covered}",
-            s.name
-        );
-    }
-    let lossy = f.scenarios.iter().filter(|s| !s.covered).count();
-    println!(
-        "  {} covered scenarios exact; {} lossy scenarios flagged; zero silent loss",
-        f.scenarios.len() - lossy,
-        lossy
-    );
-    println!(
-        "  archive checksum: {:016x} (threads: {})",
-        fnv1a(&format!("{f:?}")),
-        exec::thread_count()
     );
 }
 
@@ -829,7 +453,7 @@ fn bench() {
     // Coefficient sweep: one coefficient's trials per parallel chunk (the
     // PR 2 regression fanned out per cell and lost 8% to task overhead).
     cases.push(bench_case("coefficient_sweep_3x3", threads, 0.85, || {
-        coefficient_sweep(&[0.2, 0.5, 0.8], 3, SEED)
+        ExperimentCtx::new(SEED).coefficient_sweep(&[0.2, 0.5, 0.8], 3)
     }));
 
     // SMO error cache: same solver workload, cached vs per-call scans.
@@ -1075,7 +699,7 @@ fn export_csv(which: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> 
             let period = if which == "fig6" { 5 } else { 2 };
             let config = PipelineConfig::paper_android()
                 .with_scan_period(SimDuration::from_secs(period));
-            let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), SEED);
+            let capture = ExperimentCtx::new(SEED).static_capture(&config, 2.0, SimDuration::from_secs(120));
             let series = if which == "fig5" {
                 &capture.smoothed
             } else {
@@ -1089,7 +713,7 @@ fn export_csv(which: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> 
             write(&format!("{which}.csv"), csv)?;
         }
         "fig7_8" => {
-            let walk = dynamic_walk(0.65, 1.2, SEED);
+            let walk = ExperimentCtx::new(SEED).dynamic_walk(0.65, 1.2);
             let mut csv = String::from("t_seconds,west_m,east_m
 ");
             for (t, a, b) in &walk.series {
@@ -1103,7 +727,7 @@ fn export_csv(which: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> 
             write("fig7_8.csv", csv)?;
         }
         "fig10" => {
-            let result = energy_experiment(SimDuration::from_secs(3600), 10, SEED);
+            let result = ExperimentCtx::new(SEED).energy(SimDuration::from_secs(3600), 10);
             let mut csv = String::from("t_seconds,wifi_percent,bt_percent
 ");
             for (w, b) in result.wifi_trace.iter().zip(&result.bt_trace) {

@@ -1,17 +1,35 @@
-//! Experiment runners: one function per paper figure/claim.
+//! Experiment runners: one method per paper figure/claim, all hanging off
+//! a shared [`ExperimentCtx`].
 //!
-//! Each runner is deterministic given its seed and returns plain data that
-//! the `repro` binary formats and `EXPERIMENTS.md` records. The mapping to
-//! paper artifacts:
+//! Every experiment is deterministic given the context's seed and returns
+//! plain data that the `repro` binary formats and `EXPERIMENTS.md`
+//! records. Build a context once, override only the knobs that matter
+//! (`with_devices`, `with_shards`, `with_threads`, …), and call the arm:
+//!
+//! ```
+//! use roomsense::experiments::ExperimentCtx;
+//!
+//! let walk = ExperimentCtx::new(42).dynamic_walk(0.65, 1.2);
+//! assert!(walk.crossover_cycle.is_some());
+//! ```
+//!
+//! The mapping to paper artifacts:
 //!
 //! | Runner | Paper artifact |
 //! |---|---|
-//! | [`static_capture`] | Figs 4, 5, 6 (scan-period / filter traces) |
-//! | [`dynamic_walk`], [`coefficient_sweep`] | Figs 7–8 (coefficient tuning) |
-//! | [`classification_experiment`] | Fig 9 (SVM ~94 % vs proximity ~84 %) |
-//! | [`energy_experiment`] | Fig 10 (Wi-Fi vs BT battery traces) |
-//! | [`device_comparison`] | Fig 11 (Nexus 5 vs S3 Mini RSSI gap) |
-//! | [`sampling_comparison`] | Section V (5 vs ~300 samples in 10 s) |
+//! | [`ExperimentCtx::static_capture`] | Figs 4, 5, 6 (scan-period / filter traces) |
+//! | [`ExperimentCtx::dynamic_walk`], [`ExperimentCtx::coefficient_sweep`] | Figs 7–8 (coefficient tuning) |
+//! | [`ExperimentCtx::classification`] | Fig 9 (SVM ~94 % vs proximity ~84 %) |
+//! | [`ExperimentCtx::energy`] | Fig 10 (Wi-Fi vs BT battery traces) |
+//! | [`ExperimentCtx::device_comparison`] | Fig 11 (Nexus 5 vs S3 Mini RSSI gap) |
+//! | [`ExperimentCtx::sampling`] | Section V (5 vs ~300 samples in 10 s) |
+//!
+//! The system arms past the paper's figures (tracking, chaos, scale,
+//! overload, archive, counting, …) additionally implement
+//! [`ExperimentReport`] and register in the [`ARMS`] table, which is the
+//! single place `repro` dispatches them from. The old positional free
+//! functions survive as deprecated shims at the bottom of this module and
+//! forward into the same context methods.
 
 use crate::{
     collect_dataset, features_from_snapshots, run_pipeline, LabelledDataset, OccupancyModel,
@@ -70,7 +88,7 @@ impl StaticCaptureResult {
 
 /// Runs the Figs 4/5/6 static capture: `duration` at `distance_m` from one
 /// transmitter with the given scan period and filter coefficient.
-pub fn static_capture(
+fn static_capture_impl(
     config: &PipelineConfig,
     distance_m: f64,
     duration: SimDuration,
@@ -122,7 +140,7 @@ pub struct DynamicWalkResult {
 }
 
 /// Runs the Section V dynamic test at the given filter coefficient.
-pub fn dynamic_walk(coefficient: f64, speed_mps: f64, seed: u64) -> DynamicWalkResult {
+fn dynamic_walk_impl(coefficient: f64, speed_mps: f64, seed: u64) -> DynamicWalkResult {
     let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
     let west = scenario.advertisers()[0].position;
     let east = scenario.advertisers()[1].position;
@@ -178,7 +196,7 @@ pub struct CoefficientSweepPoint {
 /// per-cell tasks are too small to amortise their scheduling overhead —
 /// and aggregates per coefficient in trial order. Identical output to the
 /// sequential nesting at any thread count.
-pub fn coefficient_sweep(
+fn coefficient_sweep_impl(
     coefficients: &[f64],
     trials: u64,
     seed: u64,
@@ -192,8 +210,8 @@ pub fn coefficient_sweep(
             let coefficient = coefficients[ci];
             let trial_seed = rng::derive_seed(seed, "coeff-sweep") ^ trial;
             let config = PipelineConfig::paper_android().with_coefficient(coefficient);
-            let capture = static_capture(&config, 2.0, SimDuration::from_secs(120), trial_seed);
-            let crossing = dynamic_walk(coefficient, 1.2, trial_seed).crossover_cycle;
+            let capture = static_capture_impl(&config, 2.0, SimDuration::from_secs(120), trial_seed);
+            let crossing = dynamic_walk_impl(coefficient, 1.2, trial_seed).crossover_cycle;
             (capture.smoothed_std(), crossing)
         });
     coefficients
@@ -242,7 +260,7 @@ impl ClassificationResult {
 /// Runs the full Fig 9 protocol on the paper house: collect a labelled
 /// dataset with the operator walk, split train/test, train the SVM, and
 /// evaluate SVM vs proximity vs kNN on the same held-out rows.
-pub fn classification_experiment(seed: u64) -> ClassificationResult {
+fn classification_impl(seed: u64) -> ClassificationResult {
     let scenario = Scenario::from_plan(presets::paper_house(), seed);
     let labelled = collect_dataset(
         &scenario,
@@ -290,7 +308,7 @@ pub fn classification_experiment(seed: u64) -> ClassificationResult {
 
 /// Cross-validated SVM accuracy on the collection dataset (a robustness
 /// check the repro binary reports alongside Fig 9).
-pub fn classification_cross_validation(seed: u64, folds: usize) -> Vec<f64> {
+fn cross_validation_impl(seed: u64, folds: usize) -> Vec<f64> {
     let scenario = Scenario::from_plan(presets::paper_house(), seed);
     let labelled = collect_dataset(
         &scenario,
@@ -341,7 +359,7 @@ impl EnergyResult {
 /// Runs the Fig 10 protocol: the app ranges every scan cycle for
 /// `duration`, reporting each cycle over each uplink; average over `trials`
 /// runs (the paper averaged 10 measurements).
-pub fn energy_experiment(duration: SimDuration, trials: u64, seed: u64) -> EnergyResult {
+fn energy_impl(duration: SimDuration, trials: u64, seed: u64) -> EnergyResult {
     let profile = PowerProfile::galaxy_s3_mini();
     let scan_period = SimDuration::from_secs(2);
     let cycles = duration.as_millis() / scan_period.as_millis();
@@ -444,7 +462,7 @@ pub struct DeviceComparisonRow {
 
 /// Runs the Fig 11 protocol: park each device at the same distance from the
 /// same transmitter and compare what they report.
-pub fn device_comparison(
+fn device_comparison_impl(
     devices: &[DeviceRxProfile],
     distance_m: f64,
     duration: SimDuration,
@@ -454,7 +472,7 @@ pub fn device_comparison(
         .iter()
         .map(|device| {
             let config = PipelineConfig::paper_android().with_device(device.clone());
-            let capture = static_capture(&config, distance_m, duration, seed);
+            let capture = static_capture_impl(&config, distance_m, duration, seed);
             let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
             let _ = &scenario;
             // Recover per-cycle RSSI by re-running at the observation level:
@@ -492,7 +510,7 @@ pub struct SamplingComparison {
 
 /// Counts samples over a 10-second window with a 30 Hz beacon and a 2 s
 /// scan period — the paper's "five versus three hundred" example.
-pub fn sampling_comparison(seed: u64) -> SamplingComparison {
+fn sampling_impl(seed: u64) -> SamplingComparison {
     let scenario = Scenario::with_radio(
         presets::two_transmitter_corridor(),
         seed,
@@ -561,7 +579,7 @@ pub struct CalibrationOutcome {
 /// Collects one-metre RSSI samples through the full pipeline, feeds them to
 /// the [`Calibrator`](roomsense_ibeacon::Calibrator), then verifies the
 /// resulting field with a fresh capture.
-pub fn run_tx_power_calibration(seed: u64) -> CalibrationOutcome {
+fn calibration_impl(seed: u64) -> CalibrationOutcome {
     let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), seed);
     let west = scenario.advertisers()[0].position;
     let config = PipelineConfig::paper_android();
@@ -624,7 +642,7 @@ pub struct ScalingResult {
 /// Runs the Fig 9 protocol on the larger office floor — the commercial
 /// setting the paper's introduction motivates ("buildings are the major
 /// consumers of energy").
-pub fn scaling_experiment(seed: u64) -> ScalingResult {
+fn scaling_impl(seed: u64) -> ScalingResult {
     let scenario = Scenario::from_plan(presets::office_floor(), seed);
     let labelled = collect_dataset(
         &scenario,
@@ -677,7 +695,7 @@ pub struct MultiFloorResult {
 /// Trains one building-wide SVM over a two-storey stack of the paper house
 /// and scores floor and room identification — the multi-floor use of the
 /// iBeacon major field (Section III).
-pub fn multifloor_experiment(seed: u64) -> MultiFloorResult {
+fn floors_impl(seed: u64) -> MultiFloorResult {
     use roomsense_ml::{Classifier, StandardScaler, SvmClassifier};
     let building = crate::MultiFloorScenario::new(
         vec![presets::paper_house(), presets::paper_house()],
@@ -739,7 +757,7 @@ pub struct TrackingResult {
 /// Runs a three-occupant day in the paper house and scores the server's
 /// occupancy table against the ground-truth trace — the system-level number
 /// a BMS operator actually cares about.
-pub fn tracking_experiment(seed: u64) -> TrackingResult {
+fn tracking_impl(seed: u64) -> TrackingResult {
     use roomsense_building::mobility::{MobilityModel, RoomSchedule};
     use roomsense_building::{trace, RoomId};
     use roomsense_net::BmsServer;
@@ -882,7 +900,7 @@ pub struct FaultsResult {
 ///
 /// Deterministic for a fixed `seed`: the fault schedules, walks, radio, and
 /// transports all draw from named streams.
-pub fn faults_experiment(seed: u64) -> FaultsResult {
+fn faults_impl(seed: u64) -> FaultsResult {
     use roomsense_building::mobility::{MobilityModel, RoomSchedule};
     use roomsense_building::{trace, RoomId};
     use roomsense_energy::{account, PowerProfile, UplinkArchitecture, UsageTimeline};
@@ -1237,7 +1255,7 @@ fn pump_queue<T: Transport, R: rand::Rng + ?Sized>(
 /// last-writer state (all cells), and bounded queue/dedup memory (all
 /// cells). Deterministic for a fixed `seed` regardless of thread count:
 /// the fleet runs once up front and each cell draws an indexed RNG stream.
-pub fn chaos_experiment(seed: u64) -> ChaosResult {
+fn chaos_impl(seed: u64) -> ChaosResult {
     use roomsense_building::mobility::{MobilityModel, RoomSchedule};
     use roomsense_building::RoomId;
     use roomsense_net::{
@@ -1555,7 +1573,7 @@ pub struct TelemetryResult {
 /// Deterministic for a fixed `seed` at any `ROOMSENSE_THREADS`: the only
 /// parallel section (the fleet) merges per-device child recorders in
 /// device order, and every other phase is sequential.
-pub fn telemetry_experiment(seed: u64) -> TelemetryResult {
+fn telemetry_impl(seed: u64) -> TelemetryResult {
     use roomsense_building::mobility::{MobilityModel, RoomSchedule};
     use roomsense_building::RoomId;
     use roomsense_ml::BinarySvm;
@@ -1902,7 +1920,7 @@ pub struct ScaleResult {
 /// `ROOMSENSE_THREADS`: per-device RNG streams come from
 /// [`rng::for_indexed`], parallel sections preserve item order, and each
 /// shard's recorder only sees its own lock-ordered partition.
-pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult {
+fn scale_impl(seed: u64, devices: usize, shards: usize) -> ScaleResult {
     use rand::Rng;
     use roomsense_ibeacon::{BeaconIdentity, Major, ProximityUuid};
     use roomsense_net::{BatchingTransport, BmsServer, Delivery, ShardedBmsServer};
@@ -2254,7 +2272,7 @@ pub struct OverloadResult {
 /// Deterministic at any `ROOMSENSE_THREADS`: schedules come from
 /// [`rng::for_indexed`] streams under [`exec::par_map_indexed`], and the
 /// event loop itself is a sequential virtual-time tick loop.
-pub fn overload_experiment(seed: u64, devices: usize, shards: usize) -> OverloadResult {
+fn overload_impl(seed: u64, devices: usize, shards: usize) -> OverloadResult {
     use rand::Rng;
     use roomsense_ibeacon::{BeaconIdentity, Major, ProximityUuid};
     use roomsense_net::{
@@ -2691,7 +2709,7 @@ pub struct ArchiveResult {
 /// whenever coverage holds) and an unbounded single server (every
 /// `complete` historical answer must equal it — an answer may be missing,
 /// never silently wrong).
-pub fn archive_experiment(seed: u64, devices: usize, shards: usize) -> ArchiveResult {
+fn archive_impl(seed: u64, devices: usize, shards: usize) -> ArchiveResult {
     use rand::Rng;
     use roomsense_ibeacon::{BeaconIdentity, Major, ProximityUuid};
     use roomsense_net::{ArchiveConfig, BmsServer, ShardedBmsServer};
@@ -2949,6 +2967,1485 @@ pub fn archive_experiment(seed: u64, devices: usize, shards: usize) -> ArchiveRe
     }
 }
 
+/// One preset × condition cell of the crowd-counting sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingCell {
+    /// The crowd preset's stable name (`open_plan_office`, …).
+    pub preset: &'static str,
+    /// `clean`, `chaos` (uplink outages), or `overload` (bounded mailboxes).
+    pub condition: &'static str,
+    /// People in the building, carriers or not.
+    pub subjects: usize,
+    /// Subjects actually carrying a reporting device.
+    pub carriers: usize,
+    /// Observation reports the condition delivered.
+    pub reports: usize,
+    /// Estimate probes taken over the scenario.
+    pub probes: usize,
+    /// Mean absolute per-room headcount error across the probes.
+    pub mae: f64,
+    /// The preset's declared MAE ceiling for this condition.
+    pub mae_bound: f64,
+    /// Ground-truth peak building population across the probes.
+    pub truth_peak: usize,
+    /// Estimated building population at the same probe as `truth_peak`.
+    pub estimate_at_peak: f64,
+    /// Probes whose building-total confidence interval covered the true
+    /// carrier count.
+    pub covered_probes: usize,
+    /// Probes answered at [`ServiceLevel::Degraded`] (overload only).
+    ///
+    /// [`ServiceLevel::Degraded`]: roomsense_net::ServiceLevel
+    pub degraded_probes: usize,
+    /// Reports the admission gate refused at least once (overload only).
+    pub shed_reports: u64,
+    /// Every sharded answer was bit-identical to the single reference
+    /// server fed the same delivered prefix.
+    pub sharded_matches_single: bool,
+    /// After every report drained, the view equals the clean oracle's at
+    /// the same instant (trivially true for the clean condition itself).
+    pub converged_to_clean: bool,
+}
+
+/// The deterministic content of [`CountingResult`] — everything the
+/// checksum covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingFingerprint {
+    /// BMS shards behind every condition.
+    pub shards: usize,
+    /// Evidence window (seconds) the estimates were computed over.
+    pub window_s: u64,
+    /// One row per preset × condition, in [`CrowdPreset::ALL`] order.
+    ///
+    /// [`CrowdPreset::ALL`]: crate::CrowdPreset::ALL
+    pub cells: Vec<CountingCell>,
+    /// Checksum of the merged telemetry recorder (`bms.counting.*` et al).
+    pub telemetry_checksum: u64,
+}
+
+impl CountingFingerprint {
+    /// Every cell's MAE is within its preset's declared ceiling.
+    pub fn within_bounds(&self) -> bool {
+        self.cells.iter().all(|c| c.mae <= c.mae_bound)
+    }
+
+    /// Every condition's sharded answers matched the single server.
+    pub fn sharded_consistent(&self) -> bool {
+        self.cells.iter().all(|c| c.sharded_matches_single)
+    }
+
+    /// Every faulted condition converged to the clean oracle after drain.
+    pub fn faulted_converges(&self) -> bool {
+        self.cells.iter().all(|c| c.converged_to_clean)
+    }
+
+    /// The overload condition actually exercised backpressure somewhere.
+    pub fn backpressure_exercised(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| c.condition == "overload" && c.shed_reports > 0 && c.degraded_probes > 0)
+    }
+}
+
+/// Wall-clock phase timings for the counting arm (never checksummed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingTimings {
+    /// Seconds spent generating traces and replaying them into reports.
+    pub generate_secs: f64,
+    /// Seconds spent driving the three conditions and probing estimates.
+    pub run_secs: f64,
+}
+
+/// Everything the crowd-counting arm produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingResult {
+    /// The deterministic sweep content.
+    pub fingerprint: CountingFingerprint,
+    /// Wall-clock timings, reported but never checksummed.
+    pub timings: CountingTimings,
+}
+
+/// Mean absolute per-room headcount error of one view against the
+/// ground-truth occupancy vector (rooms absent from the view count as 0).
+fn population_mae(view: &roomsense_net::PopulationView, truth: &[usize]) -> f64 {
+    let error: f64 = truth
+        .iter()
+        .enumerate()
+        .map(|(room, &t)| {
+            let estimate = view.rooms.get(&room).map_or(0.0, |e| e.count);
+            (estimate - t as f64).abs()
+        })
+        .sum();
+    error / truth.len().max(1) as f64
+}
+
+/// Drives one delivery schedule through a sharded fleet and a single
+/// reference server, probing both at each instant in `probes` and once
+/// more after everything drained. Returns the probe MAEs (against the
+/// ground-truth trace), whether every sharded answer matched the single
+/// server's, the per-probe CI coverage count, and the fully-ingested
+/// single server (the condition's oracle for later comparisons).
+#[allow(clippy::type_complexity)]
+fn drive_counting(
+    deliveries: &[(SimTime, ObservationReport)],
+    shards: usize,
+    config: &roomsense_net::CountingConfig,
+    probes: &[SimTime],
+    trace: &crate::CrowdTrace,
+) -> (
+    Vec<f64>,
+    bool,
+    usize,
+    roomsense_net::Windowed<roomsense_net::PopulationView>,
+    roomsense_net::BmsServer,
+) {
+    use roomsense_net::{BmsServer, ShardedBmsServer};
+    use std::sync::Arc;
+
+    let fleet_estimator: Arc<dyn roomsense_net::OccupancyEstimator> =
+        Arc::new(|r: &ObservationReport| {
+            r.beacons.first().map(|b| b.identity.minor.value() as usize)
+        });
+    let fleet = ShardedBmsServer::new(Arc::clone(&fleet_estimator), shards);
+    let single = BmsServer::new(Box::new(|r: &ObservationReport| {
+        r.beacons.first().map(|b| b.identity.minor.value() as usize)
+    }));
+    let mut next = 0usize;
+    let mut maes = Vec::with_capacity(probes.len());
+    let mut matches = true;
+    let mut covered = 0usize;
+    for &probe in probes {
+        let mut chunk = Vec::new();
+        while next < deliveries.len() && deliveries[next].0 <= probe {
+            chunk.push(deliveries[next].1.clone());
+            next += 1;
+        }
+        for report in &chunk {
+            single.ingest(report.clone());
+        }
+        fleet.ingest_all(chunk);
+        let fleet_view = fleet.population_view(probe, config);
+        let single_view = single.population_view(probe, config);
+        matches &= fleet_view == single_view;
+        maes.push(population_mae(&fleet_view.value, &trace.occupancy(probe)));
+        // CI coverage is scored against the total building population:
+        // `observed / carry_rate` estimates *people*, carriers or not.
+        let total = fleet_view.value.rooms.values().fold(
+            roomsense_net::PopulationEvidence::default(),
+            |mut acc, e| {
+                acc.observed += e.observed;
+                acc
+            },
+        );
+        let building = total.finalize(probe, config);
+        if building.covers(trace.total_inside(probe)) {
+            covered += 1;
+        }
+    }
+    // Drain: ingest whatever was still in flight past the last probe, then
+    // take the final view at the last probe instant so conditions with
+    // different delivery schedules are comparable evidence-for-evidence.
+    let mut tail = Vec::new();
+    while next < deliveries.len() {
+        tail.push(deliveries[next].1.clone());
+        next += 1;
+    }
+    for report in &tail {
+        single.ingest(report.clone());
+    }
+    fleet.ingest_all(tail);
+    let last = *probes.last().expect("at least one probe");
+    let final_fleet = fleet.population_view(last, config);
+    let final_single = single.population_view(last, config);
+    matches &= final_fleet == final_single;
+    (maes, matches, covered, final_fleet, single)
+}
+
+fn counting_impl(
+    seed: u64,
+    subjects_override: Option<usize>,
+    shards: usize,
+    fault_plan: Option<&crate::FaultPlan>,
+    base_recorder: Option<roomsense_telemetry::Recorder>,
+) -> CountingResult {
+    use crate::crowd::{self, CrowdPreset};
+    use roomsense_net::{
+        Admission, CountingConfig, IngestTier, IngestTierConfig, ServiceLevel, ShardedBmsServer,
+    };
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Probes per scenario: estimate quality is scored at each eighth of
+    /// the duration (skipping t = 0, before anyone has reported).
+    const PROBES: u64 = 8;
+    /// The gateway flush interval for the overload condition: reports are
+    /// delivered in per-minute bursts, the worst case for bounded
+    /// mailboxes.
+    const FLUSH_MS: u64 = 60_000;
+    /// Event-loop tick for the overload condition.
+    const TICK_MS: u64 = 5_000;
+    /// Fault intensity for the derived chaos plan: heavy enough that
+    /// outage windows reliably straddle estimate probes.
+    const CHAOS_INTENSITY: f64 = 0.75;
+
+    let mut recorder = base_recorder.unwrap_or_default();
+    let mut cells = Vec::with_capacity(CrowdPreset::ALL.len() * 3);
+    let config_window_s = CountingConfig::default().window.as_millis() / 1_000;
+    let mut generate_secs = 0.0f64;
+    let run_start = Instant::now();
+    for preset in CrowdPreset::ALL {
+        let generate_start = Instant::now();
+        let scenario = match subjects_override {
+            Some(subjects) => preset.scenario_with(seed, subjects),
+            None => preset.scenario(seed),
+        };
+        let reports = crowd::replay_reports(&scenario, seed);
+        let carried = crowd::carriers(&scenario, seed);
+        generate_secs += generate_start.elapsed().as_secs_f64();
+        let carriers = carried.iter().filter(|&&c| c).count();
+        let subjects = scenario.subjects();
+        let config = CountingConfig::default().with_carry_rate(scenario.carry_rate);
+        let duration_ms = scenario.duration.as_millis();
+        // Probes sit half a report period before each eighth of the run:
+        // scoring an instantaneous census *at* a trace boundary (the
+        // lecture break, the final exodus) would demand sub-report-period
+        // clairvoyance no windowed estimator can have.
+        let probes: Vec<SimTime> = (1..=PROBES)
+            .map(|k| {
+                SimTime::from_millis(
+                    duration_ms * k / PROBES - scenario.report_period.as_millis() / 2,
+                )
+            })
+            .collect();
+        let truth_peak_probe = probes
+            .iter()
+            .copied()
+            .max_by_key(|&p| scenario.trace.total_inside(p))
+            .expect("at least one probe");
+        let truth_peak = scenario.trace.total_inside(truth_peak_probe);
+
+        // --- clean: every report arrives the instant it is taken -------
+        let prompt_deliveries: Vec<(SimTime, ObservationReport)> =
+            reports.iter().map(|r| (r.at, r.clone())).collect();
+        let (clean_maes, clean_matches, clean_covered, clean_final, clean_oracle) =
+            drive_counting(&prompt_deliveries, shards, &config, &probes, &scenario.trace);
+        recorder.merge_child(clean_oracle.telemetry_snapshot());
+        let clean_peak = clean_oracle
+            .population_view(truth_peak_probe, &config)
+            .value
+            .estimated_total();
+        cells.push(CountingCell {
+            preset: preset.name(),
+            condition: "clean",
+            subjects,
+            carriers,
+            reports: reports.len(),
+            probes: probes.len(),
+            mae: mean(&clean_maes),
+            mae_bound: scenario.mae_bounds.clean,
+            truth_peak,
+            estimate_at_peak: clean_peak,
+            covered_probes: clean_covered,
+            degraded_probes: 0,
+            shed_reports: 0,
+            sharded_matches_single: clean_matches,
+            converged_to_clean: true,
+        });
+
+        // --- chaos: uplink outages buffer reports until the link returns
+        let derived_plan;
+        let outages = match fault_plan {
+            Some(plan) => &plan.uplink_outages,
+            None => {
+                derived_plan = crate::FaultPlan::generate(
+                    scenario.rooms,
+                    scenario.duration,
+                    CHAOS_INTENSITY,
+                    seed.wrapping_add(fnv1a(preset.name())),
+                );
+                &derived_plan.uplink_outages
+            }
+        };
+        let delayed = crowd::delayed_by_outages(&reports, outages);
+        let (chaos_maes, chaos_matches, chaos_covered, chaos_final, _chaos_oracle) =
+            drive_counting(&delayed, shards, &config, &probes, &scenario.trace);
+        let chaos_converged = chaos_final == clean_final;
+        cells.push(CountingCell {
+            preset: preset.name(),
+            condition: "chaos",
+            subjects,
+            carriers,
+            reports: delayed.len(),
+            probes: probes.len(),
+            mae: mean(&chaos_maes),
+            mae_bound: scenario.mae_bounds.chaos,
+            truth_peak,
+            estimate_at_peak: chaos_final.value.estimated_total(),
+            covered_probes: chaos_covered,
+            degraded_probes: 0,
+            shed_reports: 0,
+            sharded_matches_single: chaos_matches,
+            converged_to_clean: chaos_converged,
+        });
+
+        // --- overload: per-minute gateway bursts into bounded mailboxes -
+        let fleet_estimator: Arc<dyn roomsense_net::OccupancyEstimator> =
+            Arc::new(|r: &ObservationReport| {
+                r.beacons.first().map(|b| b.identity.minor.value() as usize)
+            });
+        let tier_config = IngestTierConfig {
+            mailbox_capacity: 32,
+            service_rate: 4,
+            admit_high: 24,
+            admit_low: 4,
+        };
+        let mut tier = IngestTier::new(
+            ShardedBmsServer::new(fleet_estimator, shards),
+            tier_config,
+        );
+        let mut pending: VecDeque<ObservationReport> = VecDeque::new();
+        let mut next = 0usize;
+        let mut shed_reports = 0u64;
+        let mut degraded_probes = 0usize;
+        let mut overload_maes = Vec::with_capacity(probes.len());
+        let mut overload_covered = 0usize;
+        let mut probe_i = 0usize;
+        let mut tick = 1u64;
+        let mut now;
+        loop {
+            now = SimTime::from_millis(tick * TICK_MS);
+            // The gateway flushes each minute's reports as one burst.
+            while next < reports.len() {
+                let flushed_ms = (reports[next].at.as_millis() / FLUSH_MS + 1) * FLUSH_MS;
+                if flushed_ms <= now.as_millis() {
+                    pending.push_back(reports[next].clone());
+                    next += 1;
+                } else {
+                    break;
+                }
+            }
+            // Offer in arrival order and stop at the first refusal so
+            // per-device sequencing is preserved end to end.
+            while let Some(report) = pending.front() {
+                match tier.offer(now, report.clone()) {
+                    Admission::Admitted => {
+                        pending.pop_front();
+                    }
+                    Admission::Backpressured => {
+                        shed_reports += 1;
+                        break;
+                    }
+                }
+            }
+            tier.pump();
+            while probe_i < probes.len() && probes[probe_i] <= now {
+                let leveled = tier.population_view(now, &config);
+                if leveled.level == ServiceLevel::Degraded {
+                    degraded_probes += 1;
+                }
+                overload_maes.push(population_mae(
+                    &leveled.view.value,
+                    &scenario.trace.occupancy(now),
+                ));
+                let total = leveled.view.value.rooms.values().fold(
+                    roomsense_net::PopulationEvidence::default(),
+                    |mut acc, e| {
+                        acc.observed += e.observed;
+                        acc
+                    },
+                );
+                if total
+                    .finalize(now, &config)
+                    .covers(scenario.trace.total_inside(now))
+                {
+                    overload_covered += 1;
+                }
+                probe_i += 1;
+            }
+            let drained = next >= reports.len() && pending.is_empty();
+            if drained && probe_i >= probes.len() {
+                let leveled = tier.population_view(now, &config);
+                if leveled.level == ServiceLevel::Exact {
+                    break;
+                }
+            }
+            tick += 1;
+            assert!(
+                tick <= 1_000_000,
+                "overload drive failed to drain ({} reports pending)",
+                pending.len()
+            );
+        }
+        // Post-drain the tier holds every report the clean oracle holds:
+        // queried at the same instant, the answers must be bit-identical.
+        let final_leveled = tier.population_view(now, &config);
+        let oracle_final = clean_oracle.population_view(now, &config);
+        let overload_converged = final_leveled.level == ServiceLevel::Exact
+            && final_leveled.lagging_shards == 0
+            && final_leveled.view == oracle_final;
+        recorder.merge_child(tier.telemetry_snapshot());
+        cells.push(CountingCell {
+            preset: preset.name(),
+            condition: "overload",
+            subjects,
+            carriers,
+            reports: reports.len(),
+            probes: probes.len(),
+            mae: mean(&overload_maes),
+            mae_bound: scenario.mae_bounds.overload,
+            truth_peak,
+            estimate_at_peak: final_leveled.view.value.estimated_total(),
+            covered_probes: overload_covered,
+            degraded_probes,
+            shed_reports,
+            sharded_matches_single: overload_converged,
+            converged_to_clean: overload_converged,
+        });
+    }
+    let run_secs = run_start.elapsed().as_secs_f64() - generate_secs;
+
+    CountingResult {
+        fingerprint: CountingFingerprint {
+            shards,
+            window_s: config_window_s,
+            cells,
+            telemetry_checksum: recorder.checksum(),
+        },
+        timings: CountingTimings {
+            generate_secs,
+            run_secs,
+        },
+    }
+}
+
+/// Arithmetic mean of a non-empty slice (0 for an empty one).
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+// ===========================================================================
+// The unified experiment API: ExperimentCtx + ExperimentReport
+// ===========================================================================
+
+/// FNV-1a over a string: the workspace's stable, dependency-free output
+/// fingerprint (the same hash `repro bench` uses for its checksums).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a over a value's debug formatting (prints every f64 to full
+/// precision, so equal checksums mean bit-identical results).
+fn checksum_of(value: &impl std::fmt::Debug) -> u64 {
+    fnv1a(&format!("{value:?}"))
+}
+
+/// The shared context every experiment runs under.
+///
+/// Before this type, each experiment grew its own positional signature
+/// (`scale_experiment(seed, devices, shards)`, `overload_experiment(seed,
+/// devices, shards)`, …) and every new knob rippled through every caller.
+/// `ExperimentCtx` centralises the cross-cutting knobs once; per-experiment
+/// parameters that genuinely differ (a filter coefficient, a capture
+/// duration) stay as method arguments.
+///
+/// Unset knobs mean "the experiment's published default": `ctx.scale()`
+/// with no overrides runs the same 10 000-device / 16-shard configuration
+/// the `repro scale` arm documents.
+///
+/// The builder is *consuming* (`with_*` takes and returns `self`), so a
+/// context chains without `mut` bindings:
+///
+/// ```
+/// use roomsense::experiments::ExperimentCtx;
+///
+/// let ctx = ExperimentCtx::new(7).with_devices(48).with_shards(4);
+/// let result = ctx.scale();
+/// assert!(result.fingerprint.digests_match);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExperimentCtx {
+    /// Master seed; every experiment is a pure function of it.
+    pub seed: u64,
+    /// Fleet size override for the fleet-scale arms (`None` = the arm's
+    /// published default: scale 10 000, overload 600, archive 240,
+    /// counting = each preset's canonical crowd).
+    pub devices: Option<usize>,
+    /// BMS shard-count override (`None` = the arm's published default).
+    pub shards: Option<usize>,
+    /// Worker-thread override: `Some(n)` wraps the run in
+    /// [`exec::with_thread_override`]; `None` inherits `ROOMSENSE_THREADS`.
+    pub threads: Option<usize>,
+    /// Fault-plan override for fault-aware arms (`None` = the arm derives
+    /// its own plan from the seed, exactly as the positional API did).
+    pub fault_plan: Option<crate::FaultPlan>,
+    /// Starting recorder for instrumented arms: they clone it and merge
+    /// their metrics on top (`None` = a fresh [`Recorder`]).
+    ///
+    /// [`Recorder`]: roomsense_telemetry::Recorder
+    pub recorder: Option<roomsense_telemetry::Recorder>,
+}
+
+impl ExperimentCtx {
+    /// A context with the given seed and every knob at its default.
+    pub fn new(seed: u64) -> Self {
+        ExperimentCtx {
+            seed,
+            ..ExperimentCtx::default()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the fleet size for fleet-scale arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        assert!(devices > 0, "a fleet needs at least one device");
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Overrides the BMS shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded BMS needs at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Forces the worker-thread count for the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Supplies an explicit fault plan to fault-aware arms.
+    pub fn with_fault_plan(mut self, plan: crate::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Supplies the starting recorder for instrumented arms.
+    pub fn with_recorder(mut self, recorder: roomsense_telemetry::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Runs `run` under this context's thread policy.
+    fn scoped<R>(&self, run: impl FnOnce() -> R) -> R {
+        match self.threads {
+            Some(threads) => exec::with_thread_override(threads, run),
+            None => run(),
+        }
+    }
+
+    /// The Figs 4/5/6 static capture: `duration` at `distance_m` from one
+    /// transmitter with the given scan period and filter coefficient.
+    pub fn static_capture(
+        &self,
+        config: &PipelineConfig,
+        distance_m: f64,
+        duration: SimDuration,
+    ) -> StaticCaptureResult {
+        self.scoped(|| static_capture_impl(config, distance_m, duration, self.seed))
+    }
+
+    /// The Figs 7–8 dynamic walk between the two corridor transmitters.
+    pub fn dynamic_walk(&self, coefficient: f64, speed_mps: f64) -> DynamicWalkResult {
+        self.scoped(|| dynamic_walk_impl(coefficient, speed_mps, self.seed))
+    }
+
+    /// The Figs 7–8 coefficient sweep: stability vs responsiveness across
+    /// `trials` seeds per coefficient.
+    pub fn coefficient_sweep(
+        &self,
+        coefficients: &[f64],
+        trials: u64,
+    ) -> Vec<CoefficientSweepPoint> {
+        self.scoped(|| coefficient_sweep_impl(coefficients, trials, self.seed))
+    }
+
+    /// The Fig 9 classification study on the paper house.
+    pub fn classification(&self) -> ClassificationResult {
+        self.scoped(|| classification_impl(self.seed))
+    }
+
+    /// K-fold cross-validation of the Fig 9 classifier.
+    pub fn cross_validation(&self, folds: usize) -> Vec<f64> {
+        self.scoped(|| cross_validation_impl(self.seed, folds))
+    }
+
+    /// The Fig 10 energy study: Wi-Fi vs Bluetooth uplink over `trials`
+    /// runs of `duration` each.
+    pub fn energy(&self, duration: SimDuration, trials: u64) -> EnergyResult {
+        self.scoped(|| energy_impl(duration, trials, self.seed))
+    }
+
+    /// The Fig 11 per-device RSSI comparison.
+    pub fn device_comparison(
+        &self,
+        devices: &[DeviceRxProfile],
+        distance_m: f64,
+        duration: SimDuration,
+    ) -> Vec<DeviceComparisonRow> {
+        self.scoped(|| device_comparison_impl(devices, distance_m, duration, self.seed))
+    }
+
+    /// The Section V sampling comparison (Android 4.x vs L vs iOS).
+    pub fn sampling(&self) -> SamplingComparison {
+        self.scoped(|| sampling_impl(self.seed))
+    }
+
+    /// The Section IV-A TX-power calibration procedure, end to end.
+    pub fn calibration(&self) -> CalibrationOutcome {
+        self.scoped(|| calibration_impl(self.seed))
+    }
+
+    /// The commercial-scale office-floor classification study.
+    pub fn scaling(&self) -> ScalingResult {
+        self.scoped(|| scaling_impl(self.seed))
+    }
+
+    /// The two-storey floor + room identification study.
+    pub fn floors(&self) -> MultiFloorResult {
+        self.scoped(|| floors_impl(self.seed))
+    }
+
+    /// System-level occupancy tracking vs ground truth (three occupants).
+    pub fn tracking(&self) -> TrackingResult {
+        self.scoped(|| tracking_impl(self.seed))
+    }
+
+    /// The fault-intensity sweep: bare uplink vs store-and-forward.
+    pub fn faults(&self) -> FaultsResult {
+        self.scoped(|| faults_impl(self.seed))
+    }
+
+    /// The chaos sweep: duplicates, reorder, crash/restore, failover.
+    pub fn chaos(&self) -> ChaosResult {
+        self.scoped(|| chaos_impl(self.seed))
+    }
+
+    /// One instrumented end-to-end run with a single merged recorder.
+    pub fn telemetry(&self) -> TelemetryResult {
+        self.scoped(|| telemetry_impl(self.seed))
+    }
+
+    /// The fleet-scale arm: batching uplinks into a sharded BMS with a
+    /// single-server reference (defaults: 10 000 devices, 16 shards).
+    pub fn scale(&self) -> ScaleResult {
+        self.scoped(|| {
+            scale_impl(
+                self.seed,
+                self.devices.unwrap_or(10_000),
+                self.shards.unwrap_or(16),
+            )
+        })
+    }
+
+    /// The overload arm: a campus federation driven past capacity
+    /// (defaults: 600 devices, 8 shards).
+    pub fn overload(&self) -> OverloadResult {
+        self.scoped(|| {
+            overload_impl(
+                self.seed,
+                self.devices.unwrap_or(600),
+                self.shards.unwrap_or(8),
+            )
+        })
+    }
+
+    /// The durable-retention arm: segment-log archive under disk faults
+    /// (defaults: 240 devices, 4 shards).
+    pub fn archive(&self) -> ArchiveResult {
+        self.scoped(|| {
+            archive_impl(
+                self.seed,
+                self.devices.unwrap_or(240),
+                self.shards.unwrap_or(4),
+            )
+        })
+    }
+
+    /// The crowd-counting arm: population estimates for every
+    /// [`CrowdPreset`](crate::CrowdPreset) under clean, chaos
+    /// (uplink-outage), and overload (bounded-mailbox) delivery
+    /// (defaults: each preset's canonical crowd, 4 shards).
+    ///
+    /// `with_devices` overrides every preset's subject count,
+    /// `with_fault_plan` substitutes the chaos condition's outage
+    /// schedule, and `with_recorder` seeds the merged telemetry.
+    pub fn counting(&self) -> CountingResult {
+        self.scoped(|| {
+            counting_impl(
+                self.seed,
+                self.devices,
+                self.shards.unwrap_or(4),
+                self.fault_plan.as_ref(),
+                self.recorder.clone(),
+            )
+        })
+    }
+}
+
+/// What every system arm's result knows how to do: identify itself, hash
+/// its deterministic content, pretty-print its summary, and assert its
+/// invariants. `repro` dispatches system arms through this trait via
+/// [`ARMS`], so a new arm registers in exactly one place.
+pub trait ExperimentReport {
+    /// The arm's stable short name (`repro <name>`, checksum lines).
+    fn name(&self) -> &'static str;
+    /// FNV-1a checksum of the result's deterministic content — never of
+    /// wall-clock timings. `scripts/check.sh` compares it across thread
+    /// counts.
+    fn checksum(&self) -> u64;
+    /// Human-readable summary lines, ready to print verbatim.
+    fn summary_rows(&self) -> Vec<String>;
+    /// Panics if any of the arm's hard invariants does not hold.
+    fn assert_invariants(&self) {}
+}
+
+/// One registered system arm: its `repro` name, display title, and runner.
+pub struct ExperimentArm {
+    /// `repro <name>` and the checksum-line label.
+    pub name: &'static str,
+    /// The headline `repro` prints above the summary.
+    pub title: &'static str,
+    /// Runs the arm under a context and boxes its report.
+    pub run: fn(&ExperimentCtx) -> Box<dyn ExperimentReport>,
+}
+
+/// Every system arm, in `repro all` order. Figure arms (`fig1`…`fig11`,
+/// `sampling`, `calibration`) stay bespoke — their output is plotted, not
+/// checksummed.
+pub static ARMS: &[ExperimentArm] = &[
+    ExperimentArm {
+        name: "tracking",
+        title: "tracking: BMS occupancy table vs ground truth (3 occupants, 4 min)",
+        run: |ctx| Box::new(ctx.tracking()),
+    },
+    ExperimentArm {
+        name: "scaling",
+        title: "scaling: classification on the office floor (commercial scale)",
+        run: |ctx| Box::new(ctx.scaling()),
+    },
+    ExperimentArm {
+        name: "floors",
+        title: "floors: two-storey building, floor + room identification",
+        run: |ctx| Box::new(ctx.floors()),
+    },
+    ExperimentArm {
+        name: "faults",
+        title: "faults: graceful degradation under injected faults (2 occupants, 10 min)",
+        run: |ctx| Box::new(ctx.faults()),
+    },
+    ExperimentArm {
+        name: "chaos",
+        title: "chaos: end-to-end reliable delivery (duplicates, reorder, crash/restore, failover)",
+        run: |ctx| Box::new(ctx.chaos()),
+    },
+    ExperimentArm {
+        name: "telemetry",
+        title: "telemetry: one recorder across fleet, filter, uplink, BMS, and energy",
+        run: |ctx| Box::new(ctx.telemetry()),
+    },
+    ExperimentArm {
+        name: "scale",
+        title: "scale: 10k-device fleet, sharded + batched + bounded-memory BMS",
+        run: |ctx| Box::new(ctx.scale()),
+    },
+    ExperimentArm {
+        name: "overload",
+        title: "overload: lecture-hall surge through bounded mailboxes + campus federation",
+        run: |ctx| Box::new(ctx.overload()),
+    },
+    ExperimentArm {
+        name: "archive",
+        title: "archive: durable segment-log retention under disk faults (crash -> recover -> verify)",
+        run: |ctx| Box::new(ctx.archive()),
+    },
+    ExperimentArm {
+        name: "counting",
+        title: "counting: crowd-scale population estimates (3 presets x clean/chaos/overload)",
+        run: |ctx| Box::new(ctx.counting()),
+    },
+];
+
+/// Looks up a registered system arm by name.
+pub fn arm(name: &str) -> Option<&'static ExperimentArm> {
+    ARMS.iter().find(|arm| arm.name == name)
+}
+
+impl ExperimentReport for TrackingResult {
+    fn name(&self) -> &'static str {
+        "tracking"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(self)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        vec![
+            format!(
+                "  per-device agreement: {:.1}% over {} samples",
+                self.device_agreement * 100.0,
+                self.samples
+            ),
+            format!(
+                "  whole-table exact matches: {:.1}%",
+                self.table_agreement * 100.0
+            ),
+        ]
+    }
+}
+
+impl ExperimentReport for ScalingResult {
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(self)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        vec![format!(
+            "  {} rooms, {} beacons: svm {:.1}%, proximity {:.1}%",
+            self.rooms,
+            self.beacons,
+            self.office_svm * 100.0,
+            self.office_proximity * 100.0
+        )]
+    }
+}
+
+impl ExperimentReport for MultiFloorResult {
+    fn name(&self) -> &'static str {
+        "floors"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(self)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        vec![format!(
+            "  {} floors, {} beacons: floor accuracy {:.1}%, room accuracy {:.1}%",
+            self.floors,
+            self.beacons,
+            self.floor_accuracy * 100.0,
+            self.room_accuracy * 100.0
+        )]
+    }
+}
+
+impl ExperimentReport for FaultsResult {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(self)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let mut rows = vec![
+            "  per fault intensity: report delivery, online BMS-vs-truth agreement,".to_string(),
+            "  mean knowledge staleness, uplink energy, and stale-evidence conditioning".to_string(),
+            String::new(),
+            "  intensity  path down  arm        delivery  agreement  staleness  energy    stale-hvac"
+                .to_string(),
+        ];
+        for point in &self.points {
+            for (name, arm) in [("bare", &point.bare), ("queueing", &point.resilient)] {
+                rows.push(format!(
+                    "  {:>9.2}  {:>8}  {:<9} {:>8}  {:>8.1}%  {:>8.1}s  {:>7.0} mJ  {:>8.1}s",
+                    point.intensity,
+                    format!("{}", point.uplink_downtime),
+                    name,
+                    arm.delivery_rate
+                        .map_or("    -".to_string(), |r| format!("{:.1}%", r * 100.0)),
+                    arm.device_agreement * 100.0,
+                    arm.mean_staleness.as_secs_f64(),
+                    arm.energy_mj,
+                    arm.stale_conditioning.as_secs_f64(),
+                ));
+            }
+        }
+        rows
+    }
+}
+
+impl ExperimentReport for ChaosResult {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(self)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let onoff = |b: bool| if b { "on" } else { "off" };
+        let mut rows = vec![
+            "  pattern   failover dedup  offered delivered dropped  retx  dup-wire dup-rej fo-sends probes crashes replayed  energy     oracle    invariants"
+                .to_string(),
+        ];
+        for c in &self.cells {
+            rows.push(format!(
+                "  {:<9} {:>8} {:>5}  {:>7} {:>9} {:>7} {:>5} {:>9} {:>7} {:>8} {:>6} {:>7} {:>8}  {:>7.0} mJ  {:<8}  {}",
+                c.pattern,
+                onoff(c.failover),
+                onoff(c.dedup),
+                c.offered,
+                c.delivered,
+                c.dropped,
+                c.retransmits,
+                c.duplicates_on_wire,
+                c.duplicates_rejected,
+                c.failover_sends,
+                c.probes,
+                c.crashes,
+                c.replayed,
+                c.energy_mj,
+                if c.view_matches_oracle { "match" } else { "DIVERGED" },
+                if c.invariants_hold() { "ok" } else { "VIOLATED" },
+            ));
+        }
+        rows.push(String::new());
+        rows.push(
+            "  invariants hold at every cell; failover+dedup cells match the clean oracle"
+                .to_string(),
+        );
+        rows
+    }
+
+    fn assert_invariants(&self) {
+        assert!(self.all_invariants_hold(), "chaos sweep invariant violated");
+        assert!(
+            self.reliable_cells_match_oracle(),
+            "a failover+dedup cell diverged from the clean oracle"
+        );
+    }
+}
+
+impl ExperimentReport for TelemetryResult {
+    fn name(&self) -> &'static str {
+        "telemetry"
+    }
+
+    fn checksum(&self) -> u64 {
+        self.recorder.checksum()
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        use roomsense_telemetry::keys;
+        let r = &self.recorder;
+        let count_of = |k| r.histogram(k).map_or(0, |h| h.count());
+        let mean_of = |k| r.histogram(k).and_then(|h| h.mean()).unwrap_or(0.0);
+        let mut rows = vec!["  metric                       value      paper artifact".to_string()];
+        let counters: [(&str, u64, &str); 12] = [
+            ("scan.cycles", r.counter(keys::SCAN_CYCLES), "Section V scan loop"),
+            ("scan.stalls", r.counter(keys::SCAN_STALLS), "Fig 5 Android stalls"),
+            ("scan.samples", r.counter(keys::SCAN_SAMPLES), "Section V (5 samples/cycle)"),
+            ("scan.samples_dropped", r.counter(keys::SCAN_SAMPLES_DROPPED), "fault-layer loss"),
+            ("filter.holds", r.counter(keys::FILTER_HOLDS), "Section V loss policy"),
+            ("filter.drops", r.counter(keys::FILTER_DROPS), "Section V loss policy"),
+            ("radio.rx.lost", r.counter(keys::RADIO_RX_LOST), "Fig 5 loss rate"),
+            ("net.queue.retransmits", r.counter(keys::NET_QUEUE_RETRANSMITS), "uplink reliability"),
+            ("net.failover.sends", r.counter(keys::NET_FAILOVER_SENDS), "Wi-Fi->BT failover"),
+            ("bms.ingest.duplicates", r.counter(keys::BMS_INGEST_DUPLICATES), "exactly-once ingest"),
+            ("bms.ingest.accepted", r.counter(keys::BMS_INGEST_ACCEPTED), "occupancy table input"),
+            ("bms.checkpoints", r.counter(keys::BMS_CHECKPOINTS), "crash/restore"),
+        ];
+        for (name, value, artifact) in counters {
+            rows.push(format!("  {name:<28} {value:>8}   {artifact}"));
+        }
+        rows.push(format!(
+            "  {:<28} {:>8}   Fig 9 decision margins (mean {:+.2})",
+            "ml.svm.margin",
+            count_of(keys::ML_SVM_MARGIN),
+            mean_of(keys::ML_SVM_MARGIN),
+        ));
+        rows.push(format!(
+            "  {:<28} {:>8.0}   Figs 8-10 energy account (mJ)",
+            "energy.total_mj",
+            r.gauge(keys::ENERGY_TOTAL_MJ).unwrap_or(0.0),
+        ));
+        rows.push(format!(
+            "  uplink: {}/{} reports delivered; journal holds {} events ({} dropped past capacity)",
+            self.delivered,
+            self.offered,
+            r.journal().count(),
+            r.journal_dropped(),
+        ));
+        rows
+    }
+}
+
+impl ExperimentReport for ScaleResult {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(&self.fingerprint)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let f = &self.fingerprint;
+        let t = &self.timings;
+        vec![
+            format!(
+                "  fleet: {} devices -> {} shards (batch <= 8 reports/burst, 300 s retention)",
+                f.devices, f.shards
+            ),
+            format!(
+                "  uplink: {} offered, {} delivered, {} retransmitted, {} dropped, {} undelivered",
+                f.offered, f.delivered, f.retransmits, f.dropped, f.undelivered
+            ),
+            format!(
+                "  coalescing: {} bursts, mean {:.2} reports/burst",
+                f.bursts, f.mean_batch_size
+            ),
+            format!(
+                "  server: {} stored, {} duplicates rejected, {} compacted, {} replayed after crash",
+                f.stored, f.duplicates, f.compacted, f.recovered_reports
+            ),
+            format!(
+                "  memory: peak {} retained reports (cap {}), final {}",
+                f.peak_retained, f.retained_cap, f.final_retained
+            ),
+            format!(
+                "  occupancy: {} rooms, {} devices; history sweep probed {} room-slots",
+                f.occupied_rooms, f.occupants, f.history_rooms_probed
+            ),
+            format!(
+                "  energy: batched {:.0} mJ vs always-on wifi {:.0} mJ ({:.1}% saved)",
+                f.batched_energy_mj,
+                f.always_on_energy_mj,
+                f.batched_saving_fraction() * 100.0
+            ),
+            format!(
+                "  timings: generate {:.2} s, ingest {:.2} s ({:.0} reports/s), query {:.0} us mean",
+                t.generate_secs, t.ingest_secs, t.ingest_reports_per_sec, t.query_micros
+            ),
+            format!(
+                "  sharded == single-server state: {}; crash recovery exact: {}; memory bounded: {}",
+                f.digests_match,
+                f.restore_digest_match,
+                f.retention_bounded()
+            ),
+        ]
+    }
+
+    fn assert_invariants(&self) {
+        let f = &self.fingerprint;
+        assert!(f.digests_match, "sharded fleet diverged from the single server");
+        assert!(f.restore_digest_match, "crash recovery lost state");
+        assert!(
+            f.retention_bounded(),
+            "peak retained {} exceeds the retention cap {}",
+            f.peak_retained,
+            f.retained_cap
+        );
+        assert!(
+            !f.early_query_complete,
+            "a query below the retention floor was marked complete"
+        );
+    }
+}
+
+impl ExperimentReport for OverloadResult {
+    fn name(&self) -> &'static str {
+        "overload"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(&self.fingerprint)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let f = &self.fingerprint;
+        let t = &self.timings;
+        vec![
+            format!(
+                "  campus: {} devices over 2 buildings, {} shards each (mailbox cap {}, service {} reports/shard/tick)",
+                f.devices, f.shards, f.mailbox_capacity, 4
+            ),
+            format!(
+                "  admission: {} offered, {} admitted, {} shed (retried), {} gate pauses",
+                f.offered, f.admitted, f.shed, f.pauses
+            ),
+            format!(
+                "  memory: peak mailbox depth {} (cap {}), deepest client retry queue {}",
+                f.peak_mailbox_depth, f.mailbox_capacity, f.max_client_queue
+            ),
+            format!(
+                "  queries: {} exact, {} degraded; drained in {} ticks; final view {} occupants",
+                f.exact_queries, f.degraded_queries, f.ticks_to_drain, f.occupants
+            ),
+            format!(
+                "  timings: generate {:.2} s, event loop {:.2} s ({:.0} admitted/s)",
+                t.generate_secs, t.run_secs, t.admitted_per_sec
+            ),
+            format!(
+                "  memory bounded: {}; shed-period answers consistent: {}; post-drain digests exact: {}",
+                f.memory_bounded(),
+                f.degraded_consistent,
+                f.digests_match
+            ),
+        ]
+    }
+
+    fn assert_invariants(&self) {
+        let f = &self.fingerprint;
+        assert!(
+            f.memory_bounded(),
+            "peak mailbox depth exceeded the configured capacity"
+        );
+        assert_eq!(f.admitted, f.offered, "load shedding lost reports");
+        assert!(f.shed > 0, "the surge never exercised backpressure");
+        assert!(f.degraded_queries > 0, "the surge never degraded a query");
+        assert!(
+            f.degraded_consistent,
+            "a degraded answer diverged from the pumped-prefix oracle"
+        );
+        assert!(
+            f.digests_match,
+            "post-drain state diverged from the unthrottled oracle"
+        );
+    }
+}
+
+impl ExperimentReport for ArchiveResult {
+    fn name(&self) -> &'static str {
+        "archive"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(&self.fingerprint)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let f = &self.fingerprint;
+        let t = &self.timings;
+        let mut rows = vec![
+            format!(
+                "  fleet: {} devices -> {} shards, {} reports/scenario, 300 s retention spilling to segment logs",
+                f.devices, f.shards, f.reports_per_scenario
+            ),
+            "  scenario               segs trunc foot  scan     covered  missing  records  respill  digest  probes(exact/flagged)  loss"
+                .to_string(),
+        ];
+        for s in &f.scenarios {
+            rows.push(format!(
+                "  {:<21} {:>5} {:>5} {:>4}  {:<7}  {:<7}  {:>7}  {:>7}  {:>7}  {:<6}  {:>9}/{:<7}  {}",
+                s.name,
+                s.segments_scanned,
+                s.truncated_segments,
+                s.footer_mismatches,
+                if s.scan_clean { "clean" } else { "repair" },
+                s.covered,
+                s.missing_records,
+                s.archive_records,
+                s.respill_suppressed,
+                s.digest_match,
+                s.exact_probes,
+                s.flagged_probes,
+                if s.silent_loss { "SILENT" } else { "none" },
+            ));
+        }
+        rows.push(format!(
+            "  timings: generate {:.2} s, scenarios {:.2} s",
+            t.generate_secs, t.run_secs
+        ));
+        let lossy = f.scenarios.iter().filter(|s| !s.covered).count();
+        rows.push(format!(
+            "  {} covered scenarios exact; {} lossy scenarios flagged; zero silent loss",
+            f.scenarios.len() - lossy,
+            lossy
+        ));
+        rows
+    }
+
+    fn assert_invariants(&self) {
+        let f = &self.fingerprint;
+        assert!(
+            f.no_silent_loss(),
+            "a historical query was answered complete but wrong"
+        );
+        assert!(
+            f.covered_scenarios_exact(),
+            "a covered recovery diverged from the never-crashed oracle"
+        );
+        assert!(
+            f.lossy_scenarios_flagged(),
+            "a lossy recovery failed to surface its data loss"
+        );
+        assert!(
+            f.live_state_always_exact(),
+            "checkpoint + journal replay lost live state"
+        );
+        assert!(
+            f.faults_exercised(),
+            "a fault scenario injected nothing - the matrix degraded to clean runs"
+        );
+        for s in &f.scenarios {
+            let expect_covered = matches!(s.name, "clean" | "crash_mid_compaction" | "torn_tail");
+            assert_eq!(
+                s.covered, expect_covered,
+                "{}: expected covered={expect_covered}",
+                s.name
+            );
+        }
+    }
+}
+
+impl ExperimentReport for CountingResult {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn checksum(&self) -> u64 {
+        checksum_of(&self.fingerprint)
+    }
+
+    fn summary_rows(&self) -> Vec<String> {
+        let f = &self.fingerprint;
+        let t = &self.timings;
+        let mut rows = vec![
+            format!(
+                "  {} shards, {} s evidence window; MAE is per-room headcount error vs ground truth",
+                f.shards, f.window_s
+            ),
+            "  preset             condition  subj  carry  reports   mae  (bound)  ci-cover  peak truth/est  degr  shed  sharded==single  converged"
+                .to_string(),
+        ];
+        for c in &f.cells {
+            rows.push(format!(
+                "  {:<17}  {:<9}  {:>4}  {:>5}  {:>7}  {:>4.2}  ({:>4.1})  {:>5}/{:<3}  {:>6}/{:<6.1}  {:>4}  {:>4}  {:<15}  {}",
+                c.preset,
+                c.condition,
+                c.subjects,
+                c.carriers,
+                c.reports,
+                c.mae,
+                c.mae_bound,
+                c.covered_probes,
+                c.probes,
+                c.truth_peak,
+                c.estimate_at_peak,
+                c.degraded_probes,
+                c.shed_reports,
+                c.sharded_matches_single,
+                c.converged_to_clean,
+            ));
+        }
+        rows.push(format!(
+            "  timings: generate {:.2} s, conditions {:.2} s",
+            t.generate_secs, t.run_secs
+        ));
+        rows.push(format!(
+            "  all {} cells within MAE bounds; faulted conditions converge to the clean oracle",
+            f.cells.len()
+        ));
+        rows
+    }
+
+    fn assert_invariants(&self) {
+        let f = &self.fingerprint;
+        for c in &f.cells {
+            assert!(
+                c.mae <= c.mae_bound,
+                "{}/{}: MAE {:.3} exceeds declared bound {:.1}",
+                c.preset,
+                c.condition,
+                c.mae,
+                c.mae_bound
+            );
+        }
+        assert!(
+            f.sharded_consistent(),
+            "a sharded population answer diverged from the single reference server"
+        );
+        assert!(
+            f.faulted_converges(),
+            "a faulted condition failed to converge to the clean oracle after drain"
+        );
+        assert!(
+            f.backpressure_exercised(),
+            "the overload condition never shed or degraded - it degraded to a clean run"
+        );
+    }
+}
+
+// --- BEGIN deprecated positional shims ---
+// Every pre-redesign positional entry point, kept signature-stable for one
+// release so downstream callers migrate at their own pace. Each forwards to
+// the equivalent ExperimentCtx call, so old and new spellings run the same
+// code path and produce byte-identical results (tests/counting_equivalence.rs
+// proves it per experiment). scripts/check.sh rejects any new positional
+// `*_experiment(seed: u64` entry point outside this block.
+
+/// Deprecated positional form of [`ExperimentCtx::static_capture`].
+#[deprecated(note = "use ExperimentCtx::new(seed).static_capture(config, distance_m, duration)")]
+pub fn static_capture(
+    config: &PipelineConfig,
+    distance_m: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> StaticCaptureResult {
+    ExperimentCtx::new(seed).static_capture(config, distance_m, duration)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::dynamic_walk`].
+#[deprecated(note = "use ExperimentCtx::new(seed).dynamic_walk(coefficient, speed_mps)")]
+pub fn dynamic_walk(coefficient: f64, speed_mps: f64, seed: u64) -> DynamicWalkResult {
+    ExperimentCtx::new(seed).dynamic_walk(coefficient, speed_mps)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::coefficient_sweep`].
+#[deprecated(note = "use ExperimentCtx::new(seed).coefficient_sweep(coefficients, trials)")]
+pub fn coefficient_sweep(
+    coefficients: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<CoefficientSweepPoint> {
+    ExperimentCtx::new(seed).coefficient_sweep(coefficients, trials)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::classification`].
+#[deprecated(note = "use ExperimentCtx::new(seed).classification()")]
+pub fn classification_experiment(seed: u64) -> ClassificationResult {
+    ExperimentCtx::new(seed).classification()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::cross_validation`].
+#[deprecated(note = "use ExperimentCtx::new(seed).cross_validation(folds)")]
+pub fn classification_cross_validation(seed: u64, folds: usize) -> Vec<f64> {
+    ExperimentCtx::new(seed).cross_validation(folds)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::energy`].
+#[deprecated(note = "use ExperimentCtx::new(seed).energy(duration, trials)")]
+pub fn energy_experiment(duration: SimDuration, trials: u64, seed: u64) -> EnergyResult {
+    ExperimentCtx::new(seed).energy(duration, trials)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::device_comparison`].
+#[deprecated(note = "use ExperimentCtx::new(seed).device_comparison(devices, distance_m, duration)")]
+pub fn device_comparison(
+    devices: &[DeviceRxProfile],
+    distance_m: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<DeviceComparisonRow> {
+    ExperimentCtx::new(seed).device_comparison(devices, distance_m, duration)
+}
+
+/// Deprecated positional form of [`ExperimentCtx::sampling`].
+#[deprecated(note = "use ExperimentCtx::new(seed).sampling()")]
+pub fn sampling_comparison(seed: u64) -> SamplingComparison {
+    ExperimentCtx::new(seed).sampling()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::calibration`].
+#[deprecated(note = "use ExperimentCtx::new(seed).calibration()")]
+pub fn run_tx_power_calibration(seed: u64) -> CalibrationOutcome {
+    ExperimentCtx::new(seed).calibration()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::scaling`].
+#[deprecated(note = "use ExperimentCtx::new(seed).scaling()")]
+pub fn scaling_experiment(seed: u64) -> ScalingResult {
+    ExperimentCtx::new(seed).scaling()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::floors`].
+#[deprecated(note = "use ExperimentCtx::new(seed).floors()")]
+pub fn multifloor_experiment(seed: u64) -> MultiFloorResult {
+    ExperimentCtx::new(seed).floors()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::tracking`].
+#[deprecated(note = "use ExperimentCtx::new(seed).tracking()")]
+pub fn tracking_experiment(seed: u64) -> TrackingResult {
+    ExperimentCtx::new(seed).tracking()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::faults`].
+#[deprecated(note = "use ExperimentCtx::new(seed).faults()")]
+pub fn faults_experiment(seed: u64) -> FaultsResult {
+    ExperimentCtx::new(seed).faults()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::chaos`].
+#[deprecated(note = "use ExperimentCtx::new(seed).chaos()")]
+pub fn chaos_experiment(seed: u64) -> ChaosResult {
+    ExperimentCtx::new(seed).chaos()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::telemetry`].
+#[deprecated(note = "use ExperimentCtx::new(seed).telemetry()")]
+pub fn telemetry_experiment(seed: u64) -> TelemetryResult {
+    ExperimentCtx::new(seed).telemetry()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::scale`].
+#[deprecated(note = "use ExperimentCtx::new(seed).with_devices(devices).with_shards(shards).scale()")]
+pub fn scale_experiment(seed: u64, devices: usize, shards: usize) -> ScaleResult {
+    ExperimentCtx::new(seed)
+        .with_devices(devices)
+        .with_shards(shards)
+        .scale()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::overload`].
+#[deprecated(note = "use ExperimentCtx::new(seed).with_devices(devices).with_shards(shards).overload()")]
+pub fn overload_experiment(seed: u64, devices: usize, shards: usize) -> OverloadResult {
+    ExperimentCtx::new(seed)
+        .with_devices(devices)
+        .with_shards(shards)
+        .overload()
+}
+
+/// Deprecated positional form of [`ExperimentCtx::archive`].
+#[deprecated(note = "use ExperimentCtx::new(seed).with_devices(devices).with_shards(shards).archive()")]
+pub fn archive_experiment(seed: u64, devices: usize, shards: usize) -> ArchiveResult {
+    ExperimentCtx::new(seed)
+        .with_devices(devices)
+        .with_shards(shards)
+        .archive()
+}
+
+// --- END deprecated positional shims ---
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2956,18 +4453,8 @@ mod tests {
     #[test]
     fn longer_scan_period_reduces_raw_variance() {
         // The Fig 4 vs Fig 6 contrast.
-        let two = static_capture(
-            &PipelineConfig::paper_android(),
-            2.0,
-            SimDuration::from_secs(240),
-            7,
-        );
-        let five = static_capture(
-            &PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(5)),
-            2.0,
-            SimDuration::from_secs(240),
-            7,
-        );
+        let two = ExperimentCtx::new(7).static_capture(&PipelineConfig::paper_android(), 2.0, SimDuration::from_secs(240));
+        let five = ExperimentCtx::new(7).static_capture(&PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(5)), 2.0, SimDuration::from_secs(240));
         assert!(
             five.raw_std() < two.raw_std(),
             "5s std {} should be below 2s std {}",
@@ -2979,12 +4466,7 @@ mod tests {
     #[test]
     fn smoothing_reduces_variance() {
         // The Fig 4 vs Fig 5 contrast.
-        let capture = static_capture(
-            &PipelineConfig::paper_android(),
-            2.0,
-            SimDuration::from_secs(240),
-            8,
-        );
+        let capture = ExperimentCtx::new(8).static_capture(&PipelineConfig::paper_android(), 2.0, SimDuration::from_secs(240));
         assert!(
             capture.smoothed_std() < capture.raw_std(),
             "smoothed {} raw {}",
@@ -2995,7 +4477,7 @@ mod tests {
 
     #[test]
     fn dynamic_walk_crosses_over() {
-        let result = dynamic_walk(0.65, 1.2, 9);
+        let result = ExperimentCtx::new(9).dynamic_walk(0.65, 1.2);
         let crossover = result.crossover_cycle.expect("must switch beacons");
         // The walk takes ~9 s = ~5 cycles to midpoint; crossover should be
         // in a plausible band, not instant and not at the very end.
@@ -3008,7 +4490,7 @@ mod tests {
 
     #[test]
     fn higher_coefficient_is_stabler_but_slower() {
-        let sweep = coefficient_sweep(&[0.1, 0.9], 3, 10);
+        let sweep = ExperimentCtx::new(10).coefficient_sweep(&[0.1, 0.9], 3);
         let low = &sweep[0];
         let high = &sweep[1];
         assert!(
@@ -3024,7 +4506,7 @@ mod tests {
 
     #[test]
     fn sampling_comparison_matches_section_v() {
-        let s = sampling_comparison(4);
+        let s = ExperimentCtx::new(4).sampling();
         assert_eq!(s.android_samples, 5);
         assert!(
             (250..=320).contains(&s.ios_samples),
@@ -3037,7 +4519,7 @@ mod tests {
 
     #[test]
     fn energy_experiment_reproduces_headlines() {
-        let result = energy_experiment(SimDuration::from_secs(1800), 2, 5);
+        let result = ExperimentCtx::new(5).energy(SimDuration::from_secs(1800), 2);
         let saving = result.saving_fraction();
         assert!(
             (0.08..=0.22).contains(&saving),
@@ -3056,12 +4538,7 @@ mod tests {
 
     #[test]
     fn zero_duration_capture_is_empty() {
-        let capture = static_capture(
-            &PipelineConfig::paper_android(),
-            2.0,
-            SimDuration::ZERO,
-            1,
-        );
+        let capture = ExperimentCtx::new(1).static_capture(&PipelineConfig::paper_android(), 2.0, SimDuration::ZERO);
         assert!(capture.raw.is_empty());
         assert!(capture.smoothed.is_empty());
         assert_eq!(capture.raw_std(), 0.0);
@@ -3070,13 +4547,13 @@ mod tests {
 
     #[test]
     fn empty_coefficient_sweep_is_empty() {
-        assert!(coefficient_sweep(&[], 3, 1).is_empty());
+        assert!(ExperimentCtx::new(1).coefficient_sweep(&[], 3).is_empty());
     }
 
     #[test]
     fn slow_walk_crosses_later_than_fast_walk() {
-        let slow = dynamic_walk(0.65, 0.6, 11);
-        let fast = dynamic_walk(0.65, 1.5, 11);
+        let slow = ExperimentCtx::new(11).dynamic_walk(0.65, 0.6);
+        let fast = ExperimentCtx::new(11).dynamic_walk(0.65, 1.5);
         // The slow walk takes more cycles to reach the midpoint.
         let slow_cross = slow.crossover_cycle.expect("slow walk switches");
         let fast_cross = fast.crossover_cycle.expect("fast walk switches");
@@ -3088,7 +4565,7 @@ mod tests {
 
     #[test]
     fn two_storey_building_identifies_the_floor() {
-        let result = multifloor_experiment(17);
+        let result = ExperimentCtx::new(17).floors();
         assert_eq!(result.floors, 2);
         assert_eq!(result.beacons, 10);
         assert!(
@@ -3106,7 +4583,7 @@ mod tests {
 
     #[test]
     fn office_floor_scales_with_svm_still_ahead() {
-        let result = scaling_experiment(16);
+        let result = ExperimentCtx::new(16).scaling();
         assert_eq!(result.rooms, 9);
         assert_eq!(result.beacons, 10);
         assert!(result.office_svm > 0.80, "office svm {:.3}", result.office_svm);
@@ -3120,7 +4597,7 @@ mod tests {
 
     #[test]
     fn tracking_experiment_agrees_with_truth_most_of_the_time() {
-        let result = tracking_experiment(15);
+        let result = ExperimentCtx::new(15).tracking();
         assert!(result.samples >= 100);
         assert!(
             result.device_agreement > 0.75,
@@ -3133,7 +4610,7 @@ mod tests {
 
     #[test]
     fn calibration_procedure_converges_to_one_metre() {
-        let outcome = run_tx_power_calibration(12);
+        let outcome = ExperimentCtx::new(12).calibration();
         assert!(outcome.sample_count >= 10);
         // The transmitter is a -59 dBm@1m class device; the calibrated
         // field lands near it.
@@ -3148,7 +4625,7 @@ mod tests {
 
     #[test]
     fn scale_experiment_matches_single_server_and_bounds_memory() {
-        let result = scale_experiment(21, 96, 8);
+        let result = ExperimentCtx::new(21).with_devices(96).with_shards(8).scale();
         let f = &result.fingerprint;
         assert!(f.digests_match, "sharded fleet diverged from the reference");
         assert!(f.restore_digest_match, "crash recovery lost state");
@@ -3177,8 +4654,8 @@ mod tests {
 
     #[test]
     fn scale_experiment_is_thread_invariant() {
-        let base = scale_experiment(22, 48, 4);
-        let serial = exec::with_thread_override(1, || scale_experiment(22, 48, 4));
+        let base = ExperimentCtx::new(22).with_devices(48).with_shards(4).scale();
+        let serial = exec::with_thread_override(1, || ExperimentCtx::new(22).with_devices(48).with_shards(4).scale());
         assert_eq!(base.fingerprint, serial.fingerprint);
     }
 
@@ -3194,7 +4671,7 @@ mod tests {
 
     #[test]
     fn overload_experiment_sheds_recovers_and_bounds_memory() {
-        let result = overload_experiment(31, 36, 3);
+        let result = ExperimentCtx::new(31).with_devices(36).with_shards(3).overload();
         let f = &result.fingerprint;
         assert!(f.shed > 0, "the surge never overflowed admission");
         assert!(f.pauses > 0, "no admission gate ever paused");
@@ -3209,15 +4686,15 @@ mod tests {
 
     #[test]
     fn overload_experiment_is_thread_invariant() {
-        let base = overload_experiment(32, 24, 2);
-        let serial = exec::with_thread_override(1, || overload_experiment(32, 24, 2));
+        let base = ExperimentCtx::new(32).with_devices(24).with_shards(2).overload();
+        let serial = exec::with_thread_override(1, || ExperimentCtx::new(32).with_devices(24).with_shards(2).overload());
         assert_eq!(base.fingerprint, serial.fingerprint);
     }
 
     #[test]
     fn archive_experiment_is_thread_invariant_and_never_silently_wrong() {
-        let base = archive_experiment(33, 24, 2);
-        let serial = exec::with_thread_override(1, || archive_experiment(33, 24, 2));
+        let base = ExperimentCtx::new(33).with_devices(24).with_shards(2).archive();
+        let serial = exec::with_thread_override(1, || ExperimentCtx::new(33).with_devices(24).with_shards(2).archive());
         assert_eq!(base.fingerprint, serial.fingerprint);
         let f = &base.fingerprint;
         assert_eq!(f.scenarios.len(), 6);
@@ -3240,15 +4717,10 @@ mod tests {
 
     #[test]
     fn device_comparison_shows_the_gap() {
-        let rows = device_comparison(
-            &[
+        let rows = ExperimentCtx::new(6).device_comparison(&[
                 DeviceRxProfile::galaxy_s3_mini(),
                 DeviceRxProfile::nexus_5(),
-            ],
-            2.0,
-            SimDuration::from_secs(120),
-            6,
-        );
+            ], 2.0, SimDuration::from_secs(120));
         assert_eq!(rows.len(), 2);
         // The Nexus 5 reads hotter, so its distance estimate is shorter.
         assert!(
@@ -3260,3 +4732,4 @@ mod tests {
         assert!(rows[1].mean_distance_m < rows[0].mean_distance_m);
     }
 }
+

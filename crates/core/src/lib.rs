@@ -55,6 +55,7 @@
 mod app_run;
 mod batch;
 mod collect;
+pub mod crowd;
 mod fault;
 mod fleet;
 mod multifloor;
@@ -70,6 +71,7 @@ pub use batch::{
     run_fleet_faulted_batched, run_fleet_faulted_batched_recorded, BatchAllocStats, BatchConfig,
 };
 pub use collect::{collect_dataset, features_from_snapshots, LabelledDataset, MISSING_DISTANCE};
+pub use crowd::{CrowdPreset, CrowdScenario, CrowdTrace, MaeBounds, SubjectTrace, TraceSegment};
 pub use fault::FaultPlan;
 pub use fleet::{
     run_fleet, run_fleet_faulted, run_fleet_faulted_recorded, run_fleet_recorded, FleetEvent,

@@ -1,0 +1,120 @@
+//! Headcount-scaled HVAC pricing for demand response.
+//!
+//! The paper's motivation is switching conditioning off when nobody is
+//! there; crowd-scale counting refines the *on* side too: conditioning a
+//! packed lecture hall costs more than conditioning a lone late worker
+//! (ventilation and cooling load scale with the people in the room). A
+//! [`HvacPricing`] tariff prices a
+//! [`DemandResponseReport`](roomsense_net::DemandResponseReport) as a
+//! per-room base load plus a per-person load integrated over the
+//! controller's estimated person-time, so the energy bill follows the
+//! population estimates rather than binary presence.
+
+use roomsense_net::DemandResponseReport;
+
+/// A two-part HVAC tariff: base load per conditioned room plus marginal
+/// load per estimated person inside a conditioned room.
+///
+/// Consuming `with_*` builders over the default tariff:
+///
+/// ```
+/// use roomsense_energy::HvacPricing;
+///
+/// let tariff = HvacPricing::default().with_per_person_w(200.0);
+/// assert_eq!(tariff.per_person_w, 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HvacPricing {
+    /// Base plant draw while a room is conditioned, watts.
+    pub room_w: f64,
+    /// Marginal draw per person in a conditioned room, watts.
+    pub per_person_w: f64,
+}
+
+impl Default for HvacPricing {
+    /// A small-plant default: 500 W base per conditioned room plus 120 W
+    /// per person (sensible heat + ventilation share).
+    fn default() -> Self {
+        HvacPricing {
+            room_w: 500.0,
+            per_person_w: 120.0,
+        }
+    }
+}
+
+impl HvacPricing {
+    /// Sets the base per-room draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `room_w` is negative.
+    pub fn with_room_w(mut self, room_w: f64) -> Self {
+        assert!(room_w >= 0.0, "room watts must be non-negative");
+        self.room_w = room_w;
+        self
+    }
+
+    /// Sets the marginal per-person draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_person_w` is negative.
+    pub fn with_per_person_w(mut self, per_person_w: f64) -> Self {
+        assert!(per_person_w >= 0.0, "per-person watts must be non-negative");
+        self.per_person_w = per_person_w;
+        self
+    }
+
+    /// Prices raw conditioning totals: `room_seconds` of plant on-time
+    /// plus `person_seconds` of people-in-conditioned-rooms, in joules.
+    pub fn energy_j(&self, room_seconds: f64, person_seconds: f64) -> f64 {
+        self.room_w * room_seconds + self.per_person_w * person_seconds
+    }
+
+    /// Prices a demand-response report, in joules.
+    pub fn price_report_j(&self, report: &DemandResponseReport) -> f64 {
+        self.energy_j(report.actual.as_secs_f64(), report.person_seconds)
+    }
+
+    /// What an always-on plant with the same tariff would have burned —
+    /// the denominator of a headcount-aware savings fraction. The
+    /// per-person load is unavoidable (people must be served wherever the
+    /// plant runs), so the baseline charges base load for the whole
+    /// baseline duration plus the same person-time.
+    pub fn baseline_j(&self, report: &DemandResponseReport) -> f64 {
+        self.energy_j(report.baseline.as_secs_f64(), report.person_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roomsense_sim::SimDuration;
+
+    fn report(actual_s: u64, baseline_s: u64, person_s: f64) -> DemandResponseReport {
+        DemandResponseReport {
+            actual: SimDuration::from_secs(actual_s),
+            baseline: SimDuration::from_secs(baseline_s),
+            stale: SimDuration::ZERO,
+            person_seconds: person_s,
+        }
+    }
+
+    #[test]
+    fn pricing_scales_with_headcount() {
+        let tariff = HvacPricing::default();
+        let quiet = report(600, 1200, 600.0); // one person for 10 min
+        let packed = report(600, 1200, 60_000.0); // a 100-person hall
+        assert!(tariff.price_report_j(&packed) > tariff.price_report_j(&quiet));
+        // Same plant on-time: the difference is purely the people.
+        let delta = tariff.price_report_j(&packed) - tariff.price_report_j(&quiet);
+        assert!((delta - 120.0 * (60_000.0 - 600.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_exceeds_actual_when_saving() {
+        let tariff = HvacPricing::default();
+        let r = report(300, 1200, 900.0);
+        assert!(tariff.baseline_j(&r) > tariff.price_report_j(&r));
+    }
+}

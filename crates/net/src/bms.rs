@@ -25,6 +25,7 @@
 //!   returning [`Windowed`] values that say whether the answer is complete.
 
 use crate::archive::{ArchiveSink, ArchiveStats, Coverage, DeviceMark};
+use crate::counting::{finalize_population, CountingConfig, PopulationEvidence, PopulationView};
 use crate::{DeviceId, ObservationReport};
 use parking_lot::Mutex;
 use roomsense_sim::{SimDuration, SimTime};
@@ -1027,6 +1028,94 @@ impl BmsServer {
             .filter_map(|log| log.floor)
             .chain(state.assignments.values().filter_map(|h| h.floor))
             .max()
+    }
+
+    /// The per-room population evidence aggregate over the window
+    /// `[now - window, now]`: device census by last-known room, the subset
+    /// with in-window reports, report counts, and the distance-sum — the
+    /// mergeable raw material behind
+    /// [`population_view`](Self::population_view). Incomplete when
+    /// retention compaction truncated part of the evidence window (the
+    /// counting path reads the live tier only; the answer is flagged,
+    /// never silently wrong).
+    pub fn population_evidence(
+        &self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> Windowed<BTreeMap<RoomLabel, PopulationEvidence>> {
+        let from = SimTime::from_millis(now.as_millis().saturating_sub(config.window.as_millis()));
+        // `Retained::window` is half-open; bump the upper bound one tick so
+        // evidence stamped exactly `now` counts.
+        let upper = SimTime::from_millis(now.as_millis().saturating_add(1));
+        let state = self.state.lock();
+        let mut rooms: BTreeMap<RoomLabel, PopulationEvidence> = BTreeMap::new();
+        for (device, (last_at, _, room)) in &state.device_rooms {
+            let entry = rooms.entry(*room).or_default();
+            entry.devices += 1;
+            entry.newest = Some(entry.newest.map_or(*last_at, |n| n.max(*last_at)));
+            if let Some(log) = state.logs.get(device) {
+                let mut in_window = 0u64;
+                for report in log.window(from, upper) {
+                    let nearest = report
+                        .beacons
+                        .iter()
+                        .map(|b| b.distance_m)
+                        .fold(f64::INFINITY, f64::min);
+                    if nearest.is_finite() {
+                        entry.add_report(nearest);
+                    } else {
+                        entry.reports += 1;
+                    }
+                    in_window += 1;
+                }
+                if in_window > 0 {
+                    entry.observed += 1;
+                }
+            }
+        }
+        let floor = state
+            .logs
+            .values()
+            .filter_map(|log| log.floor)
+            .max();
+        drop(state);
+        let complete = floor.is_none_or(|f| from >= f);
+        Windowed {
+            value: rooms,
+            complete,
+            floor,
+        }
+    }
+
+    /// The per-room population table at `now` (see the
+    /// [`counting`](crate::counting) module): each room's evidence
+    /// aggregate finalized into a
+    /// [`PopulationEstimate`](crate::PopulationEstimate) — estimated
+    /// headcount, confidence interval, and evidence staleness. Wrapped in
+    /// [`Windowed`]: incomplete when retention truncated part of the
+    /// evidence window.
+    pub fn population_view(
+        &self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> Windowed<PopulationView> {
+        let evidence = self.population_evidence(now, config);
+        let view = finalize_population(now, config, &evidence.value);
+        {
+            let mut state = self.state.lock();
+            state.telemetry.incr(keys::BMS_COUNTING_QUERIES);
+            state
+                .telemetry
+                .set_gauge(keys::BMS_COUNTING_OBSERVED, view.observed_total() as f64);
+            state
+                .telemetry
+                .set_gauge(keys::BMS_COUNTING_ESTIMATED, view.estimated_total());
+        }
+        Windowed {
+            value: view,
+            complete: evidence.complete,
+            floor: evidence.floor,
+        }
     }
 
     /// Entries (reports + assignments) dropped by retention compaction so

@@ -7,6 +7,7 @@
 //! reports how much conditioning time demand-response saved against an
 //! always-on baseline.
 
+use crate::counting::PopulationView;
 use crate::{OccupancyView, RoomLabel};
 use roomsense_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -61,6 +62,12 @@ pub struct DemandResponseReport {
     /// (the controller fails safe and keeps conditioning a room whose last
     /// report has outlived its TTL — this measures the cost of doing so).
     pub stale: SimDuration,
+    /// Estimated person-seconds spent inside conditioned rooms — the
+    /// integral of each conditioned room's (estimated) headcount over its
+    /// on-time. Headcount-aware HVAC pricing (the energy crate's
+    /// `HvacPricing` tariff) scales with this instead of treating a
+    /// packed lecture hall like a lone late worker.
+    pub person_seconds: f64,
 }
 
 impl DemandResponseReport {
@@ -77,11 +84,12 @@ impl fmt::Display for DemandResponseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hvac on {} of {} baseline ({:.0}% saved, {} on stale evidence)",
+            "hvac on {} of {} baseline ({:.0}% saved, {} on stale evidence, {:.0} person-s served)",
             self.actual,
             self.baseline,
             self.savings_fraction() * 100.0,
-            self.stale
+            self.stale,
+            self.person_seconds
         )
     }
 }
@@ -114,6 +122,11 @@ pub struct DemandResponseController {
     stale_driven: Vec<bool>,
     /// Closed-interval conditioning time accrued while stale-driven.
     stale_on: SimDuration,
+    /// Estimated headcount per room at the last update (the integrand of
+    /// `person_seconds`).
+    last_counts: Vec<f64>,
+    /// Closed-interval person-time accrued inside conditioned rooms.
+    person_seconds: f64,
     hold_off: SimDuration,
     started: Option<SimTime>,
     last_update: Option<SimTime>,
@@ -127,6 +140,8 @@ impl DemandResponseController {
             rooms: vec![RoomPlant::default(); room_count],
             stale_driven: vec![false; room_count],
             stale_on: SimDuration::ZERO,
+            last_counts: vec![0.0; room_count],
+            person_seconds: 0.0,
             hold_off,
             started: None,
             last_update: None,
@@ -157,8 +172,43 @@ impl DemandResponseController {
     /// range.
     pub fn update(&mut self, now: SimTime, occupancy: &BTreeMap<RoomLabel, usize>) {
         self.accrue_stale(now);
+        self.accrue_people(now);
         self.stale_driven.iter_mut().for_each(|s| *s = false);
+        self.set_counts(|room| occupancy.get(&room).copied().unwrap_or(0) as f64);
         self.apply(now, occupancy);
+    }
+
+    /// Applies a staleness-aware *population* view at time `now`: the
+    /// headcount-scaled twin of [`update_view`](Self::update_view). Rooms
+    /// with an estimated headcount of at least half a person are treated
+    /// as occupied; the fractional estimate itself becomes the
+    /// person-time integrand, so [`DemandResponseReport::person_seconds`]
+    /// — and any headcount-scaled HVAC tariff priced from it — follows
+    /// estimated crowd size rather than binary presence. Fails safe
+    /// exactly like the presence path: a room whose estimate rests on
+    /// expired evidence stays conditioned, and the time is surfaced as
+    /// [`DemandResponseReport::stale`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update, or a label is out of
+    /// range.
+    pub fn update_population(&mut self, now: SimTime, view: &PopulationView) {
+        self.accrue_stale(now);
+        self.accrue_people(now);
+        for (room, flag) in self.stale_driven.iter_mut().enumerate() {
+            *flag = view
+                .rooms
+                .get(&room)
+                .is_some_and(|e| e.count >= 0.5 && !e.fresh);
+        }
+        self.set_counts(|room| view.rooms.get(&room).map_or(0.0, |e| e.count));
+        let occupancy: BTreeMap<RoomLabel, usize> = view
+            .rooms
+            .iter()
+            .map(|(room, e)| (*room, if e.count >= 0.5 { e.rounded().max(1) } else { 0 }))
+            .collect();
+        self.apply(now, &occupancy);
     }
 
     /// Applies a staleness-aware occupancy view at time `now`.
@@ -175,6 +225,8 @@ impl DemandResponseController {
     /// range.
     pub fn update_view(&mut self, now: SimTime, view: &OccupancyView) {
         self.accrue_stale(now);
+        self.accrue_people(now);
+        self.set_counts(|room| view.rooms.get(&room).map_or(0.0, |p| p.occupants as f64));
         for (room, flag) in self.stale_driven.iter_mut().enumerate() {
             *flag = view
                 .rooms
@@ -194,6 +246,27 @@ impl DemandResponseController {
                     self.stale_on += dt;
                 }
             }
+        }
+    }
+
+    /// Closes the person-time interval `[last_update, now)` using the
+    /// headcounts from the previous snapshot: people in a conditioned
+    /// room accrue person-seconds.
+    fn accrue_people(&mut self, now: SimTime) {
+        if let Some(last) = self.last_update {
+            let dt = now.saturating_since(last).as_secs_f64();
+            for (plant, count) in self.rooms.iter().zip(self.last_counts.iter()) {
+                if plant.state == HvacState::On {
+                    self.person_seconds += count * dt;
+                }
+            }
+        }
+    }
+
+    /// Replaces the per-room headcount integrand for the next interval.
+    fn set_counts(&mut self, count_of: impl Fn(RoomLabel) -> f64) {
+        for (room, slot) in self.last_counts.iter_mut().enumerate() {
+            *slot = count_of(room);
         }
     }
 
@@ -252,10 +325,21 @@ impl DemandResponseController {
                 }
             }
         }
+        // And the running person-time interval, with the current counts.
+        let mut person_seconds = self.person_seconds;
+        if let Some(last) = self.last_update {
+            let dt = now.saturating_since(last).as_secs_f64();
+            for (plant, count) in self.rooms.iter().zip(self.last_counts.iter()) {
+                if plant.state == HvacState::On {
+                    person_seconds += count * dt;
+                }
+            }
+        }
         DemandResponseReport {
             baseline,
             actual,
             stale,
+            person_seconds,
         }
     }
 }

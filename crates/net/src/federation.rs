@@ -14,6 +14,7 @@
 //! deterministically, so a federated run checksums identically at any
 //! `ROOMSENSE_THREADS`.
 
+use crate::counting::{CampusPopulationView, CountingConfig, LeveledPopulationView, PopulationEstimate};
 use crate::{Admission, IngestTier, LeveledView, RoomLabel, RoomPresence, ServiceLevel};
 use crate::{ObservationReport, SendOutcome};
 use roomsense_sim::{SimDuration, SimTime};
@@ -208,6 +209,48 @@ impl CampusFederation {
             ttl,
             level,
             lagging_shards: lagging,
+            buildings,
+            rooms,
+        }
+    }
+
+    /// The campus-wide population answer (see the
+    /// [`counting`](crate::counting) module): every building estimates at
+    /// its own service level and the merged table keys rooms by
+    /// `(building, room)` — the counting twin of
+    /// [`campus_view`](Self::campus_view).
+    pub fn campus_population(
+        &mut self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> CampusPopulationView {
+        let mut buildings: Vec<(String, LeveledPopulationView)> =
+            Vec::with_capacity(self.buildings.len());
+        let mut rooms: BTreeMap<(String, RoomLabel), PopulationEstimate> = BTreeMap::new();
+        let mut lagging = 0usize;
+        let mut complete = true;
+        for (name, tier) in &mut self.buildings {
+            let leveled = tier.population_view(now, config);
+            lagging += leveled.lagging_shards;
+            complete &= leveled.view.complete;
+            for (room, estimate) in &leveled.view.value.rooms {
+                rooms.insert((name.clone(), *room), *estimate);
+            }
+            buildings.push((name.clone(), leveled));
+        }
+        let level = if buildings
+            .iter()
+            .any(|(_, v)| v.level == ServiceLevel::Degraded)
+        {
+            ServiceLevel::Degraded
+        } else {
+            ServiceLevel::Exact
+        };
+        CampusPopulationView {
+            at: now,
+            level,
+            lagging_shards: lagging,
+            complete,
             buildings,
             rooms,
         }

@@ -32,6 +32,7 @@
 //!   survives the detour through the mailboxes because per-device order
 //!   is preserved end to end (client → mailbox FIFO → shard).
 
+use crate::counting::{CountingConfig, LeveledPopulationView};
 use crate::{ObservationReport, OccupancyView, ShardedBmsServer};
 use roomsense_sim::{Mailbox, SimDuration, SimTime};
 use roomsense_telemetry::{keys, Recorder};
@@ -161,6 +162,8 @@ pub struct IngestTier {
     pauses: u64,
     exact_queries: u64,
     degraded_queries: u64,
+    counting_exact: u64,
+    counting_degraded: u64,
 }
 
 impl IngestTier {
@@ -187,6 +190,8 @@ impl IngestTier {
             pauses: 0,
             exact_queries: 0,
             degraded_queries: 0,
+            counting_exact: 0,
+            counting_degraded: 0,
         }
     }
 
@@ -375,6 +380,56 @@ impl IngestTier {
             level,
             lagging_shards: lagging,
         }
+    }
+
+    /// The tier's population answer, tagged with its service level like
+    /// [`occupancy_view`](Self::occupancy_view). A lagging shard cannot
+    /// force per-room staleness here — the evidence window already makes
+    /// the estimate honest: reports still queued in mailboxes are simply
+    /// not evidence yet, so a starved room's `observed` census sags and
+    /// its `staleness` grows. The answer is the consistent
+    /// already-ingested prefix (stale, never wrong), and any lagging
+    /// shard degrades the whole answer's level so consumers know not to
+    /// actuate on it blindly.
+    pub fn population_view(
+        &mut self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> LeveledPopulationView {
+        let lagging = (0..self.mailboxes.len())
+            .filter(|shard| self.shard_lagging(*shard))
+            .count();
+        let view = self.fleet.population_view(now, config);
+        let level = if lagging == 0 {
+            ServiceLevel::Exact
+        } else {
+            ServiceLevel::Degraded
+        };
+        match level {
+            ServiceLevel::Exact => {
+                self.counting_exact += 1;
+                self.telemetry.incr(keys::BMS_COUNTING_EXACT);
+            }
+            ServiceLevel::Degraded => {
+                self.counting_degraded += 1;
+                self.telemetry.incr(keys::BMS_COUNTING_DEGRADED);
+            }
+        }
+        LeveledPopulationView {
+            view,
+            level,
+            lagging_shards: lagging,
+        }
+    }
+
+    /// Population queries answered at [`ServiceLevel::Exact`] so far.
+    pub fn counting_exact(&self) -> u64 {
+        self.counting_exact
+    }
+
+    /// Population queries answered at [`ServiceLevel::Degraded`] so far.
+    pub fn counting_degraded(&self) -> u64 {
+        self.counting_degraded
     }
 
     /// Queries answered at [`ServiceLevel::Exact`] so far.

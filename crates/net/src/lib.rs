@@ -24,6 +24,7 @@ mod analytics;
 mod archive;
 mod batch;
 mod bms;
+pub mod counting;
 mod demand;
 mod fault;
 mod federation;
@@ -41,6 +42,10 @@ pub use batch::BatchingTransport;
 pub use bms::{
     BmsCheckpoint, BmsServer, IngestOutcome, OccupancyEstimator, OccupancyView, RestoreError,
     RoomLabel, RoomPresence, ServerStats, Windowed,
+};
+pub use counting::{
+    finalize_population, CampusPopulationView, CountingConfig, LeveledPopulationView,
+    PopulationEstimate, PopulationEvidence, PopulationView,
 };
 pub use demand::{DemandResponseController, DemandResponseReport, HvacState};
 pub use fault::FaultyTransport;

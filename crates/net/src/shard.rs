@@ -13,6 +13,7 @@
 //! checkable bit-for-bit.
 
 use crate::bms::{digest_state, Windowed};
+use crate::counting::{finalize_population, CountingConfig, PopulationEvidence, PopulationView};
 use crate::{
     ArchiveConfig, ArchiveSink, ArchiveStats, BmsCheckpoint, BmsServer, Coverage, DeviceId,
     IngestOutcome, ObservationReport, OccupancyEstimator, OccupancyView, RecoveryReport,
@@ -308,6 +309,50 @@ impl ShardedBmsServer {
     /// The fleet-wide retention low-watermark (the latest shard floor).
     pub fn retention_floor(&self) -> Option<SimTime> {
         self.shards.iter().filter_map(BmsServer::retention_floor).max()
+    }
+
+    /// The merged per-room population evidence (see
+    /// [`BmsServer::population_evidence`]). Devices partition by shard and
+    /// the aggregate is integer-valued, so the merge is order-independent
+    /// and the merged table is bit-for-bit what one unsharded server
+    /// would produce. Complete iff every shard's window was fully
+    /// retained; the floor is the latest shard floor.
+    pub fn population_evidence(
+        &self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> Windowed<BTreeMap<RoomLabel, PopulationEvidence>> {
+        let mut rooms: BTreeMap<RoomLabel, PopulationEvidence> = BTreeMap::new();
+        let mut complete = true;
+        let mut floor: Option<SimTime> = None;
+        for shard in &self.shards {
+            let part = shard.population_evidence(now, config);
+            complete &= part.complete;
+            floor = floor.max(part.floor);
+            for (room, evidence) in &part.value {
+                rooms.entry(*room).or_default().merge(evidence);
+            }
+        }
+        Windowed {
+            value: rooms,
+            complete,
+            floor,
+        }
+    }
+
+    /// The merged population table (see [`BmsServer::population_view`]):
+    /// identical to a single server's answer over the same stream.
+    pub fn population_view(
+        &self,
+        now: SimTime,
+        config: &CountingConfig,
+    ) -> Windowed<PopulationView> {
+        let evidence = self.population_evidence(now, config);
+        Windowed {
+            value: finalize_population(now, config, &evidence.value),
+            complete: evidence.complete,
+            floor: evidence.floor,
+        }
     }
 
     /// The fleet-wide historical floor: `None` when every shard can answer

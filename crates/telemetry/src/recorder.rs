@@ -99,6 +99,16 @@ pub mod keys {
     pub const BMS_QUERIES_EXACT: MetricKey = MetricKey("bms.queries.exact");
     /// Queries answered from the stale-marked view while shards lagged.
     pub const BMS_QUERIES_DEGRADED: MetricKey = MetricKey("bms.queries.degraded");
+    /// Population-estimate queries served by a BMS server.
+    pub const BMS_COUNTING_QUERIES: MetricKey = MetricKey("bms.counting.queries");
+    /// Devices with in-window evidence at the last population query (gauge).
+    pub const BMS_COUNTING_OBSERVED: MetricKey = MetricKey("bms.counting.observed");
+    /// Estimated building population at the last population query (gauge).
+    pub const BMS_COUNTING_ESTIMATED: MetricKey = MetricKey("bms.counting.estimated");
+    /// Population queries a tier answered exactly (no shard lagging).
+    pub const BMS_COUNTING_EXACT: MetricKey = MetricKey("bms.counting.queries.exact");
+    /// Population queries a tier answered while shards lagged.
+    pub const BMS_COUNTING_DEGRADED: MetricKey = MetricKey("bms.counting.queries.degraded");
     /// Scan cycles executed.
     pub const SCAN_CYCLES: MetricKey = MetricKey("scan.cycles");
     /// Android 4.x restart windows evaluated.

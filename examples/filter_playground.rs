@@ -9,7 +9,7 @@
 //! same raw observation stream through several filters so the trade-off is
 //! visible side by side.
 
-use roomsense::experiments::{dynamic_walk, static_capture};
+use roomsense::experiments::ExperimentCtx;
 use roomsense::PipelineConfig;
 use roomsense_signal::{
     metrics, DistanceFilter, EwmaFilter, KalmanFilter, LossPolicy, MedianFilter,
@@ -20,11 +20,10 @@ fn main() {
     let seed = 17;
 
     // A raw static capture: one value (or miss) per 2 s cycle at D = 2 m.
-    let capture = static_capture(
+    let capture = ExperimentCtx::new(seed).static_capture(
         &PipelineConfig::paper_android().with_coefficient(0.0),
         2.0,
         SimDuration::from_secs(300),
-        seed,
     );
     // Reconstruct the per-cycle raw stream, misses included.
     let cycles = 150usize;
@@ -68,7 +67,7 @@ fn main() {
     println!("\ndynamic walk between two beacons at 1.2 m/s:");
     println!("  coeff   crossover cycle");
     for coeff in [0.0, 0.35, 0.65, 0.9] {
-        let walk = dynamic_walk(coeff, 1.2, seed);
+        let walk = ExperimentCtx::new(seed).dynamic_walk(coeff, 1.2);
         println!(
             "  {coeff:>5.2}   {}",
             walk.crossover_cycle

@@ -13,15 +13,12 @@
 # thread-invariant telemetry checksums, and aborts — failing this gate —
 # if any case's speedup falls below its versioned per-case tolerance
 # threshold. The regenerated BENCH_PR7.json is archived at the repo root
-# (committed alongside the code it measured); the chaos
-# arm (reliable-delivery sweep), the telemetry arm (merged recorder
-# snapshot), the scale arm (10k-device sharded fleet, which also asserts
-# sharded==single-server state and the per-device-period retention bound
-# sum_d(window/period_d + 1)), and the overload arm (lecture-hall surge
-# through bounded mailboxes, which asserts shed/admit determinism,
-# bounded mailbox memory, and post-drain digest exactness) must each
-# produce the same checksum under a single worker and under the default
-# parallelism.
+# (committed alongside the code it measured). Every system arm in the
+# experiments ARMS table (tracking through counting) must assert its own
+# invariants and produce the same fingerprint checksum under a single
+# worker and under the default parallelism, and a lint rejects any new
+# positional `*_experiment(seed, ...)` entry point outside the
+# deprecated-shims block.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,72 +40,43 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 ./target/release/repro bench
 echo "bench gate passed; BENCH_PR7.json archived at repo root"
 
-chaos_sum() {
-    sed -n 's/.*sweep checksum: \([0-9a-f]*\).*/\1/p'
+# Determinism gate: every system arm in the ARMS table prints a unified
+# "  <name> checksum: <hex> (threads: N)" line after asserting its own
+# invariants (occupancy accuracy, memory bounds, zero silent loss, MAE
+# bounds for the counting presets, ...). A violated invariant exits
+# non-zero before the checksum comparison runs; here we additionally
+# require each arm's fingerprint checksum to be identical under a single
+# worker and under the default parallelism.
+arm_sum() {
+    sed -n "s/.*  $1 checksum: \([0-9a-f]*\).*/\1/p"
 }
-seq_sum=$(ROOMSENSE_THREADS=1 ./target/release/repro chaos | chaos_sum)
-par_sum=$(env -u ROOMSENSE_THREADS ./target/release/repro chaos | chaos_sum)
-if [ -z "$seq_sum" ] || [ "$seq_sum" != "$par_sum" ]; then
-    echo "check.sh: chaos sweep diverged across thread counts ($seq_sum vs $par_sum)" >&2
+for arm in tracking scaling floors faults chaos telemetry scale overload archive counting; do
+    seq_sum=$(ROOMSENSE_THREADS=1 ./target/release/repro "$arm" | arm_sum "$arm")
+    par_sum=$(env -u ROOMSENSE_THREADS ./target/release/repro "$arm" | arm_sum "$arm")
+    if [ -z "$seq_sum" ] || [ "$seq_sum" != "$par_sum" ]; then
+        echo "check.sh: $arm arm diverged across thread counts ('$seq_sum' vs '$par_sum')" >&2
+        exit 1
+    fi
+    echo "$arm fingerprint checksum $seq_sum identical at threads=1 and default"
+done
+
+# API-convention lint: experiment entry points take an ExperimentCtx, not
+# positional (seed, ...) arguments. The only positional `*_experiment(seed:
+# u64` signatures allowed are the deprecated shims between the BEGIN/END
+# markers in crates/core/src/experiments.rs; anything else is a regression
+# against the builder convention DESIGN.md documents.
+positional_hits=$(awk '
+    FNR == 1 { skip = 0 }
+    /--- BEGIN deprecated positional shims ---/ { skip = 1 }
+    /--- END deprecated positional shims ---/ { skip = 0 }
+    !skip && /pub fn [a-z_]*_experiment\(seed: u64/ { print FILENAME ":" FNR ": " $0 }
+' $(find crates tests examples -name '*.rs'))
+if [ -n "$positional_hits" ]; then
+    echo "check.sh: positional experiment entry points outside the deprecated shim block:" >&2
+    echo "$positional_hits" >&2
+    echo "check.sh: new experiments must expose an ExperimentCtx method (see DESIGN.md)" >&2
     exit 1
 fi
-echo "chaos sweep checksum $seq_sum identical at threads=1 and default"
+echo "experiment API lint clean: no positional entry points outside the shim block"
 
-telemetry_sum() {
-    sed -n 's/.*telemetry checksum: \([0-9a-f]*\).*/\1/p'
-}
-seq_tsum=$(ROOMSENSE_THREADS=1 ./target/release/repro telemetry | telemetry_sum)
-par_tsum=$(env -u ROOMSENSE_THREADS ./target/release/repro telemetry | telemetry_sum)
-if [ -z "$seq_tsum" ] || [ "$seq_tsum" != "$par_tsum" ]; then
-    echo "check.sh: telemetry snapshot diverged across thread counts ($seq_tsum vs $par_tsum)" >&2
-    exit 1
-fi
-echo "telemetry snapshot checksum $seq_tsum identical at threads=1 and default"
-
-scale_sum() {
-    sed -n 's/.*scale checksum: \([0-9a-f]*\).*/\1/p'
-}
-# The scale arm itself asserts digests_match, crash-recovery exactness,
-# and peak retained reports <= the retention cap; a violated bound exits
-# non-zero and fails the gate before the checksum comparison runs.
-seq_ssum=$(ROOMSENSE_THREADS=1 ./target/release/repro scale | scale_sum)
-par_ssum=$(env -u ROOMSENSE_THREADS ./target/release/repro scale | scale_sum)
-if [ -z "$seq_ssum" ] || [ "$seq_ssum" != "$par_ssum" ]; then
-    echo "check.sh: scale fleet diverged across thread counts ($seq_ssum vs $par_ssum)" >&2
-    exit 1
-fi
-echo "scale fingerprint checksum $seq_ssum identical at threads=1 and default"
-
-overload_sum() {
-    sed -n 's/.*overload checksum: \([0-9a-f]*\).*/\1/p'
-}
-# The overload arm itself asserts mailbox memory stays under the
-# configured capacity, that shedding lost no reports, that degraded
-# answers matched the pumped-prefix oracle, and that post-drain state
-# equals the unthrottled single-server oracles; any violation exits
-# non-zero before the checksum comparison runs.
-seq_osum=$(ROOMSENSE_THREADS=1 ./target/release/repro overload | overload_sum)
-par_osum=$(env -u ROOMSENSE_THREADS ./target/release/repro overload | overload_sum)
-if [ -z "$seq_osum" ] || [ "$seq_osum" != "$par_osum" ]; then
-    echo "check.sh: overload run diverged across thread counts ($seq_osum vs $par_osum)" >&2
-    exit 1
-fi
-echo "overload fingerprint checksum $seq_osum identical at threads=1 and default"
-
-archive_sum() {
-    sed -n 's/.*archive checksum: \([0-9a-f]*\).*/\1/p'
-}
-# The archive arm itself asserts zero silent loss (every complete answer
-# equals the unbounded oracle), covered crash recoveries bit-for-bit equal
-# to a never-crashed fleet, lossy recoveries flagged with a floor, and
-# every fault mode actually exercised; any violation exits non-zero
-# before the checksum comparison runs.
-seq_asum=$(ROOMSENSE_THREADS=1 ./target/release/repro archive | archive_sum)
-par_asum=$(env -u ROOMSENSE_THREADS ./target/release/repro archive | archive_sum)
-if [ -z "$seq_asum" ] || [ "$seq_asum" != "$par_asum" ]; then
-    echo "check.sh: archive run diverged across thread counts ($seq_asum vs $par_asum)" >&2
-    exit 1
-fi
-echo "archive fingerprint checksum $seq_asum identical at threads=1 and default"
-
-echo "check.sh: build + tests (threads=1, default, disk-chaos) + clippy + doc + bench + chaos + telemetry + scale + overload + archive all green"
+echo "check.sh: build + tests (threads=1, default, disk-chaos) + clippy + doc + bench + all 10 system arms + API lint green"

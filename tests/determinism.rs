@@ -2,10 +2,7 @@
 //! seed. This is what makes the `repro` binary's output stable enough to
 //! record in EXPERIMENTS.md.
 
-use roomsense::experiments::{
-    classification_experiment, dynamic_walk, energy_experiment, sampling_comparison,
-    static_capture,
-};
+use roomsense::experiments::ExperimentCtx;
 use roomsense::{collect_dataset, run_pipeline, PipelineConfig, Scenario};
 use roomsense_building::mobility::StaticPosition;
 use roomsense_building::presets;
@@ -15,11 +12,10 @@ use roomsense_sim::SimDuration;
 #[test]
 fn static_capture_is_deterministic() {
     let run = || {
-        static_capture(
+        ExperimentCtx::new(1).static_capture(
             &PipelineConfig::paper_android(),
             2.0,
             SimDuration::from_secs(60),
-            1,
         )
     };
     assert_eq!(run(), run());
@@ -28,11 +24,10 @@ fn static_capture_is_deterministic() {
 #[test]
 fn different_seeds_give_different_captures() {
     let run = |seed| {
-        static_capture(
+        ExperimentCtx::new(seed).static_capture(
             &PipelineConfig::paper_android(),
             2.0,
             SimDuration::from_secs(60),
-            seed,
         )
     };
     assert_ne!(run(1), run(2));
@@ -40,27 +35,31 @@ fn different_seeds_give_different_captures() {
 
 #[test]
 fn dynamic_walk_is_deterministic() {
-    assert_eq!(dynamic_walk(0.65, 1.2, 3), dynamic_walk(0.65, 1.2, 3));
+    let run = || ExperimentCtx::new(3).dynamic_walk(0.65, 1.2);
+    assert_eq!(run(), run());
 }
 
 #[test]
 fn classification_experiment_is_deterministic() {
-    let a = classification_experiment(4);
-    let b = classification_experiment(4);
+    let a = ExperimentCtx::new(4).classification();
+    let b = ExperimentCtx::new(4).classification();
     assert_eq!(a.headline(), b.headline());
     assert_eq!(a.svm, b.svm);
 }
 
 #[test]
 fn energy_experiment_is_deterministic() {
-    let a = energy_experiment(SimDuration::from_secs(600), 2, 5);
-    let b = energy_experiment(SimDuration::from_secs(600), 2, 5);
+    let a = ExperimentCtx::new(5).energy(SimDuration::from_secs(600), 2);
+    let b = ExperimentCtx::new(5).energy(SimDuration::from_secs(600), 2);
     assert_eq!(a, b);
 }
 
 #[test]
 fn sampling_comparison_is_deterministic() {
-    assert_eq!(sampling_comparison(6), sampling_comparison(6));
+    assert_eq!(
+        ExperimentCtx::new(6).sampling(),
+        ExperimentCtx::new(6).sampling()
+    );
 }
 
 #[test]

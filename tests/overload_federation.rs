@@ -17,13 +17,13 @@
 //!   fingerprint is identical at any `ROOMSENSE_THREADS`.
 
 use proptest::prelude::*;
-use roomsense::experiments::overload_experiment;
+use roomsense::experiments::ExperimentCtx;
 use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
 use roomsense_net::{
     Admission, BmsServer, CampusFederation, DeviceId, IngestTier, IngestTierConfig,
     ObservationReport, OccupancyEstimator, ServiceLevel, ShardedBmsServer, SightedBeacon,
 };
-use roomsense_sim::{exec, SimDuration, SimTime};
+use roomsense_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -172,8 +172,9 @@ proptest! {
 
 #[test]
 fn overload_experiment_is_thread_invariant_and_bounded() {
-    let base = overload_experiment(77, 30, 3);
-    let serial = exec::with_thread_override(1, || overload_experiment(77, 30, 3));
+    let ctx = ExperimentCtx::new(77).with_devices(30).with_shards(3);
+    let base = ctx.overload();
+    let serial = ctx.clone().with_threads(1).overload();
     assert_eq!(base.fingerprint, serial.fingerprint);
     let f = &base.fingerprint;
     assert!(f.memory_bounded());

@@ -4,10 +4,7 @@
 //! simulated reproduction must land in. `EXPERIMENTS.md` records the exact
 //! measured values.
 
-use roomsense::experiments::{
-    classification_experiment, coefficient_sweep, device_comparison, energy_experiment,
-    sampling_comparison, static_capture,
-};
+use roomsense::experiments::ExperimentCtx;
 use roomsense::PipelineConfig;
 use roomsense_radio::DeviceRxProfile;
 use roomsense_sim::SimDuration;
@@ -18,7 +15,7 @@ const SEED: u64 = 20150309;
 /// from 80% to 90%" / Section VI: proximity 84% → scene-analysis SVM ~94%.
 #[test]
 fn svm_beats_proximity_by_about_ten_points() {
-    let result = classification_experiment(SEED);
+    let result = ExperimentCtx::new(SEED).classification();
     let (svm, proximity) = result.headline();
     assert!(svm > 0.88, "svm accuracy {svm:.3} below the paper's ~0.94 band");
     assert!(
@@ -37,7 +34,7 @@ fn svm_beats_proximity_by_about_ten_points() {
 /// rooms the two totals are identical, and neither dominates per room.
 #[test]
 fn confusion_matrix_errors_are_balanced() {
-    let result = classification_experiment(SEED);
+    let result = ExperimentCtx::new(SEED).classification();
     let classes = result.label_names.len();
     let total_fp: u64 = (0..classes).map(|c| result.svm.false_positives(c)).sum();
     let total_fn: u64 = (0..classes).map(|c| result.svm.false_negatives(c)).sum();
@@ -52,7 +49,7 @@ fn confusion_matrix_errors_are_balanced() {
 /// hours".
 #[test]
 fn bluetooth_saves_about_fifteen_percent_and_battery_lasts_about_ten_hours() {
-    let result = energy_experiment(SimDuration::from_secs(3600), 10, SEED);
+    let result = ExperimentCtx::new(SEED).energy(SimDuration::from_secs(3600), 10);
     let saving = result.saving_fraction();
     assert!(
         (0.08..=0.22).contains(&saving),
@@ -70,7 +67,7 @@ fn bluetooth_saves_about_fifteen_percent_and_battery_lasts_about_ten_hours() {
 /// gives Android 5 samples and iOS about 300.
 #[test]
 fn android_gets_five_samples_where_ios_gets_three_hundred() {
-    let s = sampling_comparison(SEED);
+    let s = ExperimentCtx::new(SEED).sampling();
     assert_eq!(s.android_samples, 5);
     assert!(
         (250..=320).contains(&s.ios_samples),
@@ -87,7 +84,11 @@ fn five_second_scan_period_is_less_noisy_than_two() {
         let cfg =
             PipelineConfig::paper_android().with_scan_period(SimDuration::from_secs(period));
         let stds: Vec<f64> = (0..6)
-            .map(|t| static_capture(&cfg, 2.0, SimDuration::from_secs(300), SEED ^ t).raw_std())
+            .map(|t| {
+                ExperimentCtx::new(SEED ^ t)
+                    .static_capture(&cfg, 2.0, SimDuration::from_secs(300))
+                    .raw_std()
+            })
             .collect();
         stds.iter().sum::<f64>() / stds.len() as f64
     };
@@ -103,7 +104,7 @@ fn five_second_scan_period_is_less_noisy_than_two() {
 /// responsiveness, with 0.65 as the chosen knee.
 #[test]
 fn coefficient_trades_stability_for_responsiveness() {
-    let sweep = coefficient_sweep(&[0.1, 0.65, 0.95], 5, SEED);
+    let sweep = ExperimentCtx::new(SEED).coefficient_sweep(&[0.1, 0.65, 0.95], 5);
     // Stability improves monotonically with the coefficient.
     assert!(sweep[0].stability_std_m > sweep[1].stability_std_m);
     assert!(sweep[1].stability_std_m > sweep[2].stability_std_m);
@@ -117,14 +118,13 @@ fn coefficient_trades_stability_for_responsiveness() {
 /// signal strengths at the same distance from the same transmitter.
 #[test]
 fn devices_disagree_on_rssi_at_the_same_distance() {
-    let rows = device_comparison(
+    let rows = ExperimentCtx::new(SEED).device_comparison(
         &[
             DeviceRxProfile::galaxy_s3_mini(),
             DeviceRxProfile::nexus_5(),
         ],
         2.0,
         SimDuration::from_secs(240),
-        SEED,
     );
     let gap = rows[1].mean_rssi_dbm - rows[0].mean_rssi_dbm;
     assert!(gap > 3.0, "device gap {gap:.1} dB too small for Fig 11");
@@ -136,9 +136,9 @@ fn devices_disagree_on_rssi_at_the_same_distance() {
 /// 15%" — the two headline deltas, asserted together.
 #[test]
 fn headline_deltas_hold_jointly() {
-    let classification = classification_experiment(SEED);
+    let classification = ExperimentCtx::new(SEED).classification();
     let (svm, proximity) = classification.headline();
-    let energy = energy_experiment(SimDuration::from_secs(1800), 4, SEED);
+    let energy = ExperimentCtx::new(SEED).energy(SimDuration::from_secs(1800), 4);
     assert!(svm - proximity >= 0.04);
     assert!(energy.saving_fraction() >= 0.08);
 }

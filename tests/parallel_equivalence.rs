@@ -5,9 +5,7 @@
 //! full structured outputs — not summaries, the actual records.
 
 use proptest::prelude::*;
-use roomsense::experiments::{
-    classification_cross_validation, coefficient_sweep, energy_experiment, faults_experiment,
-};
+use roomsense::experiments::ExperimentCtx;
 use roomsense::{run_fleet, PipelineConfig, Scenario};
 use roomsense_building::mobility::{MobilityModel, StaticPosition};
 use roomsense_building::presets;
@@ -64,25 +62,31 @@ fn grid_search_parallel_equals_sequential() {
 
 #[test]
 fn faults_experiment_parallel_equals_sequential() {
-    let sequential = with_thread_override(1, || faults_experiment(21));
-    let parallel = with_thread_override(4, || faults_experiment(21));
+    let sequential = ExperimentCtx::new(21).with_threads(1).faults();
+    let parallel = ExperimentCtx::new(21).with_threads(4).faults();
     assert_eq!(parallel, sequential);
 }
 
 #[test]
 fn sweeps_and_folds_parallel_equal_sequential() {
-    let sweep_seq = with_thread_override(1, || coefficient_sweep(&[0.2, 0.65], 2, 13));
-    let sweep_par = with_thread_override(4, || coefficient_sweep(&[0.2, 0.65], 2, 13));
+    let sweep_seq = ExperimentCtx::new(13)
+        .with_threads(1)
+        .coefficient_sweep(&[0.2, 0.65], 2);
+    let sweep_par = ExperimentCtx::new(13)
+        .with_threads(4)
+        .coefficient_sweep(&[0.2, 0.65], 2);
     assert_eq!(sweep_par, sweep_seq);
 
-    let energy_seq =
-        with_thread_override(1, || energy_experiment(SimDuration::from_secs(600), 3, 13));
-    let energy_par =
-        with_thread_override(4, || energy_experiment(SimDuration::from_secs(600), 3, 13));
+    let energy_seq = ExperimentCtx::new(13)
+        .with_threads(1)
+        .energy(SimDuration::from_secs(600), 3);
+    let energy_par = ExperimentCtx::new(13)
+        .with_threads(4)
+        .energy(SimDuration::from_secs(600), 3);
     assert_eq!(energy_par, energy_seq);
 
-    let cv_seq = with_thread_override(1, || classification_cross_validation(13, 4));
-    let cv_par = with_thread_override(4, || classification_cross_validation(13, 4));
+    let cv_seq = ExperimentCtx::new(13).with_threads(1).cross_validation(4);
+    let cv_par = ExperimentCtx::new(13).with_threads(4).cross_validation(4);
     assert_eq!(cv_par, cv_seq);
 }
 

@@ -5,7 +5,7 @@
 //! tests compare the serialized artifacts, not summaries.
 
 use proptest::prelude::*;
-use roomsense::experiments::telemetry_experiment;
+use roomsense::experiments::ExperimentCtx;
 use roomsense::{
     run_fleet_faulted_recorded, run_fleet_recorded, FaultPlan, PipelineConfig, Scenario,
 };
@@ -88,8 +88,8 @@ fn tracking_snapshot_is_identical_across_thread_counts() {
 
 #[test]
 fn telemetry_experiment_is_identical_across_thread_counts() {
-    let sequential = with_thread_override(1, || telemetry_experiment(31));
-    let parallel = with_thread_override(4, || telemetry_experiment(31));
+    let sequential = ExperimentCtx::new(31).with_threads(1).telemetry();
+    let parallel = ExperimentCtx::new(31).with_threads(4).telemetry();
     assert_eq!(sequential.offered, parallel.offered);
     assert_eq!(sequential.delivered, parallel.delivered);
     assert_snapshots_identical(&sequential.recorder, &parallel.recorder);
