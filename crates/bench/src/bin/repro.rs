@@ -3,7 +3,7 @@
 //! Usage: `repro [fig1|fig3|fig4|fig5|fig6|fig7_8|fig9|fig10|fig11|sampling|calibration|<system arm>|bench|all]`
 //!
 //! System arms (tracking, scaling, floors, faults, chaos, telemetry,
-//! scale, overload, archive, counting) dispatch through the
+//! scale, overload, archive, counting, positioning) dispatch through the
 //! [`roomsense::experiments::ARMS`] table: `repro` prints each arm's
 //! [`roomsense::experiments::ExperimentReport`] summary, asserts its
 //! invariants, and prints a unified `  <name> checksum: <hex> (threads: N)`

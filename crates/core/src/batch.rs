@@ -20,7 +20,8 @@
 use crate::fleet::merge_streams;
 use crate::{CycleRecord, FaultPlan, FleetEvent, PipelineConfig, Scenario, ScannerKind};
 use roomsense_building::mobility::MobilityModel;
-use roomsense_signal::{aggregate_cycle_into, AggregateScratch, EwmaFilter, TrackManager};
+use crate::pipeline::FilterTracks;
+use roomsense_signal::{aggregate_cycle_into, AggregateScratch};
 use roomsense_sim::{exec, rng, SimDuration, SimTime};
 use roomsense_stack::{
     run_scan_batch_recorded, simulate_receptions_faulty_into_recorded,
@@ -338,10 +339,7 @@ fn run_device_batched(
     scan_span.stop(telemetry, until);
     let track_span = SpanTimer::start(keys::STAGE_TRACK_MS, from);
     let ranging = scenario.ranging_config();
-    let mut tracks = TrackManager::new(EwmaFilter::new(
-        config.filter_coefficient,
-        config.loss_policy,
-    ));
+    let mut tracks = FilterTracks::for_scenario(config, scenario);
     let mut records = Vec::with_capacity(scratch.spans.len());
     for span in &scratch.spans {
         let mut observations = Vec::new();

@@ -8,7 +8,7 @@
 use crate::{run_pipeline, CycleRecord, PipelineConfig, Scenario};
 use roomsense_building::mobility::RoomSchedule;
 use roomsense_ibeacon::Minor;
-use roomsense_ml::Dataset;
+use roomsense_ml::{position_features, Dataset, POSITION_FEATURE_WIDTH};
 use roomsense_signal::TrackSnapshot;
 use roomsense_sim::{rng, SimDuration, SimTime};
 
@@ -50,15 +50,42 @@ pub fn features_from_snapshots(snapshots: &[TrackSnapshot], beacon_order: &[Mino
         .collect()
 }
 
-/// Converts pipeline records into labelled rows (one per cycle).
+/// Like [`features_from_snapshots`], with the trilateration block
+/// (`ml::position_features` over the beacon mounting positions) appended:
+/// `[d₀ … dₙ₋₁, x, y, fix_quality]`.
+///
+/// `anchors[i]` is the mounting position of `beacon_order[i]`'s beacon.
+///
+/// # Panics
+///
+/// Panics if `anchors.len() != beacon_order.len()`.
+pub fn positioned_features_from_snapshots(
+    snapshots: &[TrackSnapshot],
+    beacon_order: &[Minor],
+    anchors: &[(f64, f64)],
+) -> Vec<f64> {
+    let mut features = features_from_snapshots(snapshots, beacon_order);
+    features.extend(position_features(anchors, &features, MISSING_DISTANCE));
+    features
+}
+
+/// Converts pipeline records into labelled rows (one per cycle). With
+/// `anchors` supplied, every row carries the trilateration block
+/// ([`positioned_features_from_snapshots`]); the dataset width must match.
 pub fn records_to_dataset(
     scenario: &Scenario,
     records: &[CycleRecord],
     dataset: &mut Dataset,
     beacon_order: &[Minor],
+    anchors: Option<&[(f64, f64)]>,
 ) {
     for record in records {
-        let features = features_from_snapshots(&record.snapshots, beacon_order);
+        let features = match anchors {
+            Some(anchors) => {
+                positioned_features_from_snapshots(&record.snapshots, beacon_order, anchors)
+            }
+            None => features_from_snapshots(&record.snapshots, beacon_order),
+        };
         let label = record
             .true_room
             .map_or(scenario.outside_label(), |r| r.index() as usize);
@@ -82,7 +109,14 @@ pub fn collect_dataset(
     seed: u64,
 ) -> LabelledDataset {
     let beacon_order = scenario.beacon_order();
-    let mut data = Dataset::new(beacon_order.len(), scenario.label_names())
+    let anchors = config.position_features.then(|| scenario.beacon_anchors());
+    let width = beacon_order.len()
+        + if anchors.is_some() {
+            POSITION_FEATURE_WIDTH
+        } else {
+            0
+        };
+    let mut data = Dataset::new(width, scenario.label_names())
         .expect("scenario always has beacons and labels");
     let visits: Vec<_> = scenario
         .plan()
@@ -110,7 +144,7 @@ pub fn collect_dataset(
             duration,
             rng::derive_seed(seed, "collect-lap") ^ lap as u64,
         );
-        records_to_dataset(scenario, &records, &mut data, &beacon_order);
+        records_to_dataset(scenario, &records, &mut data, &beacon_order, anchors.as_deref());
     }
     LabelledDataset { data, beacon_order }
 }
@@ -198,6 +232,52 @@ mod tests {
             1,
         );
         assert!(two.data.len() > one.data.len());
+    }
+
+    #[test]
+    fn positioned_features_append_the_trilateration_block() {
+        let order = vec![Minor::new(0), Minor::new(1), Minor::new(2)];
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        // Distances consistent with standing at (3, 4).
+        let snaps = vec![
+            snapshot(0, 5.0),
+            snapshot(1, 8.0622577),
+            snapshot(2, 6.7082039),
+        ];
+        let features = positioned_features_from_snapshots(&snaps, &order, &anchors);
+        assert_eq!(features.len(), order.len() + 3);
+        assert_eq!(&features[..3], &[5.0, 8.0622577, 6.7082039]);
+        assert!((features[3] - 3.0).abs() < 1e-3, "x {}", features[3]);
+        assert!((features[4] - 4.0).abs() < 1e-3, "y {}", features[4]);
+        assert_eq!(features[5], 1.0);
+        // With too few beacons visible the block degrades to no-fix.
+        let features = positioned_features_from_snapshots(&snaps[..1], &order, &anchors);
+        assert_eq!(features[5], 0.0);
+    }
+
+    #[test]
+    fn position_features_config_widens_the_dataset() {
+        let scenario = Scenario::from_plan(presets::two_transmitter_corridor(), 11);
+        let plain = collect_dataset(
+            &scenario,
+            &PipelineConfig::paper_android(),
+            SimDuration::from_secs(15),
+            1,
+            7,
+        );
+        let positioned = collect_dataset(
+            &scenario,
+            &PipelineConfig::paper_android().with_position_features(true),
+            SimDuration::from_secs(15),
+            1,
+            7,
+        );
+        assert_eq!(positioned.data.len(), plain.data.len());
+        assert_eq!(positioned.data.dimension(), plain.data.dimension() + 3);
+        // The beacon block is untouched; the knob only appends.
+        for (wide, narrow) in positioned.data.rows().iter().zip(plain.data.rows()) {
+            assert_eq!(&wide[..narrow.len()], narrow.as_slice());
+        }
     }
 
     #[test]

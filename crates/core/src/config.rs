@@ -33,6 +33,37 @@ impl fmt::Display for ScannerKind {
     }
 }
 
+/// Which per-beacon distance filter the tracks run — the positioning
+/// ablation's main axis. Every kind honours the configured [`LossPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterKind {
+    /// The paper's EWMA with [`PipelineConfig::filter_coefficient`].
+    #[default]
+    Ewma,
+    /// A scalar constant-position Kalman filter (indoor defaults).
+    Kalman,
+    /// A moving median over [`MEDIAN_FILTER_WINDOW`] cycles.
+    Median,
+    /// The seeded grid Bayes filter (Mackey-style recursive estimation);
+    /// its support grid is derived from the scenario seed, so runs stay
+    /// bit-for-bit reproducible and thread-invariant.
+    Bayes,
+}
+
+impl fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterKind::Ewma => f.write_str("ewma"),
+            FilterKind::Kalman => f.write_str("kalman"),
+            FilterKind::Median => f.write_str("median"),
+            FilterKind::Bayes => f.write_str("bayes"),
+        }
+    }
+}
+
+/// Window length the [`FilterKind::Median`] tracks use.
+pub const MEDIAN_FILTER_WINDOW: usize = 5;
+
 /// The phone-side pipeline configuration.
 ///
 /// # Examples
@@ -54,10 +85,16 @@ pub struct PipelineConfig {
     pub scanner: ScannerKind,
     /// How per-cycle samples pool into one RSSI.
     pub aggregation: AggregateMethod,
+    /// Which distance filter smooths the per-beacon tracks (paper: EWMA).
+    pub filter: FilterKind,
     /// EWMA smoothing coefficient (paper: 0.65).
     pub filter_coefficient: f64,
     /// What to do on missed cycles (paper: hold one).
     pub loss_policy: LossPolicy,
+    /// Append the `ml::position_features` trilateration block (`[x, y,
+    /// fix_quality]`) to every dataset row (paper: off — Section VI
+    /// discards triangulation; the positioning arm re-litigates that).
+    pub position_features: bool,
     /// The phone's RX hardware profile.
     pub device: DeviceRxProfile,
 }
@@ -73,8 +110,10 @@ impl PipelineConfig {
                 stall_probability: 0.05,
             },
             aggregation: AggregateMethod::MeanDbm,
+            filter: FilterKind::Ewma,
             filter_coefficient: PAPER_COEFFICIENT,
             loss_policy: LossPolicy::HoldOneCycle,
+            position_features: false,
             device: DeviceRxProfile::galaxy_s3_mini(),
         }
     }
@@ -135,6 +174,19 @@ impl PipelineConfig {
         self.loss_policy = policy;
         self
     }
+
+    /// Returns the config with a different track filter kind.
+    pub fn with_filter(mut self, filter: FilterKind) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Returns the config with trilateration position features switched on
+    /// or off.
+    pub fn with_position_features(mut self, enabled: bool) -> Self {
+        self.position_features = enabled;
+        self
+    }
 }
 
 impl Default for PipelineConfig {
@@ -145,14 +197,16 @@ impl Default for PipelineConfig {
 
 impl fmt::Display for PipelineConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} scanner, {} scan period, ewma({:.2}), {}",
-            self.scanner,
-            self.scan.scan_period,
-            self.filter_coefficient,
-            self.device.model
-        )
+        write!(f, "{} scanner, {} scan period, ", self.scanner, self.scan.scan_period)?;
+        match self.filter {
+            FilterKind::Ewma => write!(f, "ewma({:.2})", self.filter_coefficient)?,
+            FilterKind::Median => write!(f, "median({MEDIAN_FILTER_WINDOW})")?,
+            kind => write!(f, "{kind}")?,
+        }
+        if self.position_features {
+            f.write_str("+trilat")?;
+        }
+        write!(f, ", {}", self.device.model)
     }
 }
 
@@ -197,5 +251,23 @@ mod tests {
     #[test]
     fn ios_config_uses_ios_scanner() {
         assert_eq!(PipelineConfig::paper_ios().scanner, ScannerKind::Ios);
+    }
+
+    #[test]
+    fn paper_config_keeps_the_paper_filter_choices() {
+        let cfg = PipelineConfig::paper_android();
+        assert_eq!(cfg.filter, FilterKind::Ewma);
+        assert!(!cfg.position_features);
+    }
+
+    #[test]
+    fn filter_and_position_builders_chain() {
+        let cfg = PipelineConfig::paper_android()
+            .with_filter(FilterKind::Bayes)
+            .with_position_features(true);
+        assert_eq!(cfg.filter, FilterKind::Bayes);
+        assert!(cfg.position_features);
+        let shown = cfg.to_string();
+        assert!(shown.contains("bayes+trilat"), "display: {shown}");
     }
 }

@@ -70,14 +70,17 @@ pub use batch::{
     batch_alloc_stats, reset_batch_alloc_stats, run_fleet_batched, run_fleet_batched_recorded,
     run_fleet_faulted_batched, run_fleet_faulted_batched_recorded, BatchAllocStats, BatchConfig,
 };
-pub use collect::{collect_dataset, features_from_snapshots, LabelledDataset, MISSING_DISTANCE};
+pub use collect::{
+    collect_dataset, features_from_snapshots, positioned_features_from_snapshots, LabelledDataset,
+    MISSING_DISTANCE,
+};
 pub use crowd::{CrowdPreset, CrowdScenario, CrowdTrace, MaeBounds, SubjectTrace, TraceSegment};
 pub use fault::FaultPlan;
 pub use fleet::{
     run_fleet, run_fleet_faulted, run_fleet_faulted_recorded, run_fleet_recorded, FleetEvent,
 };
 pub use multifloor::{MultiFloorScenario, SLAB_ATTENUATION_DB};
-pub use config::{PipelineConfig, ScannerKind};
+pub use config::{FilterKind, PipelineConfig, ScannerKind, MEDIAN_FILTER_WINDOW};
 pub use occupancy::{OccupancyModel, TrainOccupancyError};
 pub use pipeline::{
     run_pipeline, run_pipeline_faulted, run_pipeline_faulted_recorded, run_pipeline_recorded,

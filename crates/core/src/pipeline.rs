@@ -1,11 +1,13 @@
 //! The end-to-end phone pipeline: radio → scanner → aggregation → tracks.
 
-use crate::{FaultPlan, PipelineConfig, Scenario, ScannerKind};
+use crate::config::MEDIAN_FILTER_WINDOW;
+use crate::{FaultPlan, FilterKind, PipelineConfig, Scenario, ScannerKind};
 use roomsense_building::mobility::MobilityModel;
 use roomsense_building::RoomId;
 use roomsense_geom::Point;
 use roomsense_signal::{
-    aggregate_cycle, EwmaFilter, Observation, TrackManager, TrackSnapshot,
+    aggregate_cycle, BayesFilter, EwmaFilter, KalmanFilter, MedianFilter, Observation,
+    TrackManager, TrackSnapshot,
 };
 use roomsense_sim::{rng, SimDuration, SimTime};
 use roomsense_stack::{
@@ -252,6 +254,72 @@ pub fn run_pipeline_faulted_recorded<M: MobilityModel + ?Sized>(
     records
 }
 
+/// One [`TrackManager`] per configured [`FilterKind`] — the static dispatch
+/// point both the scalar pipeline and the batched fleet path share, so the
+/// two stay bit-for-bit equivalent for every filter, not just EWMA.
+#[derive(Debug, Clone)]
+pub(crate) enum FilterTracks {
+    /// The paper's EWMA tracks (the default path — construction is
+    /// identical to the pre-`FilterKind` pipeline).
+    Ewma(TrackManager<EwmaFilter>),
+    /// Kalman tracks with indoor defaults.
+    Kalman(TrackManager<KalmanFilter>),
+    /// Median tracks over [`MEDIAN_FILTER_WINDOW`] cycles.
+    Median(TrackManager<MedianFilter>),
+    /// Grid Bayes tracks; the support grid seed derives from the scenario
+    /// seed so every run over the scenario shares one discretisation.
+    Bayes(TrackManager<BayesFilter>),
+}
+
+impl FilterTracks {
+    pub(crate) fn for_scenario(config: &PipelineConfig, scenario: &Scenario) -> Self {
+        match config.filter {
+            FilterKind::Ewma => FilterTracks::Ewma(TrackManager::new(EwmaFilter::new(
+                config.filter_coefficient,
+                config.loss_policy,
+            ))),
+            FilterKind::Kalman => FilterTracks::Kalman(TrackManager::new(
+                KalmanFilter::indoor_default().with_policy(config.loss_policy),
+            )),
+            FilterKind::Median => FilterTracks::Median(TrackManager::new(
+                MedianFilter::new(MEDIAN_FILTER_WINDOW).with_policy(config.loss_policy),
+            )),
+            FilterKind::Bayes => FilterTracks::Bayes(TrackManager::new(BayesFilter::new(
+                64,
+                50.0,
+                rng::derive_seed(scenario.seed(), "bayes-filter-grid"),
+                config.loss_policy,
+            ))),
+        }
+    }
+
+    pub(crate) fn update_cycle_into_recorded(
+        &mut self,
+        at: SimTime,
+        observations: &[Observation],
+        telemetry: &mut Recorder,
+        snaps: &mut Vec<TrackSnapshot>,
+    ) {
+        match self {
+            FilterTracks::Ewma(t) => t.update_cycle_into_recorded(at, observations, telemetry, snaps),
+            FilterTracks::Kalman(t) => t.update_cycle_into_recorded(at, observations, telemetry, snaps),
+            FilterTracks::Median(t) => t.update_cycle_into_recorded(at, observations, telemetry, snaps),
+            FilterTracks::Bayes(t) => t.update_cycle_into_recorded(at, observations, telemetry, snaps),
+        }
+    }
+
+    fn update_cycle_recorded(
+        &mut self,
+        at: SimTime,
+        observations: &[Observation],
+        telemetry: &mut Recorder,
+    ) -> Vec<TrackSnapshot> {
+        let mut snaps = Vec::new();
+        self.update_cycle_into_recorded(at, observations, telemetry, &mut snaps);
+        snaps
+    }
+}
+
 fn records_from_cycles_recorded<M: MobilityModel + ?Sized>(
     scenario: &Scenario,
     config: &PipelineConfig,
@@ -260,10 +328,7 @@ fn records_from_cycles_recorded<M: MobilityModel + ?Sized>(
     telemetry: &mut Recorder,
 ) -> Vec<CycleRecord> {
     let ranging = scenario.ranging_config();
-    let mut tracks = TrackManager::new(EwmaFilter::new(
-        config.filter_coefficient,
-        config.loss_policy,
-    ));
+    let mut tracks = FilterTracks::for_scenario(config, scenario);
     let mut records = Vec::with_capacity(cycles.len());
     for cycle in cycles {
         let observations = aggregate_cycle(cycle, config.aggregation, &ranging);

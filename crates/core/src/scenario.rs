@@ -155,6 +155,16 @@ impl Scenario {
         self.plan.beacon_sites().iter().map(|s| s.minor).collect()
     }
 
+    /// Beacon mounting positions in [`beacon_order`](Self::beacon_order)
+    /// order — the trilateration anchors for `ml::position_features`.
+    pub fn beacon_anchors(&self) -> Vec<(f64, f64)> {
+        self.plan
+            .beacon_sites()
+            .iter()
+            .map(|s| (s.position.x, s.position.y))
+            .collect()
+    }
+
     /// The room label (dense index) each beacon belongs to, in
     /// [`beacon_order`](Self::beacon_order) order — what the proximity
     /// baseline needs.

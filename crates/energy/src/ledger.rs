@@ -250,7 +250,9 @@ pub fn account(
                     profile.wifi_tail_duration,
                 );
             }
-            TransportKind::BluetoothRelay => {
+            // A peer-mesh hop is a phone-to-phone BLE connection: same
+            // radio, same power draw as the beacon relay.
+            TransportKind::BluetoothRelay | TransportKind::PeerMesh => {
                 ledger.charge(
                     ComponentKind::BtConnection,
                     profile.bt_connection_mw,

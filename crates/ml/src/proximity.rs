@@ -72,13 +72,21 @@ impl Classifier for ProximityClassifier {
             features.len(),
             self.beacon_rooms.len()
         );
-        let closest = features
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| **d < self.missing_sentinel)
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"));
+        // Strict `<` while scanning in feature order makes the tie-break
+        // explicit: when two beacons report exactly equal smoothed distance,
+        // the lowest feature index wins, so predictions never depend on
+        // iterator or comparator internals.
+        let mut closest: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (idx, &d) in features.iter().enumerate() {
+            assert!(!d.is_nan(), "finite distances");
+            if d < self.missing_sentinel && d < best {
+                closest = Some(idx);
+                best = d;
+            }
+        }
         match closest {
-            Some((idx, _)) => self.beacon_rooms[idx],
+            Some(idx) => self.beacon_rooms[idx],
             None => self.fallback_label,
         }
     }
@@ -122,6 +130,16 @@ mod tests {
     #[test]
     fn all_missing_falls_back() {
         assert_eq!(clf().predict(&[60.0, 99.0, 50.0]), 2);
+    }
+
+    #[test]
+    fn equal_distances_break_ties_to_the_lowest_feature_index() {
+        // Beacons 1 (room 0) and 2 (room 1) tie exactly: index 1 wins.
+        assert_eq!(clf().predict(&[9.0, 2.0, 2.0]), 0);
+        // Beacons 0 and 2 tie; index 0 wins even though 2 was seen "later".
+        assert_eq!(clf().predict(&[2.0, 9.0, 2.0]), 0);
+        // A three-way tie still resolves to feature 0's room.
+        assert_eq!(clf().predict(&[3.5, 3.5, 3.5]), 0);
     }
 
     #[test]

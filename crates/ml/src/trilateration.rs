@@ -79,6 +79,24 @@ pub fn trilaterate(
     let mut x = usable.iter().map(|((ax, _), _)| ax).sum::<f64>() / n;
     let mut y = usable.iter().map(|((_, ay), _)| ay).sum::<f64>() / n;
 
+    // Collinear anchors leave the cross-track coordinate unobservable: the
+    // iteration would settle somewhere on the line and report it as a fix.
+    // Detect the degenerate geometry up front via the anchor scatter matrix
+    // (its determinant vanishes exactly when the anchors share a line).
+    let (mut sxx, mut sxy, mut syy) = (0.0f64, 0.0f64, 0.0f64);
+    for ((ax, ay), _) in &usable {
+        let dx = ax - x;
+        let dy = ay - y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    let scatter_det = sxx * syy - sxy * sxy;
+    let scatter_scale = (sxx + syy).powi(2).max(f64::MIN_POSITIVE);
+    if scatter_det <= 1e-12 * scatter_scale {
+        return Err(TrilaterateError::DidNotConverge);
+    }
+
     for _ in 0..100 {
         // Residuals r_i = |p - a_i| - d_i; Jacobian rows (∂r/∂x, ∂r/∂y).
         let mut jtj = [0.0f64; 3]; // [xx, xy, yy]
@@ -110,7 +128,71 @@ pub fn trilaterate(
             return Ok((x, y));
         }
     }
-    Ok((x, y))
+    // Exhausting the iteration budget without meeting the step criterion is
+    // a failure, not a fix: returning the last iterate here used to hand
+    // callers a wild extrapolation dressed up as a position.
+    Err(TrilaterateError::DidNotConverge)
+}
+
+/// Width of the feature block appended by [`position_features`]:
+/// `[x, y, fix_quality]`.
+pub const POSITION_FEATURE_WIDTH: usize = 3;
+
+/// Builds the optional trilateration feature block for the SVM: `[x, y,
+/// fix_quality]`.
+///
+/// `distances[i]` is the smoothed distance to the beacon at `anchors[i]`;
+/// entries at or above `missing_sentinel` count as "beacon not seen" and are
+/// excluded from the solve (exactly like the per-beacon sentinel features).
+///
+/// When [`trilaterate`] produces a fix, the block is the position with
+/// `fix_quality = 1.0`, the coordinates clamped to the anchor bounding box
+/// inflated by the sentinel so one wild solve cannot blow up feature
+/// scaling. When it fails — too few usable beacons, degenerate geometry, or
+/// no convergence — the block falls back to the anchor centroid with
+/// `fix_quality = 0.0`, a fixed, deterministic vector the scaler and SVM can
+/// treat as "no position information this cycle".
+///
+/// # Panics
+///
+/// Panics if `anchors` is empty, lengths differ, or the sentinel is not
+/// positive.
+pub fn position_features(
+    anchors: &[(f64, f64)],
+    distances: &[f64],
+    missing_sentinel: f64,
+) -> [f64; POSITION_FEATURE_WIDTH] {
+    assert!(!anchors.is_empty(), "need at least one anchor");
+    assert_eq!(
+        anchors.len(),
+        distances.len(),
+        "anchors/distances length mismatch"
+    );
+    assert!(
+        missing_sentinel > 0.0,
+        "missing sentinel must be positive (got {missing_sentinel})"
+    );
+    let masked: Vec<f64> = distances
+        .iter()
+        .map(|&d| if d < missing_sentinel { d } else { f64::NAN })
+        .collect();
+    let n = anchors.len() as f64;
+    let cx = anchors.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let cy = anchors.iter().map(|(_, y)| y).sum::<f64>() / n;
+    match trilaterate(anchors, &masked) {
+        Ok((x, y)) => {
+            let min_x = anchors.iter().map(|(x, _)| *x).fold(f64::INFINITY, f64::min);
+            let max_x = anchors.iter().map(|(x, _)| *x).fold(f64::NEG_INFINITY, f64::max);
+            let min_y = anchors.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+            let max_y = anchors.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+            [
+                x.clamp(min_x - missing_sentinel, max_x + missing_sentinel),
+                y.clamp(min_y - missing_sentinel, max_y + missing_sentinel),
+                1.0,
+            ]
+        }
+        Err(_) => [cx, cy, 0.0],
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +257,88 @@ mod tests {
         if let Ok((x, y)) = trilaterate(&anchors, &d) {
             assert!(x.is_finite() && y.is_finite());
         }
+    }
+
+    #[test]
+    fn skipped_distances_below_three_usable_is_not_enough_anchors() {
+        // Four anchors but only two usable distances: NaN and a non-positive
+        // reading both drop out of the solve, so the geometry is starved.
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let d = [5.0, f64::NAN, -1.0, 5.0];
+        assert_eq!(
+            trilaterate(&anchors, &d),
+            Err(TrilaterateError::NotEnoughAnchors)
+        );
+        // Infinity is skipped the same way.
+        let d = [5.0, f64::INFINITY, 5.0, 0.0];
+        assert_eq!(
+            trilaterate(&anchors, &d),
+            Err(TrilaterateError::NotEnoughAnchors)
+        );
+    }
+
+    #[test]
+    fn collinear_anchors_do_not_converge() {
+        // Three anchors on one line cannot pin down the cross-track
+        // coordinate; the solver must refuse rather than extrapolate.
+        let anchors = [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)];
+        let d = exact_distances(&anchors, (5.0, 3.0));
+        assert_eq!(
+            trilaterate(&anchors, &d),
+            Err(TrilaterateError::DidNotConverge)
+        );
+        // A diagonal line degenerates identically.
+        let anchors = [(0.0, 0.0), (3.0, 3.0), (7.0, 7.0)];
+        let d = exact_distances(&anchors, (2.0, 5.0));
+        assert_eq!(
+            trilaterate(&anchors, &d),
+            Err(TrilaterateError::DidNotConverge)
+        );
+    }
+
+    #[test]
+    fn position_features_carry_a_good_fix() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let truth = (6.0, 3.0);
+        let d = exact_distances(&anchors, truth);
+        let [x, y, q] = position_features(&anchors, &d, 50.0);
+        assert!((x - truth.0).abs() < 1e-6);
+        assert!((y - truth.1).abs() < 1e-6);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn position_features_fall_back_to_the_centroid_without_a_fix() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        // Only two beacons visible: the sentinel masks the rest.
+        let d = [3.0, 4.0, 50.0, 99.0];
+        assert_eq!(position_features(&anchors, &d, 50.0), [5.0, 5.0, 0.0]);
+        // Collinear visible anchors degrade the same way.
+        let anchors = [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)];
+        let d = exact_distances(&anchors, (5.0, 2.0));
+        assert_eq!(position_features(&anchors, &d, 50.0), [5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn position_features_clamp_wild_fixes() {
+        let anchors = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        // Consistent but absurd distances can converge far away; the block
+        // must stay inside the inflated anchor box either way.
+        let d = [45.0, 44.0, 46.0];
+        let [x, y, _] = position_features(&anchors, &d, 50.0);
+        assert!((-50.0..=60.0).contains(&x), "x {x}");
+        assert!((-50.0..=60.0).contains(&y), "y {y}");
+    }
+
+    #[test]
+    fn near_collinear_but_valid_geometry_still_solves() {
+        // A thin but genuine triangle stays solvable: the degeneracy check
+        // must not reject merely elongated layouts.
+        let anchors = [(0.0, 0.0), (10.0, 0.1), (20.0, 1.0)];
+        let truth = (8.0, 4.0);
+        let d = exact_distances(&anchors, truth);
+        let (x, y) = trilaterate(&anchors, &d).expect("thin triangle solves");
+        assert!((x - truth.0).abs() < 1e-4, "x {x}");
+        assert!((y - truth.1).abs() < 1e-4, "y {y}");
     }
 }

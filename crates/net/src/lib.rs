@@ -31,6 +31,7 @@ mod federation;
 mod health;
 mod ingest;
 mod message;
+mod peer;
 mod shard;
 mod transport;
 
@@ -55,6 +56,7 @@ pub use ingest::{Admission, IngestTier, IngestTierConfig, LeveledView, ServiceLe
 pub use message::{
     batched_wire_size_bytes, DeviceId, ObservationReport, SequenceStamper, SightedBeacon,
 };
+pub use peer::{PeerRelayConfig, PeerRelayTransport};
 pub use shard::{ShardedBmsCheckpoint, ShardedBmsServer};
 pub use transport::{
     BtRelayTransport, Delivery, QueueingTransport, Retrying, SendOutcome, Transport,

@@ -1,0 +1,733 @@
+//! Phone→phone→BMS peer-relay mesh: the last-resort uplink.
+//!
+//! [`FailoverTransport`](crate::FailoverTransport) covers the paper's two
+//! channels — Wi-Fi and the beacon's Bluetooth relay — but both ride the
+//! *same building infrastructure*: an AP reboot or a relay-beacon power cut
+//! can take the pair down together. The phones themselves are a third
+//! network. [`PeerRelayTransport`] exploits it: when the device's own uplink
+//! fails, the report hops phone-to-phone over BLE (each hop a priced radio
+//! burst) until it reaches a peer whose uplink still works, and exits to the
+//! BMS from there. Hops are bounded, and reports that cannot get out at all
+//! park in a bounded store-and-forward buffer, draining once any path
+//! returns.
+//!
+//! Everything rides the existing machinery: hops are
+//! [`TransportEvent`](roomsense_telemetry::TransportEvent)s of kind
+//! [`TransportKind::PeerMesh`] (the energy model prices them as BLE
+//! connections), relays journal a
+//! [`TelemetryEvent::Failover`] with the mesh kind, and the mesh mirrors its
+//! own `net.peer.*` counters next to the failover router's.
+
+use crate::{Delivery, ObservationReport, SendOutcome, Transport, TransportKind};
+use rand::Rng;
+use roomsense_sim::{SimDuration, SimTime};
+use roomsense_telemetry::{keys, Recorder, TelemetryEvent, TransportEvent};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Mesh geometry and reliability knobs for [`PeerRelayTransport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerRelayConfig {
+    /// Phone-to-phone hops between this device and the nearest peer with a
+    /// working exit uplink.
+    pub hops_to_exit: u32,
+    /// Hop-attempt budget per report: a relay may re-try failed hops until
+    /// this many BLE connections have been burned.
+    pub max_hops: u32,
+    /// Probability one phone-to-phone BLE hop succeeds.
+    pub hop_success: f64,
+    /// Connection setup per hop (plus jitter) — phones are not paired in
+    /// advance, so each hop pays a discovery + connect cost.
+    pub hop_latency: SimDuration,
+    /// Store-and-forward buffer size; the oldest report is evicted when a
+    /// new one arrives at capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for PeerRelayConfig {
+    /// Two hops to the exit peer, a budget of four, 95 % per-hop success,
+    /// 250 ms per connection, 32 parked reports.
+    fn default() -> Self {
+        PeerRelayConfig {
+            hops_to_exit: 2,
+            max_hops: 4,
+            hop_success: 0.95,
+            hop_latency: SimDuration::from_millis(250),
+            queue_capacity: 32,
+        }
+    }
+}
+
+impl PeerRelayConfig {
+    fn validate(&self) {
+        assert!(self.hops_to_exit > 0, "hops_to_exit must be non-zero");
+        assert!(
+            self.hops_to_exit <= self.max_hops,
+            "max_hops must cover hops_to_exit"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hop_success),
+            "probability must be in [0, 1] (got {})",
+            self.hop_success
+        );
+        assert!(self.queue_capacity > 0, "queue capacity must be non-zero");
+    }
+}
+
+/// Routes reports over the device's own uplink first, then over a
+/// hop-count-bounded phone-to-phone BLE mesh to a peer's exit uplink, and
+/// finally into a bounded store-and-forward buffer.
+///
+/// Routing per send:
+///
+/// * the `direct` uplink (typically a whole
+///   [`FailoverTransport`](crate::FailoverTransport) stack) is tried first;
+///   `Backpressured` propagates unrecorded — the server is shedding, and
+///   flooding the mesh into the same server only deepens the overload.
+/// * on a direct failure the report hops the mesh: each hop is a priced
+///   [`TransportKind::PeerMesh`] burst with its own success coin; after
+///   [`hops_to_exit`](PeerRelayConfig::hops_to_exit) clean hops (within the
+///   [`max_hops`](PeerRelayConfig::max_hops) budget) the report exits over
+///   the peer's `exit` transport, delayed by the accumulated hop time.
+/// * if the mesh cannot get the report out, it parks in the buffer;
+///   [`offer`](Self::offer) drains the backlog whenever a later call finds a
+///   working path.
+///
+/// [`Transport::send`] returns `Failed` for a parked report (it may still
+/// deliver later) — callers that need the backlog use [`offer`](Self::offer),
+/// exactly like [`QueueingTransport`](crate::QueueingTransport).
+///
+/// # Examples
+///
+/// ```
+/// use roomsense_net::{BtRelayTransport, PeerRelayConfig, PeerRelayTransport, WifiTransport};
+///
+/// let mesh = PeerRelayTransport::new(
+///     WifiTransport::default(),
+///     BtRelayTransport::default(),
+///     PeerRelayConfig::default(),
+/// );
+/// assert_eq!(mesh.pending(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerRelayTransport<D, X> {
+    direct: D,
+    exit: X,
+    config: PeerRelayConfig,
+    telemetry: Recorder,
+    queue: VecDeque<ObservationReport>,
+    relayed: u64,
+    parked: u64,
+    dropped: u64,
+}
+
+impl<D: Transport, X: Transport> PeerRelayTransport<D, X> {
+    /// Wires the device's own uplink and the exit peer's uplink into one
+    /// mesh path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero hops, a budget
+    /// below the exit distance, a probability outside `[0, 1]`, a zero
+    /// buffer).
+    pub fn new(direct: D, exit: X, config: PeerRelayConfig) -> Self {
+        config.validate();
+        PeerRelayTransport {
+            direct,
+            exit,
+            config,
+            telemetry: Recorder::new(),
+            queue: VecDeque::new(),
+            relayed: 0,
+            parked: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Injects a pre-configured recorder as the mesh's merged sink.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &PeerRelayConfig {
+        &self.config
+    }
+
+    /// The device's own uplink.
+    pub fn direct(&self) -> &D {
+        &self.direct
+    }
+
+    /// The exit peer's uplink.
+    pub fn exit(&self) -> &X {
+        &self.exit
+    }
+
+    /// Reports the mesh carried to the exit peer's uplink.
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+
+    /// Reports currently parked in the store-and-forward buffer.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reports that have ever parked in the buffer.
+    pub fn parked(&self) -> u64 {
+        self.parked
+    }
+
+    /// Reports evicted from a full buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn copy_last_event_of(telemetry: &mut Recorder, source: &Recorder) {
+        if let Some(event) = source.last_transport_event() {
+            telemetry.record_send(event);
+        }
+    }
+
+    /// Walks the mesh: burns hop attempts until `hops_to_exit` succeed or
+    /// the budget runs out, then exits over the peer uplink. Every hop is a
+    /// priced burst; the exit send happens after the accumulated hop time.
+    fn relay_via_mesh<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let mut clean_hops = 0u32;
+        let mut attempts = 0u32;
+        let mut hop_start = at;
+        while clean_hops < self.config.hops_to_exit {
+            if attempts == self.config.max_hops {
+                self.telemetry.observe(keys::NET_PEER_HOPS, attempts as f64);
+                return SendOutcome::Failed;
+            }
+            attempts += 1;
+            let active =
+                self.config.hop_latency + SimDuration::from_millis(rng.gen_range(0..100));
+            let delivered = rng.gen::<f64>() < self.config.hop_success;
+            self.telemetry.record_send(TransportEvent {
+                kind: TransportKind::PeerMesh,
+                start: hop_start,
+                active,
+                delivered,
+            });
+            hop_start += active;
+            if delivered {
+                clean_hops += 1;
+            }
+        }
+        self.telemetry.observe(keys::NET_PEER_HOPS, attempts as f64);
+        self.telemetry.record_event(TelemetryEvent::Failover {
+            at,
+            kind: TransportKind::PeerMesh,
+        });
+        let outcome = self.exit.send(hop_start, report, rng);
+        Self::copy_last_event_of(&mut self.telemetry, self.exit.telemetry());
+        if outcome.is_delivered() {
+            self.relayed += 1;
+            self.telemetry.incr(keys::NET_PEER_RELAYED);
+        }
+        outcome
+    }
+
+    /// One end-to-end attempt — direct, then mesh — with no queueing.
+    fn try_path<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let outcome = self.direct.send(at, report, rng);
+        Self::copy_last_event_of(&mut self.telemetry, self.direct.telemetry());
+        // Server-side backpressure is not a path failure: the uplink carried
+        // the attempt and the server shed it. Relaying the same report into
+        // the same server over the mesh would only deepen the overload —
+        // propagate the signal unrecorded so the layer above backs off.
+        if outcome.is_delivered() || outcome.is_backpressured() {
+            return outcome;
+        }
+        self.relay_via_mesh(at, report, rng)
+    }
+
+    fn park(&mut self, report: ObservationReport) {
+        if self.queue.len() == self.config.queue_capacity {
+            self.queue.pop_front();
+            self.dropped += 1;
+            self.telemetry.incr(keys::NET_PEER_DROPPED);
+        }
+        self.parked += 1;
+        self.telemetry.incr(keys::NET_PEER_QUEUED);
+        self.queue.push_back(report);
+    }
+
+    /// Retries every parked report over the full direct-then-mesh path;
+    /// returns the ones that got through. Reports that still cannot exit
+    /// stay parked (in order).
+    pub fn flush<R: Rng + ?Sized>(&mut self, at: SimTime, rng: &mut R) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        let mut still_waiting = VecDeque::new();
+        while let Some(report) = self.queue.pop_front() {
+            match self.try_path(at, &report, rng) {
+                SendOutcome::Delivered { at: arrived } => {
+                    deliveries.push(Delivery {
+                        report,
+                        at: arrived,
+                    });
+                }
+                SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
+                    still_waiting.push_back(report);
+                }
+            }
+        }
+        self.queue = still_waiting;
+        deliveries
+    }
+
+    /// Offers a new report: drains the parked backlog first, then attempts
+    /// this report once, parking it if neither the direct uplink nor the
+    /// mesh can carry it. Returns everything that reached the server during
+    /// this call (backlog first).
+    pub fn offer<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: ObservationReport,
+        rng: &mut R,
+    ) -> Vec<Delivery> {
+        let mut deliveries = self.flush(at, rng);
+        match self.try_path(at, &report, rng) {
+            SendOutcome::Delivered { at: arrived } => {
+                deliveries.push(Delivery {
+                    report,
+                    at: arrived,
+                });
+            }
+            SendOutcome::Failed | SendOutcome::Refused | SendOutcome::Backpressured => {
+                self.park(report);
+            }
+        }
+        deliveries
+    }
+}
+
+impl<D: Transport, X: Transport> Transport for PeerRelayTransport<D, X> {
+    /// [`offer`](Self::offer)s the report without touching the backlog;
+    /// `Failed` means it was parked (it may still deliver from a later
+    /// [`offer`](Self::offer) or [`flush`](Self::flush)).
+    fn send<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        report: &ObservationReport,
+        rng: &mut R,
+    ) -> SendOutcome {
+        let outcome = self.try_path(at, report, rng);
+        match outcome {
+            SendOutcome::Delivered { .. } | SendOutcome::Backpressured => outcome,
+            SendOutcome::Failed | SendOutcome::Refused => {
+                self.park(report.clone());
+                SendOutcome::Failed
+            }
+        }
+    }
+
+    /// Routes a coalesced batch like one report: direct uplink first, then
+    /// one mesh walk carrying the whole batch to the exit peer. A batch that
+    /// cannot get out parks report-by-report (parked retries go out
+    /// individually from [`flush`](Self::flush)).
+    fn send_batch<R: Rng + ?Sized>(
+        &mut self,
+        at: SimTime,
+        reports: &[ObservationReport],
+        rng: &mut R,
+    ) -> SendOutcome {
+        if reports.is_empty() {
+            return SendOutcome::Delivered { at };
+        }
+        let outcome = self.direct.send_batch(at, reports, rng);
+        Self::copy_last_event_of(&mut self.telemetry, self.direct.telemetry());
+        if outcome.is_delivered() || outcome.is_backpressured() {
+            return outcome;
+        }
+        let mut clean_hops = 0u32;
+        let mut attempts = 0u32;
+        let mut hop_start = at;
+        while clean_hops < self.config.hops_to_exit && attempts < self.config.max_hops {
+            attempts += 1;
+            let active =
+                self.config.hop_latency + SimDuration::from_millis(rng.gen_range(0..100));
+            let delivered = rng.gen::<f64>() < self.config.hop_success;
+            self.telemetry.record_send(TransportEvent {
+                kind: TransportKind::PeerMesh,
+                start: hop_start,
+                active,
+                delivered,
+            });
+            hop_start += active;
+            if delivered {
+                clean_hops += 1;
+            }
+        }
+        self.telemetry.observe(keys::NET_PEER_HOPS, attempts as f64);
+        if clean_hops < self.config.hops_to_exit {
+            for report in reports {
+                self.park(report.clone());
+            }
+            return SendOutcome::Failed;
+        }
+        self.telemetry.record_event(TelemetryEvent::Failover {
+            at,
+            kind: TransportKind::PeerMesh,
+        });
+        let outcome = self.exit.send_batch(hop_start, reports, rng);
+        Self::copy_last_event_of(&mut self.telemetry, self.exit.telemetry());
+        match outcome {
+            SendOutcome::Delivered { .. } => {
+                self.relayed += reports.len() as u64;
+                self.telemetry
+                    .add(keys::NET_PEER_RELAYED, reports.len() as u64);
+                outcome
+            }
+            SendOutcome::Backpressured => outcome,
+            SendOutcome::Failed | SendOutcome::Refused => {
+                for report in reports {
+                    self.park(report.clone());
+                }
+                SendOutcome::Failed
+            }
+        }
+    }
+
+    fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
+    }
+
+    /// The channel regular (non-relayed) traffic uses.
+    fn kind(&self) -> TransportKind {
+        self.direct.kind()
+    }
+}
+
+impl<D: Transport + fmt::Display, X: Transport + fmt::Display> fmt::Display
+    for PeerRelayTransport<D, X>
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peer mesh over [{}] exiting via [{}] ({} relayed, {} parked, {} pending)",
+            self.direct, self.exit, self.relayed, self.parked, self.pending()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BtRelayTransport, DeviceId, FailoverTransport, FaultyTransport, LinkHealthConfig,
+        SightedBeacon, WifiTransport,
+    };
+    use roomsense_ibeacon::{BeaconIdentity, Major, Minor, ProximityUuid};
+    use roomsense_sim::{rng, FaultSchedule, FaultWindow};
+
+    fn report(seq: u64, at: SimTime) -> ObservationReport {
+        ObservationReport {
+            device: DeviceId::new(1),
+            seq,
+            at,
+            beacons: vec![SightedBeacon {
+                identity: BeaconIdentity {
+                    uuid: ProximityUuid::example(),
+                    major: Major::new(1),
+                    minor: Minor::new(0),
+                },
+                distance_m: 2.0,
+            }],
+        }
+    }
+
+    fn outage(from_s: u64, until_s: u64) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultWindow::new(
+            SimTime::from_secs(from_s),
+            SimTime::from_secs(until_s),
+        )])
+    }
+
+    /// A stub server link that always answers with backpressure.
+    #[derive(Debug)]
+    struct SheddingTransport {
+        telemetry: Recorder,
+    }
+
+    impl Transport for SheddingTransport {
+        fn send<R: Rng + ?Sized>(
+            &mut self,
+            _at: SimTime,
+            _report: &ObservationReport,
+            _rng: &mut R,
+        ) -> SendOutcome {
+            SendOutcome::Backpressured
+        }
+
+        fn telemetry(&self) -> &Recorder {
+            &self.telemetry
+        }
+
+        fn telemetry_mut(&mut self) -> &mut Recorder {
+            &mut self.telemetry
+        }
+
+        fn kind(&self) -> TransportKind {
+            TransportKind::Wifi
+        }
+    }
+
+    #[test]
+    fn healthy_direct_uplink_never_touches_the_mesh() {
+        let mut mesh = PeerRelayTransport::new(
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig::default(),
+        );
+        let mut r = rng::for_component(40, "peer-healthy");
+        for i in 0..50u64 {
+            let at = SimTime::from_secs(i * 10);
+            assert!(mesh.send(at, &report(i, at), &mut r).is_delivered());
+        }
+        assert_eq!(mesh.relayed(), 0);
+        assert_eq!(mesh.pending(), 0);
+        assert_eq!(mesh.telemetry().counter(keys::NET_TX_ATTEMPTS_PEER), 0);
+        assert_eq!(mesh.kind(), TransportKind::Wifi);
+    }
+
+    #[test]
+    fn dual_uplink_outage_delivers_over_the_mesh() {
+        // The device's own Wi-Fi AND Bluetooth relay share one outage
+        // window — the failover router alone cannot save the reports. The
+        // exit peer (a phone near a different AP) stays healthy, so every
+        // report inside the window hops the mesh out.
+        let direct = FailoverTransport::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(60, 600),
+            ),
+            FaultyTransport::new(
+                BtRelayTransport::new(1.0, SimDuration::from_millis(400)),
+                outage(60, 600),
+            ),
+            LinkHealthConfig::default(),
+        );
+        let exit = WifiTransport::new(1.0, SimDuration::from_millis(50));
+        let mut mesh = PeerRelayTransport::new(
+            direct,
+            exit,
+            PeerRelayConfig {
+                hop_success: 1.0,
+                ..PeerRelayConfig::default()
+            },
+        );
+        let mut r = rng::for_component(41, "peer-dual-outage");
+        let mut delivered = 0u32;
+        for i in 0..120u64 {
+            let at = SimTime::from_secs(i * 10);
+            if mesh.send(at, &report(i, at), &mut r).is_delivered() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 120, "no report may be lost to the dual outage");
+        assert!(mesh.relayed() > 30, "relayed {}", mesh.relayed());
+        assert_eq!(mesh.pending(), 0);
+        // Each relay walked exactly hops_to_exit perfect hops.
+        assert_eq!(
+            mesh.telemetry().counter(keys::NET_TX_ATTEMPTS_PEER),
+            mesh.relayed() * u64::from(mesh.config().hops_to_exit)
+        );
+        // Counters mirror the accessors; relays journalled mesh failovers.
+        assert_eq!(mesh.telemetry().counter(keys::NET_PEER_RELAYED), mesh.relayed());
+        let mesh_failovers = mesh
+            .telemetry()
+            .journal()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::Failover {
+                        kind: TransportKind::PeerMesh,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(mesh_failovers, mesh.relayed());
+        // Both the direct radios and the mesh hops show up in the merged
+        // burst log for the energy model.
+        let kinds: std::collections::BTreeSet<String> = mesh
+            .telemetry()
+            .transport_events()
+            .iter()
+            .map(|e| e.kind.to_string())
+            .collect();
+        assert!(kinds.contains("peer-mesh"), "kinds {kinds:?}");
+        assert!(kinds.contains("wifi"), "kinds {kinds:?}");
+    }
+
+    #[test]
+    fn relay_arrival_pays_the_accumulated_hop_time() {
+        let mut mesh = PeerRelayTransport::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(0, 1_000_000),
+            ),
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig {
+                hops_to_exit: 3,
+                max_hops: 3,
+                hop_success: 1.0,
+                ..PeerRelayConfig::default()
+            },
+        );
+        let mut r = rng::for_component(42, "peer-latency");
+        let at = SimTime::from_secs(5);
+        match mesh.send(at, &report(0, at), &mut r) {
+            SendOutcome::Delivered { at: arrived } => {
+                // Three hops at >= 250 ms each must delay the exit send.
+                assert!(
+                    arrived >= at + SimDuration::from_millis(750),
+                    "arrived {arrived:?}"
+                );
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_hop_budget_parks_the_report_and_flush_drains_it() {
+        // Direct uplink dead for [0 s, 300 s); mesh hops never succeed, so
+        // reports park. After the outage the direct link carries the whole
+        // backlog out on the next offer.
+        let mut mesh = PeerRelayTransport::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(0, 300),
+            ),
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig {
+                hop_success: 0.0,
+                ..PeerRelayConfig::default()
+            },
+        );
+        let mut r = rng::for_component(43, "peer-park");
+        let mut arrived = Vec::new();
+        for i in 0..40u64 {
+            let at = SimTime::from_secs(i * 10);
+            for delivery in mesh.offer(at, report(i, at), &mut r) {
+                arrived.push(delivery.report.seq);
+            }
+        }
+        assert_eq!(mesh.relayed(), 0);
+        assert_eq!(mesh.pending(), 0, "backlog must drain after the outage");
+        assert!(mesh.parked() >= 29, "parked {}", mesh.parked());
+        // Every report got through exactly once (in-outage ones late).
+        arrived.sort_unstable();
+        assert_eq!(arrived, (0..40).collect::<Vec<_>>());
+        // The failed mesh walks burned their whole hop budget each time.
+        assert!(
+            mesh.telemetry().counter(keys::NET_TX_ATTEMPTS_PEER)
+                >= mesh.parked() * u64::from(mesh.config().max_hops)
+        );
+        assert_eq!(mesh.telemetry().counter(keys::NET_PEER_QUEUED), mesh.parked());
+    }
+
+    #[test]
+    fn full_buffer_evicts_the_oldest_report() {
+        let mut mesh = PeerRelayTransport::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(0, 1_000_000),
+            ),
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig {
+                hop_success: 0.0,
+                queue_capacity: 4,
+                ..PeerRelayConfig::default()
+            },
+        );
+        let mut r = rng::for_component(44, "peer-evict");
+        for i in 0..10u64 {
+            let at = SimTime::from_secs(i);
+            assert!(!mesh.send(at, &report(i, at), &mut r).is_delivered());
+        }
+        assert_eq!(mesh.pending(), 4);
+        assert_eq!(mesh.dropped(), 6);
+        assert_eq!(mesh.telemetry().counter(keys::NET_PEER_DROPPED), 6);
+        // The freshest observations survive.
+        assert_eq!(
+            mesh.queue.iter().map(|q| q.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn backpressure_propagates_without_parking_or_relaying() {
+        let mut mesh = PeerRelayTransport::new(
+            SheddingTransport {
+                telemetry: Recorder::new(),
+            },
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig::default(),
+        );
+        let mut r = rng::for_component(45, "peer-shed");
+        let at = SimTime::from_secs(1);
+        assert!(mesh.send(at, &report(0, at), &mut r).is_backpressured());
+        assert_eq!(mesh.pending(), 0, "a shed report must not park");
+        assert_eq!(mesh.relayed(), 0, "a shed report must not hit the mesh");
+        assert_eq!(mesh.telemetry().counter(keys::NET_TX_ATTEMPTS_PEER), 0);
+    }
+
+    #[test]
+    fn batch_relays_as_one_mesh_walk() {
+        let mut mesh = PeerRelayTransport::new(
+            FaultyTransport::new(
+                WifiTransport::new(1.0, SimDuration::from_millis(50)),
+                outage(0, 1_000_000),
+            ),
+            WifiTransport::new(1.0, SimDuration::from_millis(50)),
+            PeerRelayConfig {
+                hop_success: 1.0,
+                ..PeerRelayConfig::default()
+            },
+        );
+        let mut r = rng::for_component(46, "peer-batch");
+        let at = SimTime::from_secs(1);
+        let reports: Vec<_> = (0..5).map(|i| report(i, at)).collect();
+        assert!(mesh.send_batch(at, &reports, &mut r).is_delivered());
+        assert_eq!(mesh.relayed(), 5);
+        // One walk: hops_to_exit bursts, not 5 * hops_to_exit.
+        assert_eq!(
+            mesh.telemetry().counter(keys::NET_TX_ATTEMPTS_PEER),
+            u64::from(mesh.config().hops_to_exit)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_hops must cover hops_to_exit")]
+    fn hop_budget_below_exit_distance_panics() {
+        let _ = PeerRelayTransport::new(
+            WifiTransport::default(),
+            WifiTransport::default(),
+            PeerRelayConfig {
+                hops_to_exit: 5,
+                max_hops: 3,
+                ..PeerRelayConfig::default()
+            },
+        );
+    }
+}

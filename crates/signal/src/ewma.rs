@@ -30,6 +30,11 @@ pub trait DistanceFilter {
     /// estimate (`None` = the track is considered lost).
     fn update(&mut self, observation: Option<f64>) -> Option<f64>;
 
+    /// The current estimate without consuming an observation (`None` = not
+    /// tracking). Must equal what the last [`update`](Self::update) call
+    /// returned.
+    fn current(&self) -> Option<f64>;
+
     /// Resets the filter to its initial, track-less state.
     fn reset(&mut self);
 
@@ -129,6 +134,10 @@ impl DistanceFilter for EwmaFilter {
                 self.state
             }
         }
+    }
+
+    fn current(&self) -> Option<f64> {
+        self.state
     }
 
     fn reset(&mut self) {

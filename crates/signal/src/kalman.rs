@@ -64,6 +64,12 @@ impl KalmanFilter {
         KalmanFilter::new(0.5, 1.0)
     }
 
+    /// Returns the filter with a different loss policy.
+    pub fn with_policy(mut self, policy: LossPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The current estimate.
     pub fn current(&self) -> Option<f64> {
         self.state.map(|(x, _)| x)
@@ -109,6 +115,10 @@ impl DistanceFilter for KalmanFilter {
                 self.current()
             }
         }
+    }
+
+    fn current(&self) -> Option<f64> {
+        KalmanFilter::current(self)
     }
 
     fn reset(&mut self) {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod bayes;
 mod ewma;
 mod kalman;
 mod median;
@@ -30,6 +31,7 @@ pub mod metrics;
 mod tracks;
 
 pub use aggregate::{aggregate_cycle, aggregate_cycle_into, AggregateMethod, AggregateScratch, Observation};
+pub use bayes::BayesFilter;
 pub use ewma::{DistanceFilter, EwmaFilter, LossPolicy, PAPER_COEFFICIENT};
 pub use kalman::KalmanFilter;
 pub use median::MedianFilter;

@@ -24,9 +24,11 @@ impl fmt::Display for TrackSnapshot {
     }
 }
 
-/// Runs one [`EwmaFilter`] per beacon, feeding each cycle's observations to
-/// the right track and `None` to every track that missed the cycle — the
-/// paper's full Section V pipeline for the multi-beacon case.
+/// Runs one [`DistanceFilter`] per beacon (an [`EwmaFilter`] by default),
+/// feeding each cycle's observations to the right track and `None` to every
+/// track that missed the cycle — the paper's full Section V pipeline for the
+/// multi-beacon case. The filter type is generic so the ablation arms can
+/// swap Kalman, median, or Bayes smoothing without touching the manager.
 ///
 /// # Examples
 ///
@@ -48,18 +50,18 @@ impl fmt::Display for TrackSnapshot {
 /// assert_eq!(snaps[0].distance_m, 2.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct TrackManager {
-    template: EwmaFilter,
-    tracks: BTreeMap<BeaconIdentity, EwmaFilter>,
+pub struct TrackManager<F = EwmaFilter> {
+    template: F,
+    tracks: BTreeMap<BeaconIdentity, F>,
     /// Reused per-cycle buffer of tracks to remove, so steady-state cycles
     /// allocate nothing beyond their returned snapshots.
     dropped_scratch: Vec<BeaconIdentity>,
 }
 
-impl TrackManager {
+impl<F: DistanceFilter + Clone> TrackManager<F> {
     /// Creates a manager whose per-beacon filters are clones of `template`
     /// (in its reset state).
-    pub fn new(mut template: EwmaFilter) -> Self {
+    pub fn new(mut template: F) -> Self {
         template.reset();
         TrackManager {
             template,
@@ -80,7 +82,7 @@ impl TrackManager {
 
     /// The smoothed distance of a beacon, if tracked.
     pub fn distance_of(&self, identity: &BeaconIdentity) -> Option<f64> {
-        self.tracks.get(identity).and_then(EwmaFilter::current)
+        self.tracks.get(identity).and_then(DistanceFilter::current)
     }
 
     /// Feeds one cycle's observations. Tracks absent from `observations`
@@ -120,7 +122,7 @@ impl TrackManager {
         for obs in observations {
             self.tracks
                 .entry(obs.identity)
-                .or_insert_with(|| self.template);
+                .or_insert_with(|| self.template.clone());
         }
         // Update every track: with its observation or with a loss.
         let mut dropped = std::mem::take(&mut self.dropped_scratch);

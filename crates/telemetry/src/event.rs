@@ -10,6 +10,9 @@ pub enum TransportKind {
     Wifi,
     /// Bluetooth connection to the room's beacon transmitter, relayed.
     BluetoothRelay,
+    /// Phone-to-phone Bluetooth hop through the peer mesh, exiting over a
+    /// neighbouring device's uplink.
+    PeerMesh,
 }
 
 impl fmt::Display for TransportKind {
@@ -17,6 +20,7 @@ impl fmt::Display for TransportKind {
         match self {
             TransportKind::Wifi => f.write_str("wifi"),
             TransportKind::BluetoothRelay => f.write_str("bt-relay"),
+            TransportKind::PeerMesh => f.write_str("peer-mesh"),
         }
     }
 }
@@ -166,6 +170,7 @@ mod tests {
     fn kinds_display_as_stable_labels() {
         assert_eq!(TransportKind::Wifi.to_string(), "wifi");
         assert_eq!(TransportKind::BluetoothRelay.to_string(), "bt-relay");
+        assert_eq!(TransportKind::PeerMesh.to_string(), "peer-mesh");
     }
 
     #[test]

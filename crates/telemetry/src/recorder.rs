@@ -30,6 +30,8 @@ pub mod keys {
     pub const NET_TX_ATTEMPTS_WIFI: MetricKey = MetricKey("net.tx.attempts.wifi");
     /// Send attempts carried by the Bluetooth relay.
     pub const NET_TX_ATTEMPTS_BT: MetricKey = MetricKey("net.tx.attempts.bt_relay");
+    /// Send attempts carried as phone-to-phone peer-mesh hops.
+    pub const NET_TX_ATTEMPTS_PEER: MetricKey = MetricKey("net.tx.attempts.peer_mesh");
     /// Send attempts that reached the server.
     pub const NET_TX_DELIVERED: MetricKey = MetricKey("net.tx.delivered");
     /// Sends refused outright by a link in scheduled outage.
@@ -62,6 +64,14 @@ pub mod keys {
     pub const NET_FAILOVER_SENDS: MetricKey = MetricKey("net.failover.sends");
     /// Recovery probes sent over a down primary.
     pub const NET_FAILOVER_PROBES: MetricKey = MetricKey("net.failover.probes");
+    /// Reports the peer-relay mesh carried to a peer's exit uplink.
+    pub const NET_PEER_RELAYED: MetricKey = MetricKey("net.peer.relayed");
+    /// Phone-to-phone hop attempts per relayed report (histogram).
+    pub const NET_PEER_HOPS: MetricKey = MetricKey("net.peer.hops");
+    /// Reports parked in the peer relay's store-and-forward buffer.
+    pub const NET_PEER_QUEUED: MetricKey = MetricKey("net.peer.queued");
+    /// Reports evicted from a full peer-relay buffer.
+    pub const NET_PEER_DROPPED: MetricKey = MetricKey("net.peer.dropped");
     /// Reports admitted into a shard mailbox by the ingestion tier.
     pub const NET_MAILBOX_ADMITTED: MetricKey = MetricKey("net.mailbox.admitted");
     /// Reports refused with backpressure by the admission controller.
@@ -358,6 +368,7 @@ impl Recorder {
         self.incr(match event.kind {
             TransportKind::Wifi => keys::NET_TX_ATTEMPTS_WIFI,
             TransportKind::BluetoothRelay => keys::NET_TX_ATTEMPTS_BT,
+            TransportKind::PeerMesh => keys::NET_TX_ATTEMPTS_PEER,
         });
         if event.delivered {
             self.incr(keys::NET_TX_DELIVERED);

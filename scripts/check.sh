@@ -14,7 +14,7 @@
 # if any case's speedup falls below its versioned per-case tolerance
 # threshold. The regenerated BENCH_PR7.json is archived at the repo root
 # (committed alongside the code it measured). Every system arm in the
-# experiments ARMS table (tracking through counting) must assert its own
+# experiments ARMS table (tracking through positioning) must assert its own
 # invariants and produce the same fingerprint checksum under a single
 # worker and under the default parallelism, and a lint rejects any new
 # positional `*_experiment(seed, ...)` entry point outside the
@@ -50,7 +50,7 @@ echo "bench gate passed; BENCH_PR7.json archived at repo root"
 arm_sum() {
     sed -n "s/.*  $1 checksum: \([0-9a-f]*\).*/\1/p"
 }
-for arm in tracking scaling floors faults chaos telemetry scale overload archive counting; do
+for arm in tracking scaling floors faults chaos telemetry scale overload archive counting positioning; do
     seq_sum=$(ROOMSENSE_THREADS=1 ./target/release/repro "$arm" | arm_sum "$arm")
     par_sum=$(env -u ROOMSENSE_THREADS ./target/release/repro "$arm" | arm_sum "$arm")
     if [ -z "$seq_sum" ] || [ "$seq_sum" != "$par_sum" ]; then
@@ -79,4 +79,4 @@ if [ -n "$positional_hits" ]; then
 fi
 echo "experiment API lint clean: no positional entry points outside the shim block"
 
-echo "check.sh: build + tests (threads=1, default, disk-chaos) + clippy + doc + bench + all 10 system arms + API lint green"
+echo "check.sh: build + tests (threads=1, default, disk-chaos) + clippy + doc + bench + all 11 system arms + API lint green"
